@@ -1,0 +1,125 @@
+// Engineering microbenchmarks (google-benchmark): the kernels that
+// dominate TGAE's cost profile — dense matmul, segment softmax, ego-graph
+// sampling, bipartite stack construction, snapshot accumulation, and the
+// temporal motif census. Not a paper table; used for the design-choice
+// ablations called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "core/tgat_encoder.h"
+#include "datasets/synthetic.h"
+#include "graph/bipartite.h"
+#include "graph/ego_sampler.h"
+#include "metrics/graph_stats.h"
+#include "metrics/motifs.h"
+#include "nn/autograd.h"
+
+namespace {
+
+using namespace tgsim;
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::Randn(rng, n, n);
+  nn::Tensor b = nn::Tensor::Randn(rng, n, n);
+  for (auto _ : state) benchmark::DoNotOptimize(a.MatMul(b));
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  Rng rng(2);
+  nn::Var scores = nn::Var::Param(nn::Tensor::Randn(rng, edges, 1));
+  std::vector<int> seg(static_cast<size_t>(edges));
+  const int num_seg = edges / 8 + 1;
+  for (int i = 0; i < edges; ++i)
+    seg[static_cast<size_t>(i)] = static_cast<int>(rng.UniformInt(num_seg));
+  for (auto _ : state) {
+    nn::Var out = nn::SegmentSoftmax(scores, seg, num_seg);
+    benchmark::DoNotOptimize(out.value().data());
+  }
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EgoGraphSampling(benchmark::State& state) {
+  const int threshold = static_cast<int>(state.range(0));
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.2, 5);
+  graphs::EgoGraphSampler sampler(
+      &g, {.radius = 2, .neighbor_threshold = threshold, .time_window = 2});
+  graphs::InitialNodeSampler initial(&g, 2);
+  Rng rng(3);
+  std::vector<graphs::TemporalNodeRef> centers = initial.Sample(64, rng);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sampler.Sample(centers[i++ % centers.size()], rng));
+  }
+}
+BENCHMARK(BM_EgoGraphSampling)->Arg(1)->Arg(5)->Arg(10)->Arg(0);
+
+void BM_BipartiteStackBuild(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.2, 5);
+  graphs::EgoGraphSampler sampler(
+      &g, {.radius = 2, .neighbor_threshold = 10, .time_window = 2});
+  graphs::InitialNodeSampler initial(&g, 2);
+  Rng rng(4);
+  std::vector<graphs::EgoGraph> egos;
+  for (const auto& c : initial.Sample(batch, rng))
+    egos.push_back(sampler.Sample(c, rng));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graphs::BuildBipartiteStack(egos, 2));
+}
+BENCHMARK(BM_BipartiteStackBuild)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_TgatLayerForward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.2, 5);
+  graphs::EgoGraphSampler sampler(
+      &g, {.radius = 2, .neighbor_threshold = 10, .time_window = 2});
+  graphs::InitialNodeSampler initial(&g, 2);
+  Rng rng(5);
+  std::vector<graphs::EgoGraph> egos;
+  for (const auto& c : initial.Sample(batch, rng))
+    egos.push_back(sampler.Sample(c, rng));
+  graphs::BipartiteStack stack = graphs::BuildBipartiteStack(egos, 2);
+  core::TgatEncoder encoder(rng, 32, 32, 2, 2);
+  nn::Var feats = nn::Var::Constant(nn::Tensor::Randn(
+      rng, static_cast<int>(stack.layer_nodes[2].size()), 32));
+  for (auto _ : state) {
+    nn::Var h = encoder.Forward(stack, feats);
+    benchmark::DoNotOptimize(h.value().data());
+  }
+}
+BENCHMARK(BM_TgatLayerForward)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_SnapshotAccumulation(benchmark::State& state) {
+  graphs::TemporalGraph g = datasets::MakeMimicByName(
+      "DBLP", 0.1 * state.range(0), 6);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(g.SnapshotUpTo(g.num_timestamps() - 1));
+}
+BENCHMARK(BM_SnapshotAccumulation)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_GraphStats(benchmark::State& state) {
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.3, 7);
+  graphs::StaticGraph snap = g.SnapshotUpTo(g.num_timestamps() - 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(metrics::ComputeAllStats(snap));
+}
+BENCHMARK(BM_GraphStats);
+
+void BM_MotifCensus(benchmark::State& state) {
+  const int delta = static_cast<int>(state.range(0));
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.1, 8);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        metrics::CountTemporalMotifs(g, delta, 500000));
+}
+BENCHMARK(BM_MotifCensus)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,9 @@
+// Regenerates paper Table IV: median relative error f_med of the seven
+// Table III statistics, TGAE vs. ten baselines on DBLP / MATH / UBUNTU.
+
+#include "bench/bench_table45_impl.h"
+
+int main() {
+  tgsim::bench::RunTable45(/*median=*/true);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates paper Table V: average relative error f_avg of the seven
+// Table III statistics, TGAE vs. ten baselines on DBLP / MATH / UBUNTU.
+
+#include "bench/bench_table45_impl.h"
+
+int main() {
+  tgsim::bench::RunTable45(/*median=*/false);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Scenario: pandemic trajectory generation on simulated contact networks.
+//
+// The paper's introduction lists pandemic trajectory generation as a key
+// application of temporal graph simulation: epidemiologists need many
+// plausible contact networks to stress-test intervention policies, but only
+// one observed network exists. This example trains TGAE on an observed
+// contact network (MSG-like communication shape), samples an ensemble of
+// synthetic networks, and runs a discrete SI epidemic over each to compare
+// outbreak trajectories on real vs. simulated contacts.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/tgae.h"
+#include "datasets/synthetic.h"
+#include "graph/temporal_graph.h"
+
+namespace {
+
+using namespace tgsim;
+
+/// Discrete-time SI process over the temporal edge stream: at each
+/// timestamp, every edge incident to an infected endpoint transmits with
+/// probability beta. Returns the infected count after each timestamp.
+std::vector<int> RunSiEpidemic(const graphs::TemporalGraph& g,
+                               graphs::NodeId patient_zero, double beta,
+                               Rng& rng) {
+  std::vector<bool> infected(static_cast<size_t>(g.num_nodes()), false);
+  infected[static_cast<size_t>(patient_zero)] = true;
+  int count = 1;
+  std::vector<int> trajectory;
+  for (graphs::Timestamp t = 0; t < g.num_timestamps(); ++t) {
+    for (const graphs::TemporalEdge& e : g.EdgesAt(t)) {
+      bool iu = infected[static_cast<size_t>(e.u)];
+      bool iv = infected[static_cast<size_t>(e.v)];
+      if (iu == iv) continue;
+      if (rng.Bernoulli(beta)) {
+        infected[static_cast<size_t>(iu ? e.v : e.u)] = true;
+        ++count;
+      }
+    }
+    trajectory.push_back(count);
+  }
+  return trajectory;
+}
+
+/// Picks the highest-degree node as patient zero (worst case outbreak).
+graphs::NodeId HubNode(const graphs::TemporalGraph& g) {
+  graphs::StaticGraph snap = g.SnapshotUpTo(g.num_timestamps() - 1);
+  graphs::NodeId hub = 0;
+  for (graphs::NodeId u = 1; u < g.num_nodes(); ++u)
+    if (snap.Degree(u) > snap.Degree(hub)) hub = u;
+  return hub;
+}
+
+}  // namespace
+
+int main() {
+  const double kBeta = 0.35;
+  const int kEnsemble = 5;
+
+  graphs::TemporalGraph observed =
+      datasets::MakeMimicByName("MSG", 0.08, /*seed=*/11);
+  std::printf("observed contact network: %d people, %lld contacts, "
+              "%d days\n",
+              observed.num_nodes(),
+              static_cast<long long>(observed.num_edges()),
+              observed.num_timestamps());
+
+  // Baseline trajectory on the real network.
+  Rng epi_rng(5);
+  std::vector<int> real_traj =
+      RunSiEpidemic(observed, HubNode(observed), kBeta, epi_rng);
+
+  // Train the simulator once, then sample an ensemble of networks.
+  core::TgaeConfig config;
+  config.epochs = 40;
+  core::TgaeGenerator tgae(config);
+  Rng rng(17);
+  tgae.Fit(observed, rng);
+
+  std::vector<std::vector<int>> synth_trajs;
+  for (int i = 0; i < kEnsemble; ++i) {
+    graphs::TemporalGraph synthetic = tgae.Generate(rng);
+    synth_trajs.push_back(
+        RunSiEpidemic(synthetic, HubNode(synthetic), kBeta, epi_rng));
+  }
+
+  std::printf("\nSI outbreak size per day (beta=%.2f, patient zero = "
+              "biggest hub):\n",
+              kBeta);
+  std::printf("%-6s %10s %14s %10s %10s\n", "day", "real",
+              "synthetic-mean", "min", "max");
+  for (size_t t = 0; t < real_traj.size(); t += 2) {
+    double mean = 0.0;
+    int mn = 1 << 30, mx = 0;
+    for (const auto& traj : synth_trajs) {
+      mean += traj[t];
+      mn = std::min(mn, traj[t]);
+      mx = std::max(mx, traj[t]);
+    }
+    mean /= synth_trajs.size();
+    std::printf("%-6zu %10d %14.1f %10d %10d\n", t, real_traj[t], mean, mn,
+                mx);
+  }
+
+  double final_real = real_traj.back();
+  double final_synth = 0.0;
+  for (const auto& traj : synth_trajs) final_synth += traj.back();
+  final_synth /= synth_trajs.size();
+  std::printf("\nfinal outbreak size: real %d vs synthetic ensemble %.1f "
+              "(%.1f%% relative difference)\n",
+              real_traj.back(), final_synth,
+              100.0 * std::abs(final_synth - final_real) /
+                  std::max(final_real, 1.0));
+  std::printf("an accurate simulator lets policy experiments run on the\n"
+              "ensemble without re-collecting sensitive contact data.\n");
+  return 0;
+}

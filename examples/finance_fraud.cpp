@@ -1,0 +1,102 @@
+// Scenario: synthetic transaction-network sharing for fraud analytics.
+//
+// The paper's introduction motivates temporal graph simulation with online
+// finance networks: institutions cannot share raw transaction graphs, but a
+// simulator trained on the real graph can release a synthetic replica that
+// preserves the structures fraud models rely on (hubs, communities, bursts)
+// without exposing real counterparties.
+//
+// This example plays that scenario on a BITCOIN-Alpha-like trust network:
+//   1. build the "private" observed network,
+//   2. train TGAE and release a synthetic replica,
+//   3. verify that fraud-relevant signals survive: the hub (exchange)
+//      degree profile, triangle structure (collusion rings), and temporal
+//      burst pattern,
+//   4. verify the replica does not copy the private edge list verbatim.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <tuple>
+
+#include "core/tgae.h"
+#include "datasets/synthetic.h"
+#include "metrics/graph_stats.h"
+#include "metrics/temporal_scores.h"
+
+int main() {
+  using namespace tgsim;
+
+  // The "private" trust network (BITCOIN-A shape at 6% scale).
+  graphs::TemporalGraph observed =
+      datasets::MakeMimicByName("BITCOIN-A", 0.06, /*seed=*/2024);
+  std::printf("private network: %d accounts, %lld timestamped trust edges, "
+              "%d epochs\n",
+              observed.num_nodes(),
+              static_cast<long long>(observed.num_edges()),
+              observed.num_timestamps());
+
+  core::TgaeConfig config;
+  config.epochs = 40;
+  core::TgaeGenerator tgae(config);
+  Rng rng(99);
+  tgae.Fit(observed, rng);
+  graphs::TemporalGraph synthetic = tgae.Generate(rng);
+
+  // --- Hub (exchange) degree profile --------------------------------
+  auto top_degrees = [](const graphs::TemporalGraph& g, int k) {
+    graphs::StaticGraph snap = g.SnapshotUpTo(g.num_timestamps() - 1);
+    std::vector<int> d = snap.Degrees();
+    std::sort(d.rbegin(), d.rend());
+    d.resize(static_cast<size_t>(k));
+    return d;
+  };
+  std::vector<int> real_hubs = top_degrees(observed, 5);
+  std::vector<int> synth_hubs = top_degrees(synthetic, 5);
+  std::printf("\ntop-5 account degrees (real):  ");
+  for (int d : real_hubs) std::printf("%d ", d);
+  std::printf("\ntop-5 account degrees (synth): ");
+  for (int d : synth_hubs) std::printf("%d ", d);
+
+  // --- Collusion-ring signal: triangles ------------------------------
+  graphs::StaticGraph real_final =
+      observed.SnapshotUpTo(observed.num_timestamps() - 1);
+  graphs::StaticGraph synth_final =
+      synthetic.SnapshotUpTo(synthetic.num_timestamps() - 1);
+  std::printf("\n\ntriangles (collusion rings): real=%lld synth=%lld\n",
+              static_cast<long long>(metrics::TriangleCount(real_final)),
+              static_cast<long long>(metrics::TriangleCount(synth_final)));
+
+  // --- Temporal burst pattern ----------------------------------------
+  std::printf("transactions per epoch (real vs synth):\n");
+  std::vector<int64_t> real_counts = observed.EdgesPerTimestamp();
+  std::vector<int64_t> synth_counts = synthetic.EdgesPerTimestamp();
+  for (size_t t = 0; t < real_counts.size(); t += 8) {
+    std::printf("  epoch %3zu: %5lld vs %5lld\n", t,
+                static_cast<long long>(real_counts[t]),
+                static_cast<long long>(synth_counts[t]));
+  }
+
+  // --- Privacy check: the replica must not be a verbatim copy --------
+  std::set<std::tuple<int, int, int>> real_edges;
+  for (const auto& e : observed.edges()) real_edges.insert({e.u, e.v, e.t});
+  int64_t copied = 0;
+  for (const auto& e : synthetic.edges())
+    copied += real_edges.count({e.u, e.v, e.t});
+  double copied_frac =
+      static_cast<double>(copied) / static_cast<double>(synthetic.num_edges());
+  std::printf("\nedge-level overlap with the private graph: %.1f%%\n",
+              100.0 * copied_frac);
+  std::printf("(with the default tight generation window TGAE operates in "
+              "a high-fidelity regime;\n for stronger anonymization widen "
+              "TgaeConfig::generation_time_window and\n raise "
+              "generation_ring_weight to trade fidelity for privacy)\n");
+
+  // --- Overall quality -------------------------------------------------
+  std::vector<metrics::TemporalScore> scores =
+      metrics::ScoreAllMetrics(observed, synthetic);
+  std::printf("median relative errors: degree %.2E, wedges %.2E, "
+              "triangles %.2E\n",
+              scores[0].med, scores[2].med, scores[4].med);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Scenario: choosing a simulator for a location-based-service workload.
+//
+// The paper's introduction motivates temporal graphs with POI check-in
+// streams (a user visits a restaurant at time t). An engineering team that
+// needs synthetic check-in traffic for load testing has to pick a
+// generator: this example runs the full generator zoo on a check-in-shaped
+// network and prints a decision table — simulation quality (median degree /
+// wedge error, motif MMD) against fit+generate cost — the practical
+// trade-off studied in the paper's Section V-E.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datasets/synthetic.h"
+#include "eval/registry.h"
+#include "eval/runner.h"
+#include "eval/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace tgsim;
+
+  // Check-in streams look like communication networks: a modest user
+  // population with heavy-tailed activity and many repeat visits.
+  std::string dataset = argc > 1 ? argv[1] : "MSG";
+  if (datasets::FindDataset(dataset) == nullptr) {
+    std::fprintf(stderr, "unknown dataset '%s'; pick one of:", dataset.c_str());
+    for (const auto& spec : datasets::TableIIDatasets())
+      std::fprintf(stderr, " %s", spec.name.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  graphs::TemporalGraph observed =
+      datasets::MakeMimicByName(dataset, 0.08, /*seed=*/3);
+  std::printf("workload: %s-shaped check-in stream — %d users, %lld visits, "
+              "%d time slots\n\n",
+              dataset.c_str(), observed.num_nodes(),
+              static_cast<long long>(observed.num_edges()),
+              observed.num_timestamps());
+
+  eval::TablePrinter table({"Generator", "DegErr(med)", "WedgeErr(med)",
+                            "MotifMMD", "Fit(s)", "Generate(s)",
+                            "Peak(MiB)"});
+  for (const std::string& method : eval::AllMethodNames()) {
+    eval::RunOptions opt;
+    opt.seed = 1234;
+    opt.compute_graph_scores = true;
+    opt.compute_motif_mmd = true;
+    opt.motif_delta = 4;
+    opt.motif_max_triples = 1000000;
+    eval::RunResult r = eval::RunMethod(method, observed, opt);
+    char fit[32], gen[32], peak[32];
+    std::snprintf(fit, sizeof(fit), "%.2f", r.fit_seconds);
+    std::snprintf(gen, sizeof(gen), "%.2f", r.generate_seconds);
+    std::snprintf(peak, sizeof(peak), "%.1f", r.peak_mib);
+    table.AddRow({method, eval::FormatCell(r.scores[0].med, false),
+                  eval::FormatCell(r.scores[2].med, false),
+                  eval::FormatCell(r.motif_mmd, false), fit, gen, peak});
+    std::printf("evaluated %s\n", method.c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\nreading the table: learning-based methods trade training "
+              "time for fidelity;\nTGAE sits on the quality/efficiency "
+              "frontier (paper Section V-E).\n");
+  return 0;
+}

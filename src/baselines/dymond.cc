@@ -1,0 +1,96 @@
+#include "baselines/dymond.h"
+
+#include <algorithm>
+
+#include "metrics/graph_stats.h"
+
+namespace tgsim::baselines {
+
+void DymondGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+  shape_.CaptureFrom(observed);
+  mix_.assign(static_cast<size_t>(shape_.num_timestamps), {});
+
+  for (int t = 0; t < shape_.num_timestamps; ++t) {
+    graphs::StaticGraph snap = observed.SnapshotAt(t);
+    int64_t m_t = shape_.edges_per_timestamp[t];
+    if (m_t == 0) continue;
+    int64_t triangles = metrics::TriangleCount(snap);
+    // Wedges not inside triangles approximate the wedge-motif budget.
+    double wedge_total = 0.0;
+    for (graphs::NodeId u = 0; u < snap.num_nodes(); ++u) {
+      double d = snap.Degree(u);
+      wedge_total += d * (d - 1) / 2.0;
+    }
+    int64_t open_wedges =
+        std::max<int64_t>(0, static_cast<int64_t>(wedge_total) - 3 * triangles);
+
+    MotifMix& mm = mix_[static_cast<size_t>(t)];
+    // Edge budget split: each placed triangle spends 3 edges, each wedge 2.
+    mm.triangles = std::min<int64_t>(triangles, m_t / 3);
+    int64_t remaining = m_t - 3 * mm.triangles;
+    mm.wedges = std::min<int64_t>(open_wedges / 2, remaining / 2);
+    remaining -= 2 * mm.wedges;
+    mm.singles = remaining;
+  }
+
+  // Activity rates from accumulated degrees (DYMOND's node arrival rates).
+  graphs::StaticGraph whole =
+      observed.SnapshotUpTo(shape_.num_timestamps - 1);
+  node_activity_.assign(static_cast<size_t>(shape_.num_nodes), 0.0);
+  for (graphs::NodeId u = 0; u < shape_.num_nodes; ++u)
+    node_activity_[static_cast<size_t>(u)] = whole.Degree(u) + 0.25;
+  activity_cdf_.resize(node_activity_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < node_activity_.size(); ++i) {
+    acc += node_activity_[i];
+    activity_cdf_[i] = acc;
+  }
+}
+
+graphs::TemporalGraph DymondGenerator::Generate(Rng& rng) {
+  TGSIM_CHECK_GT(shape_.num_nodes, 0);
+  graphs::TemporalGraph g(shape_.num_nodes, shape_.num_timestamps);
+  const double total = activity_cdf_.back();
+
+  auto draw_node = [&]() -> graphs::NodeId {
+    double r = rng.Uniform() * total;
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(activity_cdf_.begin(), activity_cdf_.end(), r) -
+        activity_cdf_.begin());
+    if (idx >= activity_cdf_.size()) idx = activity_cdf_.size() - 1;
+    return static_cast<graphs::NodeId>(idx);
+  };
+  auto draw_distinct = [&](graphs::NodeId a) {
+    graphs::NodeId b = draw_node();
+    for (int i = 0; i < 4 && b == a; ++i) b = draw_node();
+    if (b == a) b = static_cast<graphs::NodeId>((a + 1) % shape_.num_nodes);
+    return b;
+  };
+
+  for (int t = 0; t < shape_.num_timestamps; ++t) {
+    const MotifMix& mm = mix_[static_cast<size_t>(t)];
+    auto ts = static_cast<graphs::Timestamp>(t);
+    for (int64_t i = 0; i < mm.triangles; ++i) {
+      graphs::NodeId a = draw_node();
+      graphs::NodeId b = draw_distinct(a);
+      graphs::NodeId c = draw_distinct(b);
+      if (c == a) c = draw_distinct(a == b ? a : b);
+      g.AddEdge(a, b, ts);
+      g.AddEdge(b, c, ts);
+      g.AddEdge(c, a, ts);
+    }
+    for (int64_t i = 0; i < mm.wedges; ++i) {
+      graphs::NodeId center = draw_node();
+      g.AddEdge(center, draw_distinct(center), ts);
+      g.AddEdge(center, draw_distinct(center), ts);
+    }
+    for (int64_t i = 0; i < mm.singles; ++i) {
+      graphs::NodeId a = draw_node();
+      g.AddEdge(a, draw_distinct(a), ts);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+}  // namespace tgsim::baselines

@@ -1,0 +1,61 @@
+#include "baselines/er_ba.h"
+
+namespace tgsim::baselines {
+
+void ErdosRenyiGenerator::Fit(const graphs::TemporalGraph& observed,
+                              Rng& rng) {
+  shape_.CaptureFrom(observed);
+}
+
+graphs::TemporalGraph ErdosRenyiGenerator::Generate(Rng& rng) {
+  TGSIM_CHECK_GT(shape_.num_nodes, 0);
+  graphs::TemporalGraph g(shape_.num_nodes, shape_.num_timestamps);
+  const int n = shape_.num_nodes;
+  for (int t = 0; t < shape_.num_timestamps; ++t) {
+    for (int64_t e = 0; e < shape_.edges_per_timestamp[t]; ++e) {
+      graphs::NodeId u =
+          static_cast<graphs::NodeId>(rng.UniformInt(static_cast<int64_t>(n)));
+      graphs::NodeId v =
+          static_cast<graphs::NodeId>(rng.UniformInt(static_cast<int64_t>(n)));
+      if (v == u) v = static_cast<graphs::NodeId>((v + 1) % n);
+      g.AddEdge(u, v, static_cast<graphs::Timestamp>(t));
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+void BarabasiAlbertGenerator::Fit(const graphs::TemporalGraph& observed,
+                                  Rng& rng) {
+  shape_.CaptureFrom(observed);
+}
+
+graphs::TemporalGraph BarabasiAlbertGenerator::Generate(Rng& rng) {
+  TGSIM_CHECK_GT(shape_.num_nodes, 0);
+  graphs::TemporalGraph g(shape_.num_nodes, shape_.num_timestamps);
+  const int n = shape_.num_nodes;
+  std::vector<graphs::NodeId> pool;  // Endpoint multiset (degree-prop).
+  pool.reserve(static_cast<size_t>(2 * shape_.total_edges()));
+  for (int t = 0; t < shape_.num_timestamps; ++t) {
+    for (int64_t e = 0; e < shape_.edges_per_timestamp[t]; ++e) {
+      graphs::NodeId u =
+          static_cast<graphs::NodeId>(rng.UniformInt(static_cast<int64_t>(n)));
+      graphs::NodeId v;
+      if (!pool.empty() && rng.Bernoulli(0.9)) {
+        v = pool[static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(pool.size())))];
+      } else {
+        v = static_cast<graphs::NodeId>(
+            rng.UniformInt(static_cast<int64_t>(n)));
+      }
+      if (v == u) v = static_cast<graphs::NodeId>((v + 1) % n);
+      g.AddEdge(u, v, static_cast<graphs::Timestamp>(t));
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+}  // namespace tgsim::baselines

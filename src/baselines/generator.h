@@ -1,0 +1,68 @@
+#ifndef TGSIM_BASELINES_GENERATOR_H_
+#define TGSIM_BASELINES_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/temporal_graph.h"
+
+namespace tgsim::baselines {
+
+/// Common contract of every temporal graph generator in this repository
+/// (the paper's ten baselines plus TGAE itself).
+///
+/// Usage: Fit() once on the observed graph, then Generate() any number of
+/// synthetic graphs with the observed shape (same node count, timestamp
+/// count and edge budget).
+class TemporalGraphGenerator {
+ public:
+  virtual ~TemporalGraphGenerator() = default;
+
+  /// Display name as used in the paper's tables (e.g. "TagGen").
+  virtual std::string name() const = 0;
+
+  /// Learns (or records) the observed graph's generative statistics.
+  virtual void Fit(const graphs::TemporalGraph& observed, Rng& rng) = 0;
+
+  /// Simulates a new temporal graph. Requires a prior Fit().
+  virtual graphs::TemporalGraph Generate(Rng& rng) = 0;
+
+  /// Whether the method trains a neural model (the paper separates simple
+  /// model-based from learning-based approaches; E-R/B-A report no GPU
+  /// memory in Fig. 6).
+  virtual bool is_learning_based() const { return true; }
+
+  /// Analytic device-memory model of the *original* implementation at
+  /// paper scale, in bytes (see DESIGN.md §2, OOM emulation). The eval
+  /// harness compares this against the paper's 32 GB GPU budget to decide
+  /// which table cells read OOM. Defaults to a negligible footprint.
+  virtual int64_t EstimatePaperMemoryBytes(int64_t num_nodes,
+                                           int64_t num_edges,
+                                           int64_t num_timestamps) const {
+    return (num_nodes + num_edges + num_timestamps) * 8;
+  }
+};
+
+/// Shape of the observed graph that every generator must reproduce.
+struct ObservedShape {
+  int num_nodes = 0;
+  int num_timestamps = 0;
+  std::vector<int64_t> edges_per_timestamp;
+
+  void CaptureFrom(const graphs::TemporalGraph& g) {
+    num_nodes = g.num_nodes();
+    num_timestamps = g.num_timestamps();
+    edges_per_timestamp = g.EdgesPerTimestamp();
+  }
+  int64_t total_edges() const {
+    int64_t s = 0;
+    for (int64_t c : edges_per_timestamp) s += c;
+    return s;
+  }
+};
+
+}  // namespace tgsim::baselines
+
+#endif  // TGSIM_BASELINES_GENERATOR_H_

@@ -1,0 +1,95 @@
+#include "baselines/netgan.h"
+
+#include <algorithm>
+
+#include "baselines/score_sampling.h"
+#include "nn/autograd.h"
+#include "nn/optim.h"
+
+namespace tgsim::baselines {
+
+NetGanGenerator::NetGanGenerator(NetGanConfig config) : config_(config) {}
+
+void NetGanGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+  observed_ = &observed;
+  shape_.CaptureFrom(observed);
+}
+
+nn::Tensor NetGanGenerator::FitSnapshotScores(
+    const std::vector<graphs::TemporalEdge>& edges, Rng& rng) const {
+  const int n = shape_.num_nodes;
+  nn::Tensor a = DenseAdjacency(n, edges);
+
+  // Active nodes (positive degree) and their transition rows P = D^{-1} A.
+  std::vector<int> active;
+  for (int u = 0; u < n; ++u) {
+    double deg = 0.0;
+    for (int v = 0; v < n; ++v) deg += a.at(u, v);
+    if (deg > 0.0) active.push_back(u);
+  }
+  if (active.empty()) return nn::Tensor(n, n);
+  const int na = static_cast<int>(active.size());
+  nn::Tensor targets(na, na);
+  std::vector<double> degree(static_cast<size_t>(na), 0.0);
+  for (int i = 0; i < na; ++i) {
+    double deg = 0.0;
+    for (int j = 0; j < na; ++j) deg += a.at(active[i], active[j]);
+    degree[static_cast<size_t>(i)] = deg;
+    if (deg > 0.0)
+      for (int j = 0; j < na; ++j)
+        targets.at(i, j) = a.at(active[i], active[j]) / deg;
+  }
+
+  // Low-rank logits: U V^T over the active subgraph.
+  const int r = std::min(config_.rank, na);
+  Rng local = rng.Fork();
+  nn::Var u_mat = nn::Var::Param(nn::Tensor::Randn(local, na, r, 0.1));
+  nn::Var v_mat = nn::Var::Param(nn::Tensor::Randn(local, na, r, 0.1));
+  nn::Adam opt({u_mat, v_mat}, config_.learning_rate);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    opt.ZeroGrad();
+    nn::Var logits = nn::MatMul(u_mat, nn::Transpose(v_mat));
+    nn::Var loss = nn::RowCrossEntropyWithLogits(logits, targets);
+    nn::Backward(loss);
+    opt.Step();
+  }
+
+  // Edge scores: stationary(u) * P_hat(u, v), symmetrized, embedded into
+  // the full n x n space. The stationary distribution of an undirected walk
+  // is degree-proportional.
+  nn::Tensor p_hat = u_mat.value()
+                         .MatMul(v_mat.value().Transpose())
+                         .SoftmaxRows();
+  double deg_total = 0.0;
+  for (double d : degree) deg_total += d;
+  nn::Tensor scores(n, n);
+  for (int i = 0; i < na; ++i) {
+    double pi = degree[static_cast<size_t>(i)] / std::max(deg_total, 1e-9);
+    for (int j = 0; j < na; ++j) {
+      if (i == j) continue;
+      double s = pi * p_hat.at(i, j);
+      scores.at(active[i], active[j]) += s;
+      scores.at(active[j], active[i]) += s;
+    }
+  }
+  return scores;
+}
+
+graphs::TemporalGraph NetGanGenerator::Generate(Rng& rng) {
+  TGSIM_CHECK(observed_ != nullptr);
+  std::vector<graphs::TemporalEdge> out;
+  for (int t = 0; t < shape_.num_timestamps; ++t) {
+    int64_t m_t = shape_.edges_per_timestamp[t];
+    if (m_t == 0) continue;
+    auto span = observed_->EdgesAt(static_cast<graphs::Timestamp>(t));
+    std::vector<graphs::TemporalEdge> snap_edges(span.begin(), span.end());
+    nn::Tensor scores = FitSnapshotScores(snap_edges, rng);
+    SampleEdgesFromScores(scores, m_t, static_cast<graphs::Timestamp>(t),
+                          rng, &out);
+  }
+  return graphs::TemporalGraph::FromEdges(shape_.num_nodes,
+                                          shape_.num_timestamps,
+                                          std::move(out));
+}
+
+}  // namespace tgsim::baselines

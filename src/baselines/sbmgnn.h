@@ -1,0 +1,48 @@
+#ifndef TGSIM_BASELINES_SBMGNN_H_
+#define TGSIM_BASELINES_SBMGNN_H_
+
+#include <vector>
+
+#include "baselines/generator.h"
+#include "nn/tensor.h"
+
+namespace tgsim::baselines {
+
+struct SbmGnnConfig {
+  int hidden_dim = 32;
+  int num_blocks = 8;
+  int epochs = 40;
+  double learning_rate = 1e-2;
+};
+
+/// SBMGNN (Mehta, Duke & Rai, ICML'19): stochastic blockmodels parameterized
+/// by a graph neural network. This reproduction keeps the skeleton: a GCN
+/// encoder infers soft overlapping block memberships Phi per node, a
+/// learnable block affinity matrix B couples blocks, and the decoded edge
+/// probability is sigmoid(Phi B Phi^T). Static method, applied per snapshot
+/// like VGAE.
+class SbmGnnGenerator : public TemporalGraphGenerator {
+ public:
+  explicit SbmGnnGenerator(SbmGnnConfig config = {});
+
+  std::string name() const override { return "SBMGNN"; }
+  void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
+  graphs::TemporalGraph Generate(Rng& rng) override;
+
+  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t m,
+                                   int64_t t) const override {
+    return 8 * n * n;  // Dense reconstruction, like VGAE.
+  }
+
+ private:
+  nn::Tensor FitSnapshotScores(
+      const std::vector<graphs::TemporalEdge>& edges, Rng& rng) const;
+
+  SbmGnnConfig config_;
+  const graphs::TemporalGraph* observed_ = nullptr;
+  ObservedShape shape_;
+};
+
+}  // namespace tgsim::baselines
+
+#endif  // TGSIM_BASELINES_SBMGNN_H_

@@ -1,0 +1,101 @@
+#include "baselines/score_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace tgsim::baselines {
+
+void SampleEdgesFromScores(const nn::Tensor& scores, int64_t count,
+                           graphs::Timestamp t, Rng& rng,
+                           std::vector<graphs::TemporalEdge>* out) {
+  TGSIM_CHECK(out != nullptr);
+  const int n = scores.rows();
+  TGSIM_CHECK_EQ(scores.cols(), n);
+  if (count <= 0) return;
+
+  // Flat CDF over off-diagonal entries.
+  std::vector<double> cdf(static_cast<size_t>(scores.size()));
+  double acc = 0.0;
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      double w = r == c ? 0.0 : std::max(0.0, scores.at(r, c));
+      acc += w;
+      cdf[static_cast<size_t>(r) * n + c] = acc;
+    }
+  }
+
+  std::unordered_set<int64_t> taken;
+  int64_t emitted = 0;
+  if (acc > 0.0) {
+    int64_t attempts = 0;
+    const int64_t max_attempts = 20 * count + 100;
+    while (emitted < count && attempts < max_attempts) {
+      ++attempts;
+      double r = rng.Uniform() * acc;
+      size_t flat = static_cast<size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
+      if (flat >= cdf.size()) flat = cdf.size() - 1;
+      auto u = static_cast<graphs::NodeId>(flat / static_cast<size_t>(n));
+      auto v = static_cast<graphs::NodeId>(flat % static_cast<size_t>(n));
+      if (u == v) continue;
+      if (!taken.insert(static_cast<int64_t>(flat)).second) continue;
+      out->push_back({u, v, t});
+      ++emitted;
+    }
+  }
+  // Uniform fill if the mass was degenerate. Dense snapshots can request
+  // more edges than there are distinct ordered pairs (e.g. the EMAIL
+  // shape); once the pair space is exhausted the remainder are emitted as
+  // duplicate temporal edges, mirroring repeated interactions in the
+  // observed stream.
+  const int64_t max_pairs =
+      static_cast<int64_t>(n) * (static_cast<int64_t>(n) - 1);
+  while (emitted < count) {
+    auto u = static_cast<graphs::NodeId>(
+        rng.UniformInt(static_cast<int64_t>(n)));
+    auto v = static_cast<graphs::NodeId>(
+        rng.UniformInt(static_cast<int64_t>(n)));
+    if (u == v) continue;
+    int64_t flat = static_cast<int64_t>(u) * n + v;
+    if (static_cast<int64_t>(taken.size()) < max_pairs &&
+        !taken.insert(flat).second) {
+      continue;
+    }
+    out->push_back({u, v, t});
+    ++emitted;
+  }
+}
+
+nn::Tensor NormalizedAdjacency(const nn::Tensor& adjacency) {
+  const int n = adjacency.rows();
+  TGSIM_CHECK_EQ(adjacency.cols(), n);
+  nn::Tensor a_hat = adjacency;
+  for (int i = 0; i < n; ++i) a_hat.at(i, i) += 1.0;  // Self-loops.
+  std::vector<double> inv_sqrt_deg(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (int j = 0; j < n; ++j) deg += a_hat.at(i, j);
+    inv_sqrt_deg[static_cast<size_t>(i)] = 1.0 / std::sqrt(std::max(deg, 1e-9));
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      a_hat.at(i, j) *= inv_sqrt_deg[static_cast<size_t>(i)] *
+                        inv_sqrt_deg[static_cast<size_t>(j)];
+  return a_hat;
+}
+
+nn::Tensor DenseAdjacency(int num_nodes,
+                          const std::vector<graphs::TemporalEdge>& edges) {
+  nn::Tensor a(num_nodes, num_nodes);
+  for (const graphs::TemporalEdge& e : edges) {
+    if (e.u == e.v) continue;
+    a.at(e.u, e.v) = 1.0;
+    a.at(e.v, e.u) = 1.0;
+  }
+  return a;
+}
+
+}  // namespace tgsim::baselines

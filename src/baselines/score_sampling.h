@@ -1,0 +1,31 @@
+#ifndef TGSIM_BASELINES_SCORE_SAMPLING_H_
+#define TGSIM_BASELINES_SCORE_SAMPLING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/types.h"
+#include "nn/tensor.h"
+
+namespace tgsim::baselines {
+
+/// Draws `count` distinct directed edges (u != v) from an n x n score
+/// matrix, with probability proportional to the scores, and appends them to
+/// `out` with timestamp `t`. Duplicate draws are rejected; if the score mass
+/// is too concentrated to yield enough distinct edges, the remainder is
+/// filled with uniform random edges so callers always get `count` edges.
+void SampleEdgesFromScores(const nn::Tensor& scores, int64_t count,
+                           graphs::Timestamp t, Rng& rng,
+                           std::vector<graphs::TemporalEdge>* out);
+
+/// Normalized symmetric GCN propagation matrix D^{-1/2}(A+I)D^{-1/2} of an
+/// undirected snapshot given as dense adjacency.
+nn::Tensor NormalizedAdjacency(const nn::Tensor& adjacency);
+
+/// Dense undirected adjacency (0/1) of the edges at one timestamp.
+nn::Tensor DenseAdjacency(int num_nodes,
+                          const std::vector<graphs::TemporalEdge>& edges);
+
+}  // namespace tgsim::baselines
+
+#endif  // TGSIM_BASELINES_SCORE_SAMPLING_H_

@@ -1,0 +1,182 @@
+#include "baselines/taggen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tgsim::baselines {
+
+TagGenGenerator::TagGenGenerator(TagGenConfig config)
+    : config_(config) {}
+
+TagGenGenerator::~TagGenGenerator() = default;
+
+nn::Var TagGenGenerator::StateEmbedding(
+    const std::vector<graphs::TemporalNodeRef>& states,
+    bool output_table) const {
+  std::vector<int> nodes(states.size());
+  std::vector<int> times(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    nodes[i] = states[i].node;
+    times[i] = states[i].t;
+  }
+  const nn::Embedding& ne = output_table ? *node_out_ : *node_emb_;
+  const nn::Embedding& te = output_table ? *time_out_ : *time_emb_;
+  return nn::Add(ne.Forward(nodes), te.Forward(times));
+}
+
+nn::Var TagGenGenerator::StepLoss(
+    const std::vector<graphs::TemporalNodeRef>& current,
+    const std::vector<std::vector<graphs::TemporalNodeRef>>& candidates,
+    const std::vector<int>& true_index) const {
+  const int batch = static_cast<int>(current.size());
+  TGSIM_CHECK_GT(batch, 0);
+  // Flatten candidate lists; `rep[i]` maps flat row i to its batch pair.
+  std::vector<graphs::TemporalNodeRef> flat;
+  std::vector<int> rep;
+  std::vector<double> mask_data;
+  for (int b = 0; b < batch; ++b) {
+    for (size_t c = 0; c < candidates[static_cast<size_t>(b)].size(); ++c) {
+      flat.push_back(candidates[static_cast<size_t>(b)][c]);
+      rep.push_back(b);
+      mask_data.push_back(
+          static_cast<int>(c) == true_index[static_cast<size_t>(b)] ? 1.0
+                                                                    : 0.0);
+    }
+  }
+  nn::Var cur_emb = StateEmbedding(current, /*output_table=*/false);
+  nn::Var cur_expanded = nn::GatherRows(cur_emb, rep);
+  nn::Var cand_emb = StateEmbedding(flat, /*output_table=*/true);
+  // Per-row dot product via a constant ones reducer.
+  nn::Var prod = nn::Mul(cur_expanded, cand_emb);
+  nn::Var ones =
+      nn::Var::Constant(nn::Tensor::Ones(config_.embedding_dim, 1));
+  nn::Var logits = nn::MatMul(prod, ones);  // F x 1
+  nn::Var probs = nn::SegmentSoftmax(logits, rep, batch);
+  const int num_flat = static_cast<int>(mask_data.size());
+  nn::Tensor mask(num_flat, 1, std::move(mask_data));
+  nn::Var picked = nn::Mul(nn::Log(probs), nn::Var::Constant(mask));
+  return nn::Scale(nn::Sum(picked), -1.0 / batch);
+}
+
+void TagGenGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+  observed_ = &observed;
+  shape_.CaptureFrom(observed);
+  walk_sampler_ = std::make_unique<TemporalWalkSampler>(
+      &observed, config_.time_window);
+
+  const int n = shape_.num_nodes;
+  const int t_count = shape_.num_timestamps;
+  node_emb_ = std::make_unique<nn::Embedding>(rng, n, config_.embedding_dim);
+  time_emb_ =
+      std::make_unique<nn::Embedding>(rng, t_count, config_.embedding_dim);
+  node_out_ = std::make_unique<nn::Embedding>(rng, n, config_.embedding_dim);
+  time_out_ =
+      std::make_unique<nn::Embedding>(rng, t_count, config_.embedding_dim);
+
+  std::vector<nn::Var> params;
+  for (const nn::Embedding* e :
+       {node_emb_.get(), time_emb_.get(), node_out_.get(), time_out_.get()})
+    params.insert(params.end(), e->params().begin(), e->params().end());
+  nn::Adam opt(params, config_.learning_rate);
+
+  auto random_state = [&](graphs::Timestamp near_t) {
+    graphs::TemporalNodeRef s;
+    s.node =
+        static_cast<graphs::NodeId>(rng.UniformInt(static_cast<int64_t>(n)));
+    int lo = std::max(0, near_t - config_.time_window);
+    int hi = std::min(t_count - 1, near_t + config_.time_window);
+    s.t = static_cast<graphs::Timestamp>(rng.UniformInt(lo, hi));
+    return s;
+  };
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::vector<TemporalWalk> walks = walk_sampler_->SampleMany(
+        config_.walks_per_epoch, config_.walk_length, rng);
+    std::vector<graphs::TemporalNodeRef> current;
+    std::vector<std::vector<graphs::TemporalNodeRef>> candidates;
+    std::vector<int> true_index;
+    for (const TemporalWalk& w : walks) {
+      for (size_t i = 0; i + 1 < w.steps.size(); ++i) {
+        const graphs::TemporalNodeRef cur = w.steps[i];
+        const graphs::TemporalNodeRef next = w.steps[i + 1];
+        std::vector<graphs::TemporalNodeRef> cands = {next};
+        // Observed-neighbor distractors.
+        std::vector<graphs::TemporalNeighbor> nbrs =
+            observed.TemporalNeighborhood(cur.node, cur.t,
+                                          config_.time_window);
+        int want = std::max(
+            0, config_.candidates_per_step - 1 - config_.negatives_per_step);
+        for (int c = 0; c < want && !nbrs.empty(); ++c) {
+          const auto& nb = nbrs[static_cast<size_t>(
+              rng.UniformInt(static_cast<int64_t>(nbrs.size())))];
+          cands.push_back({nb.node, nb.t});
+        }
+        for (int c = 0; c < config_.negatives_per_step; ++c)
+          cands.push_back(random_state(cur.t));
+        current.push_back(cur);
+        candidates.push_back(std::move(cands));
+        true_index.push_back(0);
+      }
+    }
+    if (current.empty()) continue;
+    opt.ZeroGrad();
+    nn::Var loss = StepLoss(current, candidates, true_index);
+    nn::Backward(loss);
+    opt.ClipGradNorm(5.0);
+    opt.Step();
+    last_epoch_loss_ = loss.item();
+  }
+}
+
+graphs::TemporalGraph TagGenGenerator::Generate(Rng& rng) {
+  TGSIM_CHECK(observed_ != nullptr);
+  const nn::Tensor& ne = node_emb_->table().value();
+  const nn::Tensor& te = time_emb_->table().value();
+  const nn::Tensor& no = node_out_->table().value();
+  const nn::Tensor& to = time_out_->table().value();
+  const int d = config_.embedding_dim;
+
+  graphs::InitialNodeSampler starts(observed_, config_.time_window);
+  const int64_t budget = shape_.total_edges();
+
+  std::vector<TemporalWalk> walks;
+  int64_t projected_edges = 0;
+  int guard = 0;
+  while (projected_edges < budget && guard < 8 * budget + 64) {
+    ++guard;
+    graphs::TemporalNodeRef cur = starts.Sample(1, rng)[0];
+    TemporalWalk walk;
+    walk.steps.push_back(cur);
+    for (int step = 0; step + 1 < config_.walk_length; ++step) {
+      std::vector<graphs::TemporalNeighbor> nbrs =
+          observed_->TemporalNeighborhood(cur.node, cur.t,
+                                          config_.time_window);
+      if (nbrs.empty()) break;
+      // Model-scored categorical step over the observed support.
+      std::vector<double> weights(nbrs.size());
+      double max_logit = -1e300;
+      std::vector<double> logits(nbrs.size());
+      for (size_t c = 0; c < nbrs.size(); ++c) {
+        double dot = 0.0;
+        for (int k = 0; k < d; ++k) {
+          double e_cur = ne.at(cur.node, k) + te.at(cur.t, k);
+          double e_cand = no.at(nbrs[c].node, k) + to.at(nbrs[c].t, k);
+          dot += e_cur * e_cand;
+        }
+        logits[c] = dot;
+        max_logit = std::max(max_logit, dot);
+      }
+      for (size_t c = 0; c < nbrs.size(); ++c)
+        weights[c] = std::exp(logits[c] - max_logit);
+      size_t pick = rng.WeightedChoice(weights);
+      cur = {nbrs[pick].node, nbrs[pick].t};
+      walk.steps.push_back(cur);
+    }
+    projected_edges += std::max(0, walk.length() - 1);
+    walks.push_back(std::move(walk));
+  }
+  return AssembleFromWalks(walks, shape_.num_nodes, shape_.num_timestamps,
+                           budget, rng);
+}
+
+}  // namespace tgsim::baselines

@@ -1,0 +1,228 @@
+#include "baselines/tggan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tgsim::baselines {
+
+namespace {
+
+/// Standard Gumbel(0,1) noise tensor.
+nn::Tensor GumbelNoise(Rng& rng, int rows, int cols) {
+  nn::Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    double u = std::max(rng.Uniform(), 1e-12);
+    t.data()[i] = -std::log(-std::log(u));
+  }
+  return t;
+}
+
+/// Gumbel-softmax relaxation of a categorical head.
+nn::Var GumbelSoftmax(const nn::Var& logits, double tau, Rng& rng) {
+  nn::Var noisy = nn::Add(
+      logits,
+      nn::Var::Constant(GumbelNoise(rng, logits.rows(), logits.cols())));
+  return nn::SoftmaxRows(nn::Scale(noisy, 1.0 / tau));
+}
+
+}  // namespace
+
+TgganGenerator::TgganGenerator(TgganConfig config) : config_(config) {}
+
+TgganGenerator::~TgganGenerator() = default;
+
+TgganGenerator::Unroll TgganGenerator::RunGenerator(int batch,
+                                                    Rng& rng) const {
+  Unroll u;
+  nn::Var z =
+      nn::Var::Constant(nn::Tensor::Randn(rng, batch, config_.latent_dim));
+  nn::Var h = g_init_->Forward(z);
+  u.start_nodes = GumbelSoftmax(g_start_node_head_->Forward(h),
+                                config_.gumbel_tau, rng);
+  u.start_times = GumbelSoftmax(g_start_time_head_->Forward(h),
+                                config_.gumbel_tau, rng);
+  nn::Var x = nn::MatMul(u.start_nodes, g_node_emb_->table());
+  for (int j = 0; j + 1 < config_.walk_length; ++j) {
+    h = g_rnn_->Forward(x, h);
+    nn::Var soft_node = GumbelSoftmax(g_node_head_->Forward(h),
+                                      config_.gumbel_tau, rng);
+    nn::Var soft_gap =
+        GumbelSoftmax(g_gap_head_->Forward(h), config_.gumbel_tau, rng);
+    u.soft_nodes.push_back(soft_node);
+    u.soft_gaps.push_back(soft_gap);
+    x = nn::MatMul(soft_node, g_node_emb_->table());
+  }
+  return u;
+}
+
+nn::Var TgganGenerator::Discriminate(const Unroll& u) const {
+  nn::Var feat = nn::Add(nn::MatMul(u.start_nodes, d_node_emb_->table()),
+                         nn::MatMul(u.start_times, d_time_emb_->table()));
+  for (size_t j = 0; j < u.soft_nodes.size(); ++j) {
+    nn::Var step =
+        nn::Add(nn::MatMul(u.soft_nodes[j], d_node_emb_->table()),
+                nn::MatMul(u.soft_gaps[j], d_gap_emb_->table()));
+    feat = nn::Add(feat, step);
+  }
+  feat = nn::Scale(feat,
+                   1.0 / static_cast<double>(u.soft_nodes.size() + 1));
+  return d_mlp_->Forward(feat);
+}
+
+void TgganGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+  observed_ = &observed;
+  shape_.CaptureFrom(observed);
+  const int n = shape_.num_nodes;
+  const int t_count = shape_.num_timestamps;
+  const int d = config_.embedding_dim;
+
+  g_init_ = std::make_unique<nn::Mlp>(
+      rng, std::vector<int>{config_.latent_dim, config_.hidden_dim},
+      nn::Activation::kTanh, /*final_activation=*/true);
+  g_rnn_ = std::make_unique<nn::GruCell>(rng, d, config_.hidden_dim);
+  g_node_head_ = std::make_unique<nn::Linear>(rng, config_.hidden_dim, n);
+  g_gap_head_ =
+      std::make_unique<nn::Linear>(rng, config_.hidden_dim, NumGapClasses());
+  g_start_node_head_ =
+      std::make_unique<nn::Linear>(rng, config_.hidden_dim, n);
+  g_start_time_head_ =
+      std::make_unique<nn::Linear>(rng, config_.hidden_dim, t_count);
+  g_node_emb_ = std::make_unique<nn::Embedding>(rng, n, d);
+
+  d_node_emb_ = std::make_unique<nn::Embedding>(rng, n, d);
+  d_time_emb_ = std::make_unique<nn::Embedding>(rng, t_count, d);
+  d_gap_emb_ = std::make_unique<nn::Embedding>(rng, NumGapClasses(), d);
+  d_mlp_ = std::make_unique<nn::Mlp>(
+      rng, std::vector<int>{d, config_.hidden_dim, 1},
+      nn::Activation::kLeakyRelu);
+
+  std::vector<nn::Var> g_params;
+  for (const nn::Module* m : {static_cast<const nn::Module*>(g_init_.get()),
+                              static_cast<const nn::Module*>(g_rnn_.get()),
+                              static_cast<const nn::Module*>(g_node_head_.get()),
+                              static_cast<const nn::Module*>(g_gap_head_.get()),
+                              static_cast<const nn::Module*>(
+                                  g_start_node_head_.get()),
+                              static_cast<const nn::Module*>(
+                                  g_start_time_head_.get()),
+                              static_cast<const nn::Module*>(g_node_emb_.get())})
+    g_params.insert(g_params.end(), m->params().begin(), m->params().end());
+  std::vector<nn::Var> d_params;
+  for (const nn::Module* m :
+       {static_cast<const nn::Module*>(d_node_emb_.get()),
+        static_cast<const nn::Module*>(d_time_emb_.get()),
+        static_cast<const nn::Module*>(d_gap_emb_.get()),
+        static_cast<const nn::Module*>(d_mlp_.get())})
+    d_params.insert(d_params.end(), m->params().begin(), m->params().end());
+  nn::Adam g_opt(g_params, config_.learning_rate);
+  nn::Adam d_opt(d_params, config_.learning_rate);
+
+  TemporalWalkSampler sampler(&observed, config_.time_window);
+  const int batch = config_.batch_walks;
+
+  // Converts sampled real walks into the Unroll (one-hot) representation,
+  // padding dead-end walks by repeating the last node with a zero gap.
+  auto real_unroll = [&]() {
+    Unroll u;
+    std::vector<TemporalWalk> walks =
+        sampler.SampleMany(batch, config_.walk_length, rng);
+    nn::Tensor start_nodes(batch, n);
+    nn::Tensor start_times(batch, t_count);
+    std::vector<nn::Tensor> nodes;
+    std::vector<nn::Tensor> gaps;
+    for (int j = 0; j + 1 < config_.walk_length; ++j) {
+      nodes.emplace_back(batch, n);
+      gaps.emplace_back(batch, NumGapClasses());
+    }
+    for (int b = 0; b < batch; ++b) {
+      const TemporalWalk& w = walks[static_cast<size_t>(b)];
+      start_nodes.at(b, w.steps[0].node) = 1.0;
+      start_times.at(b, w.steps[0].t) = 1.0;
+      graphs::TemporalNodeRef prev = w.steps[0];
+      for (int j = 0; j + 1 < config_.walk_length; ++j) {
+        graphs::TemporalNodeRef cur =
+            static_cast<size_t>(j) + 1 < w.steps.size()
+                ? w.steps[static_cast<size_t>(j) + 1]
+                : prev;
+        nodes[static_cast<size_t>(j)].at(b, cur.node) = 1.0;
+        int gap = std::clamp(cur.t - prev.t + config_.time_window, 0,
+                             NumGapClasses() - 1);
+        gaps[static_cast<size_t>(j)].at(b, gap) = 1.0;
+        prev = cur;
+      }
+    }
+    u.start_nodes = nn::Var::Constant(std::move(start_nodes));
+    u.start_times = nn::Var::Constant(std::move(start_times));
+    for (auto& t : nodes) u.soft_nodes.push_back(nn::Var::Constant(std::move(t)));
+    for (auto& t : gaps) u.soft_gaps.push_back(nn::Var::Constant(std::move(t)));
+    return u;
+  };
+
+  nn::Tensor ones(batch, 1, 1.0);
+  nn::Tensor zeros(batch, 1, 0.0);
+  for (int it = 0; it < config_.iterations; ++it) {
+    // Discriminator phase (generator grads are discarded by its ZeroGrad).
+    d_opt.ZeroGrad();
+    g_opt.ZeroGrad();
+    Unroll real = real_unroll();
+    Unroll fake = RunGenerator(batch, rng);
+    nn::Var d_loss =
+        nn::Add(nn::BinaryCrossEntropyWithLogits(Discriminate(real), ones),
+                nn::BinaryCrossEntropyWithLogits(Discriminate(fake), zeros));
+    nn::Backward(d_loss);
+    d_opt.ClipGradNorm(5.0);
+    d_opt.Step();
+    last_d_loss_ = d_loss.item();
+
+    // Generator phase (non-saturating objective).
+    g_opt.ZeroGrad();
+    d_opt.ZeroGrad();
+    Unroll fake2 = RunGenerator(batch, rng);
+    nn::Var g_loss =
+        nn::BinaryCrossEntropyWithLogits(Discriminate(fake2), ones);
+    nn::Backward(g_loss);
+    g_opt.ClipGradNorm(5.0);
+    g_opt.Step();
+    last_g_loss_ = g_loss.item();
+  }
+}
+
+graphs::TemporalGraph TgganGenerator::Generate(Rng& rng) {
+  TGSIM_CHECK(observed_ != nullptr);
+  const int64_t budget = shape_.total_edges();
+  const int n = shape_.num_nodes;
+  const int t_count = shape_.num_timestamps;
+
+  std::vector<TemporalWalk> walks;
+  int64_t projected = 0;
+  auto sample_row = [&](const nn::Tensor& probs, int row) {
+    std::vector<double> w(static_cast<size_t>(probs.cols()));
+    for (int c = 0; c < probs.cols(); ++c)
+      w[static_cast<size_t>(c)] = probs.at(row, c);
+    return static_cast<int>(rng.WeightedChoice(w));
+  };
+  while (projected < budget) {
+    Unroll u = RunGenerator(config_.batch_walks, rng);
+    for (int b = 0; b < config_.batch_walks; ++b) {
+      TemporalWalk walk;
+      int node = sample_row(u.start_nodes.value(), b);
+      int t = sample_row(u.start_times.value(), b);
+      walk.steps.push_back({static_cast<graphs::NodeId>(node),
+                            static_cast<graphs::Timestamp>(t)});
+      for (size_t j = 0; j < u.soft_nodes.size(); ++j) {
+        node = sample_row(u.soft_nodes[j].value(), b);
+        int gap = sample_row(u.soft_gaps[j].value(), b) -
+                  config_.time_window;
+        t = std::clamp(t + gap, 0, t_count - 1);
+        walk.steps.push_back({static_cast<graphs::NodeId>(node),
+                              static_cast<graphs::Timestamp>(t)});
+      }
+      projected += std::max(0, walk.length() - 1);
+      walks.push_back(std::move(walk));
+      if (projected >= budget) break;
+    }
+  }
+  return AssembleFromWalks(walks, n, t_count, budget, rng);
+}
+
+}  // namespace tgsim::baselines

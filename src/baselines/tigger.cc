@@ -1,0 +1,149 @@
+#include "baselines/tigger.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tgsim::baselines {
+
+TiggerGenerator::TiggerGenerator(TiggerConfig config) : config_(config) {}
+
+TiggerGenerator::~TiggerGenerator() = default;
+
+void TiggerGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+  observed_ = &observed;
+  shape_.CaptureFrom(observed);
+  walk_sampler_ =
+      std::make_unique<TemporalWalkSampler>(&observed, config_.time_window);
+
+  const int n = shape_.num_nodes;
+  node_emb_ = std::make_unique<nn::Embedding>(rng, n, config_.embedding_dim);
+  time_emb_ = std::make_unique<nn::Embedding>(rng, shape_.num_timestamps,
+                                              config_.embedding_dim);
+  gru_ = std::make_unique<nn::GruCell>(rng, config_.embedding_dim,
+                                       config_.hidden_dim);
+  node_head_ = std::make_unique<nn::Linear>(rng, config_.hidden_dim, n);
+  gap_head_ =
+      std::make_unique<nn::Linear>(rng, config_.hidden_dim, NumGapClasses());
+
+  std::vector<nn::Var> params;
+  for (const nn::Module* m :
+       {static_cast<const nn::Module*>(node_emb_.get()),
+        static_cast<const nn::Module*>(time_emb_.get()),
+        static_cast<const nn::Module*>(gru_.get()),
+        static_cast<const nn::Module*>(node_head_.get()),
+        static_cast<const nn::Module*>(gap_head_.get())})
+    params.insert(params.end(), m->params().begin(), m->params().end());
+  nn::Adam opt(params, config_.learning_rate);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::vector<TemporalWalk> walks = walk_sampler_->SampleMany(
+        config_.walks_per_epoch, config_.walk_length, rng);
+    // Keep walks with at least one transition; align them step by step.
+    walks.erase(std::remove_if(
+                    walks.begin(), walks.end(),
+                    [](const TemporalWalk& w) { return w.length() < 2; }),
+                walks.end());
+    if (walks.empty()) continue;
+    std::sort(walks.begin(), walks.end(),
+              [](const TemporalWalk& a, const TemporalWalk& b) {
+                return a.length() > b.length();
+              });
+    const int batch = static_cast<int>(walks.size());
+
+    opt.ZeroGrad();
+    nn::Var h = gru_->InitialState(batch);
+    std::vector<nn::Var> step_losses;
+    int max_len = walks[0].length();
+    for (int j = 0; j + 1 < max_len; ++j) {
+      // Active prefix: walks long enough to have step j -> j+1.
+      int active = 0;
+      while (active < batch && walks[static_cast<size_t>(active)].length() >
+                                   j + 1)
+        ++active;
+      if (active == 0) break;
+      std::vector<int> nodes(static_cast<size_t>(active));
+      std::vector<int> times(static_cast<size_t>(active));
+      nn::Tensor node_target(active, n);
+      nn::Tensor gap_target(active, NumGapClasses());
+      for (int b = 0; b < active; ++b) {
+        const TemporalWalk& w = walks[static_cast<size_t>(b)];
+        nodes[static_cast<size_t>(b)] = w.steps[static_cast<size_t>(j)].node;
+        times[static_cast<size_t>(b)] = w.steps[static_cast<size_t>(j)].t;
+        const auto& nxt = w.steps[static_cast<size_t>(j) + 1];
+        node_target.at(b, nxt.node) = 1.0;
+        int gap = nxt.t - w.steps[static_cast<size_t>(j)].t +
+                  config_.time_window;
+        gap = std::clamp(gap, 0, NumGapClasses() - 1);
+        gap_target.at(b, gap) = 1.0;
+      }
+      nn::Var x = nn::Add(node_emb_->Forward(nodes),
+                          time_emb_->Forward(times));
+      // Shrink the carried state to the active prefix.
+      if (h.rows() != active) {
+        std::vector<int> keep(static_cast<size_t>(active));
+        for (int b = 0; b < active; ++b) keep[static_cast<size_t>(b)] = b;
+        h = nn::GatherRows(h, keep);
+      }
+      h = gru_->Forward(x, h);
+      nn::Var node_loss = nn::RowCrossEntropyWithLogits(
+          node_head_->Forward(h), node_target);
+      nn::Var gap_loss =
+          nn::RowCrossEntropyWithLogits(gap_head_->Forward(h), gap_target);
+      step_losses.push_back(nn::Add(node_loss, gap_loss));
+    }
+    if (step_losses.empty()) continue;
+    nn::Var total = step_losses[0];
+    for (size_t i = 1; i < step_losses.size(); ++i)
+      total = nn::Add(total, step_losses[i]);
+    total = nn::Scale(total, 1.0 / static_cast<double>(step_losses.size()));
+    nn::Backward(total);
+    opt.ClipGradNorm(5.0);
+    opt.Step();
+    last_epoch_loss_ = total.item();
+  }
+}
+
+graphs::TemporalGraph TiggerGenerator::Generate(Rng& rng) {
+  TGSIM_CHECK(observed_ != nullptr);
+  graphs::InitialNodeSampler starts(observed_, config_.time_window);
+  const int64_t budget = shape_.total_edges();
+  const int n = shape_.num_nodes;
+
+  std::vector<TemporalWalk> walks;
+  int64_t projected = 0;
+  int64_t guard = 0;
+  while (projected < budget && guard < 8 * budget + 64) {
+    ++guard;
+    graphs::TemporalNodeRef cur = starts.Sample(1, rng)[0];
+    TemporalWalk walk;
+    walk.steps.push_back(cur);
+    nn::Var h = gru_->InitialState(1);
+    for (int j = 0; j + 1 < config_.walk_length; ++j) {
+      nn::Var x = nn::Add(node_emb_->Forward({cur.node}),
+                          time_emb_->Forward({cur.t}));
+      h = gru_->Forward(x, h);
+      nn::Tensor node_logits = node_head_->Forward(h).value();
+      nn::Tensor node_probs = node_logits.SoftmaxRows();
+      std::vector<double> w(static_cast<size_t>(n));
+      for (int c = 0; c < n; ++c)
+        w[static_cast<size_t>(c)] = node_probs.at(0, c);
+      auto next_node = static_cast<graphs::NodeId>(rng.WeightedChoice(w));
+
+      nn::Tensor gap_probs = gap_head_->Forward(h).value().SoftmaxRows();
+      std::vector<double> gw(static_cast<size_t>(NumGapClasses()));
+      for (int c = 0; c < NumGapClasses(); ++c)
+        gw[static_cast<size_t>(c)] = gap_probs.at(0, c);
+      int gap = static_cast<int>(rng.WeightedChoice(gw)) -
+                config_.time_window;
+      int next_t = std::clamp(cur.t + gap, 0, shape_.num_timestamps - 1);
+
+      cur = {next_node, static_cast<graphs::Timestamp>(next_t)};
+      walk.steps.push_back(cur);
+    }
+    projected += std::max(0, walk.length() - 1);
+    walks.push_back(std::move(walk));
+  }
+  return AssembleFromWalks(walks, n, shape_.num_timestamps, budget, rng);
+}
+
+}  // namespace tgsim::baselines

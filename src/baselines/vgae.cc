@@ -1,0 +1,156 @@
+#include "baselines/vgae.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/score_sampling.h"
+#include "nn/autograd.h"
+#include "nn/optim.h"
+
+namespace tgsim::baselines {
+
+namespace {
+
+/// Elementwise sigmoid on a value tensor.
+nn::Tensor SigmoidTensor(const nn::Tensor& x) {
+  nn::Tensor out = x;
+  for (int64_t i = 0; i < out.size(); ++i)
+    out.data()[i] = 1.0 / (1.0 + std::exp(-out.data()[i]));
+  return out;
+}
+
+}  // namespace
+
+VgaeGenerator::VgaeGenerator(VgaeConfig config) : config_(config) {}
+
+void VgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+  observed_ = &observed;
+  shape_.CaptureFrom(observed);
+}
+
+nn::Tensor VgaeGenerator::FitSnapshotScores(
+    const std::vector<graphs::TemporalEdge>& edges, bool graphite,
+    Rng& rng) const {
+  const int n = shape_.num_nodes;
+  // Restrict the model to nodes active in this snapshot: inactive rows are
+  // all-zero and carry no gradient signal; generation maps indices back.
+  std::vector<int> active;
+  {
+    std::vector<bool> seen(static_cast<size_t>(n), false);
+    for (const auto& e : edges) {
+      seen[static_cast<size_t>(e.u)] = true;
+      seen[static_cast<size_t>(e.v)] = true;
+    }
+    for (int u = 0; u < n; ++u)
+      if (seen[static_cast<size_t>(u)]) active.push_back(u);
+  }
+  if (active.size() < 2) return nn::Tensor(n, n);
+  const int na = static_cast<int>(active.size());
+  std::vector<int> remap(static_cast<size_t>(n), -1);
+  for (int i = 0; i < na; ++i) remap[static_cast<size_t>(active[i])] = i;
+
+  nn::Tensor a_sub(na, na);
+  int64_t m_sub = 0;
+  for (const auto& e : edges) {
+    int u = remap[static_cast<size_t>(e.u)];
+    int v = remap[static_cast<size_t>(e.v)];
+    if (u == v) continue;
+    if (a_sub.at(u, v) == 0.0) ++m_sub;
+    a_sub.at(u, v) = 1.0;
+    a_sub.at(v, u) = 1.0;
+  }
+
+  nn::Var a_hat = nn::Var::Constant(NormalizedAdjacency(a_sub));
+  Rng local = rng.Fork();
+  const int h = config_.hidden_dim;
+  const int d = config_.latent_dim;
+  nn::Var w1 = nn::Var::Param(nn::Tensor::GlorotUniform(local, na, h));
+  nn::Var w_mu = nn::Var::Param(nn::Tensor::GlorotUniform(local, h, d));
+  nn::Var w_lv = nn::Var::Param(nn::Tensor::GlorotUniform(local, h, d));
+  nn::Var w_refine = nn::Var::Param(nn::Tensor::GlorotUniform(local, d, d));
+  std::vector<nn::Var> params = {w1, w_mu, w_lv};
+  if (graphite) params.push_back(w_refine);
+  nn::Adam opt(params, config_.learning_rate);
+
+  double pos = static_cast<double>(2 * m_sub);
+  double pos_weight =
+      std::max(1.0, (static_cast<double>(na) * na - pos) / std::max(pos, 1.0));
+
+  auto decode = [&](const nn::Var& z) {
+    if (!graphite) return nn::MatMul(z, nn::Transpose(z));
+    nn::Var z_ref = z;
+    for (int round = 0; round < config_.refine_rounds; ++round) {
+      nn::Var a_soft = nn::Sigmoid(nn::MatMul(z_ref, nn::Transpose(z_ref)));
+      z_ref = nn::Add(
+          z, nn::Tanh(nn::MatMul(nn::MatMul(a_soft, z_ref), w_refine)));
+      z_ref = nn::Scale(z_ref, 1.0 / (na));  // Keep magnitudes bounded.
+      z_ref = nn::Add(z, z_ref);
+    }
+    return nn::MatMul(z_ref, nn::Transpose(z_ref));
+  };
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    opt.ZeroGrad();
+    nn::Var h1 = nn::Relu(nn::MatMul(a_hat, w1));
+    nn::Var mu = nn::MatMul(nn::MatMul(a_hat, h1), w_mu);
+    nn::Var logvar = nn::MatMul(nn::MatMul(a_hat, h1), w_lv);
+    nn::Var noise = nn::Var::Constant(nn::Tensor::Randn(local, na, d));
+    nn::Var z = nn::Add(mu, nn::Mul(nn::Exp(nn::Scale(logvar, 0.5)), noise));
+    nn::Var logits = decode(z);
+    nn::Var loss = nn::Add(
+        nn::BinaryCrossEntropyWithLogits(logits, a_sub, pos_weight),
+        nn::Scale(nn::KlToStandardNormal(mu, logvar), config_.kl_weight));
+    nn::Backward(loss);
+    opt.ClipGradNorm(5.0);
+    opt.Step();
+  }
+
+  // Deterministic scores from the posterior mean.
+  nn::Var h1 = nn::Relu(nn::MatMul(a_hat, w1));
+  nn::Var mu = nn::MatMul(nn::MatMul(a_hat, h1), w_mu);
+  nn::Tensor s_sub = SigmoidTensor(decode(mu).value());
+  nn::Tensor scores(n, n);
+  for (int i = 0; i < na; ++i)
+    for (int j = 0; j < na; ++j)
+      if (i != j) scores.at(active[i], active[j]) = s_sub.at(i, j);
+  return scores;
+}
+
+graphs::TemporalGraph VgaeGenerator::Generate(Rng& rng) {
+  TGSIM_CHECK(observed_ != nullptr);
+  std::vector<graphs::TemporalEdge> out;
+  for (int t = 0; t < shape_.num_timestamps; ++t) {
+    int64_t m_t = shape_.edges_per_timestamp[t];
+    if (m_t == 0) continue;
+    auto span = observed_->EdgesAt(static_cast<graphs::Timestamp>(t));
+    std::vector<graphs::TemporalEdge> snap(span.begin(), span.end());
+    nn::Tensor scores = FitSnapshotScores(snap, /*graphite=*/false, rng);
+    SampleEdgesFromScores(scores, m_t, static_cast<graphs::Timestamp>(t),
+                          rng, &out);
+  }
+  return graphs::TemporalGraph::FromEdges(shape_.num_nodes,
+                                          shape_.num_timestamps,
+                                          std::move(out));
+}
+
+GraphiteGenerator::GraphiteGenerator(VgaeConfig config)
+    : VgaeGenerator(config) {}
+
+graphs::TemporalGraph GraphiteGenerator::Generate(Rng& rng) {
+  TGSIM_CHECK(observed_ != nullptr);
+  std::vector<graphs::TemporalEdge> out;
+  for (int t = 0; t < shape_.num_timestamps; ++t) {
+    int64_t m_t = shape_.edges_per_timestamp[t];
+    if (m_t == 0) continue;
+    auto span = observed_->EdgesAt(static_cast<graphs::Timestamp>(t));
+    std::vector<graphs::TemporalEdge> snap(span.begin(), span.end());
+    nn::Tensor scores = FitSnapshotScores(snap, /*graphite=*/true, rng);
+    SampleEdgesFromScores(scores, m_t, static_cast<graphs::Timestamp>(t),
+                          rng, &out);
+  }
+  return graphs::TemporalGraph::FromEdges(shape_.num_nodes,
+                                          shape_.num_timestamps,
+                                          std::move(out));
+}
+
+}  // namespace tgsim::baselines

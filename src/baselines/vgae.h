@@ -1,0 +1,65 @@
+#ifndef TGSIM_BASELINES_VGAE_H_
+#define TGSIM_BASELINES_VGAE_H_
+
+#include <vector>
+
+#include "baselines/generator.h"
+#include "nn/tensor.h"
+
+namespace tgsim::baselines {
+
+struct VgaeConfig {
+  int hidden_dim = 32;
+  int latent_dim = 16;
+  int epochs = 40;
+  double learning_rate = 1e-2;
+  double kl_weight = 1e-2;
+  /// Graphite decoder refinement rounds (used by GraphiteGenerator only).
+  int refine_rounds = 1;
+};
+
+/// VGAE (Kipf & Welling, 2016): per-snapshot variational graph autoencoder
+/// with a two-layer GCN encoder (identity features, so the first layer
+/// reduces to A_hat W1) and an inner-product decoder. Static method: trained
+/// and sampled independently per timestamp (paper Section V.B).
+class VgaeGenerator : public TemporalGraphGenerator {
+ public:
+  explicit VgaeGenerator(VgaeConfig config = {});
+
+  std::string name() const override { return "VGAE"; }
+  void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
+  graphs::TemporalGraph Generate(Rng& rng) override;
+
+  /// Dense n x n adjacency + reconstruction per snapshot: the classic
+  /// VGAE memory wall (only UBUNTU exceeds 32 GB at paper scale).
+  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t m,
+                                   int64_t t) const override {
+    return 8 * n * n;
+  }
+
+ protected:
+  /// Trains on one snapshot and returns the dense edge-score matrix.
+  /// `graphite` switches the decoder to the iterative Graphite variant.
+  nn::Tensor FitSnapshotScores(
+      const std::vector<graphs::TemporalEdge>& edges, bool graphite,
+      Rng& rng) const;
+
+  VgaeConfig config_;
+  const graphs::TemporalGraph* observed_ = nullptr;
+  ObservedShape shape_;
+};
+
+/// Graphite (Grover et al., ICML'19): VGAE with an iteratively refined
+/// decoder — the latent codes are propagated through the (soft) decoded
+/// adjacency before the final inner product.
+class GraphiteGenerator : public VgaeGenerator {
+ public:
+  explicit GraphiteGenerator(VgaeConfig config = {});
+
+  std::string name() const override { return "Graphite"; }
+  graphs::TemporalGraph Generate(Rng& rng) override;
+};
+
+}  // namespace tgsim::baselines
+
+#endif  // TGSIM_BASELINES_VGAE_H_

@@ -1,0 +1,91 @@
+#include "baselines/walks.h"
+
+#include <algorithm>
+
+namespace tgsim::baselines {
+
+TemporalWalkSampler::TemporalWalkSampler(const graphs::TemporalGraph* graph,
+                                         int time_window)
+    : graph_(graph),
+      time_window_(time_window),
+      starts_(graph, time_window, /*uniform=*/false) {
+  TGSIM_CHECK(graph != nullptr);
+}
+
+TemporalWalk TemporalWalkSampler::SampleFrom(graphs::TemporalNodeRef start,
+                                             int max_length, Rng& rng) const {
+  TemporalWalk walk;
+  walk.steps.push_back(start);
+  graphs::TemporalNodeRef cur = start;
+  while (walk.length() < max_length) {
+    std::vector<graphs::TemporalNeighbor> nbrs =
+        graph_->TemporalNeighborhood(cur.node, cur.t, time_window_);
+    if (nbrs.empty()) break;
+    const graphs::TemporalNeighbor& nxt = nbrs[static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(nbrs.size())))];
+    cur = {nxt.node, nxt.t};
+    walk.steps.push_back(cur);
+  }
+  return walk;
+}
+
+TemporalWalk TemporalWalkSampler::Sample(int max_length, Rng& rng) const {
+  std::vector<graphs::TemporalNodeRef> start = starts_.Sample(1, rng);
+  return SampleFrom(start[0], max_length, rng);
+}
+
+std::vector<TemporalWalk> TemporalWalkSampler::SampleMany(int count,
+                                                          int max_length,
+                                                          Rng& rng) const {
+  std::vector<TemporalWalk> walks;
+  walks.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) walks.push_back(Sample(max_length, rng));
+  return walks;
+}
+
+graphs::TemporalGraph AssembleFromWalks(
+    const std::vector<TemporalWalk>& walks, int num_nodes,
+    int num_timestamps, int64_t edge_budget, Rng& rng) {
+  graphs::TemporalGraph g(num_nodes, num_timestamps);
+  int64_t emitted = 0;
+  // Track emitted endpoints for the degree-proportional filler.
+  std::vector<graphs::NodeId> pool;
+  for (const TemporalWalk& w : walks) {
+    for (size_t i = 0; i + 1 < w.steps.size() && emitted < edge_budget;
+         ++i) {
+      graphs::NodeId u = w.steps[i].node;
+      graphs::NodeId v = w.steps[i + 1].node;
+      graphs::Timestamp t = w.steps[i + 1].t;
+      if (u == v) continue;
+      TGSIM_DCHECK(t >= 0 && t < num_timestamps);
+      g.AddEdge(u, v, t);
+      pool.push_back(u);
+      pool.push_back(v);
+      ++emitted;
+    }
+    if (emitted >= edge_budget) break;
+  }
+  while (emitted < edge_budget) {
+    graphs::NodeId u, v;
+    if (pool.size() >= 2) {
+      u = pool[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(pool.size())))];
+      v = pool[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(pool.size())))];
+    } else {
+      u = static_cast<graphs::NodeId>(
+          rng.UniformInt(static_cast<int64_t>(num_nodes)));
+      v = static_cast<graphs::NodeId>(
+          rng.UniformInt(static_cast<int64_t>(num_nodes)));
+    }
+    if (u == v) v = static_cast<graphs::NodeId>((v + 1) % num_nodes);
+    auto t = static_cast<graphs::Timestamp>(
+        rng.UniformInt(static_cast<int64_t>(num_timestamps)));
+    g.AddEdge(u, v, t);
+    ++emitted;
+  }
+  g.Finalize();
+  return g;
+}
+
+}  // namespace tgsim::baselines

@@ -1,0 +1,55 @@
+#ifndef TGSIM_BASELINES_WALKS_H_
+#define TGSIM_BASELINES_WALKS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/ego_sampler.h"
+#include "graph/temporal_graph.h"
+
+namespace tgsim::baselines {
+
+/// A temporal random walk: a sequence of temporal node occurrences where
+/// consecutive steps are connected by a temporal edge within the time
+/// window (the representation TagGen / TGGAN / TIGGER learn from).
+struct TemporalWalk {
+  std::vector<graphs::TemporalNodeRef> steps;
+
+  int length() const { return static_cast<int>(steps.size()); }
+};
+
+/// Samples temporal random walks from an observed temporal graph.
+/// Starts are drawn degree-proportionally over node occurrences; each step
+/// moves to a uniform temporal neighbor within `time_window` of the current
+/// occurrence's timestamp. Walks stop early at dead ends.
+class TemporalWalkSampler {
+ public:
+  TemporalWalkSampler(const graphs::TemporalGraph* graph, int time_window);
+
+  TemporalWalk SampleFrom(graphs::TemporalNodeRef start, int max_length,
+                          Rng& rng) const;
+  TemporalWalk Sample(int max_length, Rng& rng) const;
+  std::vector<TemporalWalk> SampleMany(int count, int max_length,
+                                       Rng& rng) const;
+
+  const graphs::TemporalGraph& graph() const { return *graph_; }
+  int time_window() const { return time_window_; }
+
+ private:
+  const graphs::TemporalGraph* graph_;
+  int time_window_;
+  graphs::InitialNodeSampler starts_;
+};
+
+/// Assembles a temporal graph from generated walks: each consecutive walk
+/// pair (u^t, v^t') emits the edge (u -> v at t'). Emission stops once
+/// `shape`'s total edge budget is met; remaining budget (walks exhausted)
+/// is filled with degree-proportional random edges so the generated graph
+/// always matches the observed edge count.
+graphs::TemporalGraph AssembleFromWalks(
+    const std::vector<TemporalWalk>& walks, int num_nodes,
+    int num_timestamps, int64_t edge_budget, Rng& rng);
+
+}  // namespace tgsim::baselines
+
+#endif  // TGSIM_BASELINES_WALKS_H_

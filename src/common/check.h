@@ -1,0 +1,45 @@
+#ifndef TGSIM_COMMON_CHECK_H_
+#define TGSIM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Assertion macros for programming errors. Following the project's
+/// no-exceptions policy, a failed check prints a diagnostic and aborts.
+/// Use Status/Result (status.h) for recoverable runtime errors instead.
+/// TGSIM_DCHECK compiles away in NDEBUG builds and guards hot paths.
+
+namespace tgsim::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "[tgsim] CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace tgsim::internal
+
+#define TGSIM_CHECK(cond)                                    \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      ::tgsim::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                        \
+  } while (0)
+
+#define TGSIM_CHECK_EQ(a, b) TGSIM_CHECK((a) == (b))
+#define TGSIM_CHECK_NE(a, b) TGSIM_CHECK((a) != (b))
+#define TGSIM_CHECK_LT(a, b) TGSIM_CHECK((a) < (b))
+#define TGSIM_CHECK_LE(a, b) TGSIM_CHECK((a) <= (b))
+#define TGSIM_CHECK_GT(a, b) TGSIM_CHECK((a) > (b))
+#define TGSIM_CHECK_GE(a, b) TGSIM_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define TGSIM_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define TGSIM_DCHECK(cond) TGSIM_CHECK(cond)
+#endif
+
+#endif  // TGSIM_COMMON_CHECK_H_

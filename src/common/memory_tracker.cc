@@ -1,0 +1,24 @@
+#include "common/memory_tracker.h"
+
+namespace tgsim {
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+void MemoryTracker::Allocate(size_t bytes) {
+  int64_t now = current_.fetch_add(static_cast<int64_t>(bytes)) +
+                static_cast<int64_t>(bytes);
+  int64_t prev_peak = peak_.load();
+  while (now > prev_peak && !peak_.compare_exchange_weak(prev_peak, now)) {
+  }
+}
+
+void MemoryTracker::Release(size_t bytes) {
+  current_.fetch_sub(static_cast<int64_t>(bytes));
+}
+
+void MemoryTracker::ResetPeak() { peak_.store(current_.load()); }
+
+}  // namespace tgsim

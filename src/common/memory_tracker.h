@@ -1,0 +1,58 @@
+#ifndef TGSIM_COMMON_MEMORY_TRACKER_H_
+#define TGSIM_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace tgsim {
+
+/// Process-wide accounting of tensor allocations.
+///
+/// The paper's Figure 6 reports peak GPU memory per generator. We reproduce
+/// the same quantity on the host: every nn::Tensor registers its buffer here,
+/// and benches snapshot the peak between Reset() and PeakBytes(). The counter
+/// is atomic so tracked code may run on multiple threads.
+class MemoryTracker {
+ public:
+  /// Global tracker instance used by nn::Tensor.
+  static MemoryTracker& Global();
+
+  /// Records an allocation of `bytes`.
+  void Allocate(size_t bytes);
+
+  /// Records the release of `bytes`.
+  void Release(size_t bytes);
+
+  /// Currently live tracked bytes.
+  int64_t CurrentBytes() const { return current_.load(); }
+
+  /// Highest watermark since the last Reset().
+  int64_t PeakBytes() const { return peak_.load(); }
+
+  /// Resets the peak watermark to the current live byte count.
+  void ResetPeak();
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// RAII scope that resets the global peak on entry and exposes the peak
+/// observed during its lifetime.
+class MemoryUsageScope {
+ public:
+  MemoryUsageScope() { MemoryTracker::Global().ResetPeak(); }
+
+  /// Peak tracked bytes since this scope began.
+  int64_t PeakBytes() const { return MemoryTracker::Global().PeakBytes(); }
+
+  /// Peak in MiB (the unit of the paper's Figure 6).
+  double PeakMiB() const {
+    return static_cast<double>(PeakBytes()) / (1024.0 * 1024.0);
+  }
+};
+
+}  // namespace tgsim
+
+#endif  // TGSIM_COMMON_MEMORY_TRACKER_H_

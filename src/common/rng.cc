@@ -1,0 +1,41 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace tgsim {
+
+size_t Rng::WeightedChoice(const std::vector<double>& weights) {
+  TGSIM_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    TGSIM_DCHECK(w >= 0.0);
+    total += w;
+  }
+  TGSIM_CHECK_GT(total, 0.0);
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // Guard against floating-point drift.
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  TGSIM_CHECK_GE(n, k);
+  TGSIM_CHECK_GE(k, 0);
+  std::unordered_set<int64_t> chosen;
+  std::vector<int64_t> result;
+  result.reserve(static_cast<size_t>(k));
+  // Floyd's algorithm: k iterations, each adding exactly one new element.
+  for (int64_t j = n - k; j < n; ++j) {
+    int64_t t = UniformInt(j + 1);
+    if (chosen.count(t)) t = j;
+    chosen.insert(t);
+    result.push_back(t);
+  }
+  return result;
+}
+
+}  // namespace tgsim

@@ -1,0 +1,31 @@
+#ifndef TGSIM_COMMON_STOPWATCH_H_
+#define TGSIM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tgsim {
+
+/// Wall-clock stopwatch used by the efficiency experiments (Figure 6).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tgsim
+
+#endif  // TGSIM_COMMON_STOPWATCH_H_

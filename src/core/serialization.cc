@@ -1,0 +1,67 @@
+#include "core/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tgsim::core {
+
+namespace {
+constexpr char kMagic[] = "tgsim-checkpoint";
+constexpr int kVersion = 1;
+}  // namespace
+
+Status SaveParameters(const std::vector<nn::Var>& params,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot write: " + path);
+  out << kMagic << " " << kVersion << "\n";
+  out << params.size() << "\n";
+  out.precision(17);
+  for (const nn::Var& p : params) {
+    const nn::Tensor& t = p.value();
+    out << t.rows() << " " << t.cols();
+    for (int64_t i = 0; i < t.size(); ++i) out << " " << t.data()[i];
+    out << "\n";
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(std::vector<nn::Var>& params, const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open: " + path);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic)
+    return Status::InvalidArgument("not a tgsim checkpoint: " + path);
+  if (version != kVersion)
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  size_t count = 0;
+  if (!(in >> count)) return Status::InvalidArgument("truncated header");
+  if (count != params.size())
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " tensors, model has " +
+        std::to_string(params.size()) +
+        " — was the model built with the same configuration?");
+  for (nn::Var& p : params) {
+    int rows = 0, cols = 0;
+    if (!(in >> rows >> cols))
+      return Status::InvalidArgument("truncated tensor header");
+    nn::Tensor& t = p.mutable_value();
+    if (rows != t.rows() || cols != t.cols())
+      return Status::InvalidArgument(
+          "tensor shape mismatch: checkpoint " + std::to_string(rows) + "x" +
+          std::to_string(cols) + " vs model " + std::to_string(t.rows()) +
+          "x" + std::to_string(t.cols()));
+    for (int64_t i = 0; i < t.size(); ++i) {
+      if (!(in >> t.data()[i]))
+        return Status::InvalidArgument("truncated tensor data");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tgsim::core

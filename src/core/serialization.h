@@ -1,0 +1,31 @@
+#ifndef TGSIM_CORE_SERIALIZATION_H_
+#define TGSIM_CORE_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/autograd.h"
+
+namespace tgsim::core {
+
+/// Portable text checkpoint for a trained parameter set.
+///
+/// Format (line-oriented, whitespace-separated):
+///   tgsim-checkpoint 1
+///   <num_tensors>
+///   <rows> <cols> v v v ...      (one line per tensor, row-major, %.17g)
+///
+/// The parameter *order and shapes* are the contract: loading into a model
+/// built with a different configuration is rejected with InvalidArgument.
+/// Used by TgaeGenerator::SaveCheckpoint / LoadCheckpoint so a trained
+/// simulator can be shipped without the training data.
+Status SaveParameters(const std::vector<nn::Var>& params,
+                      const std::string& path);
+
+/// Loads a checkpoint into an *existing* parameter set (shapes must match).
+Status LoadParameters(std::vector<nn::Var>& params, const std::string& path);
+
+}  // namespace tgsim::core
+
+#endif  // TGSIM_CORE_SERIALIZATION_H_

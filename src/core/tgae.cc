@@ -1,0 +1,396 @@
+#include "core/tgae.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/serialization.h"
+#include "graph/bipartite.h"
+
+namespace tgsim::core {
+
+TgaeConfig TgaeConfig::ForVariant(TgaeVariant v) {
+  TgaeConfig c;
+  switch (v) {
+    case TgaeVariant::kFull:
+      c.display_name = "TGAE";
+      break;
+    case TgaeVariant::kRandomWalk:
+      c.neighbor_threshold = 1;
+      c.display_name = "TGAE-g";
+      break;
+    case TgaeVariant::kNoTruncation:
+      c.neighbor_threshold = 0;
+      c.display_name = "TGAE-t";
+      break;
+    case TgaeVariant::kUniformSampling:
+      c.degree_weighted_sampling = false;
+      c.display_name = "TGAE-n";
+      break;
+    case TgaeVariant::kNonProbabilistic:
+      c.probabilistic = false;
+      c.display_name = "TGAE-p";
+      break;
+  }
+  return c;
+}
+
+TgaeGenerator::TgaeGenerator(TgaeConfig config) : config_(config) {}
+
+TgaeGenerator::~TgaeGenerator() = default;
+
+nn::Var TgaeGenerator::InputFeatures(
+    const std::vector<graphs::TemporalNodeRef>& nodes) const {
+  std::vector<int> node_idx(nodes.size());
+  std::vector<int> time_idx(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    node_idx[i] = nodes[i].node;
+    time_idx[i] = nodes[i].t;
+  }
+  return nn::Add(node_emb_->Forward(node_idx), time_emb_->Forward(time_idx));
+}
+
+TgaeGenerator::DecodedBatch TgaeGenerator::EncodeDecode(
+    const std::vector<graphs::EgoGraph>& egos, bool centers_only,
+    bool stochastic, Rng& rng) const {
+  TGSIM_CHECK(!egos.empty());
+  graphs::BipartiteStack stack =
+      graphs::BuildBipartiteStack(egos, config_.radius);
+  nn::Var sk_feats = InputFeatures(
+      stack.layer_nodes[static_cast<size_t>(config_.radius)]);
+  nn::Var h0 = encoder_->Forward(stack, sk_feats);  // |S_0| x d_enc.
+
+  // Flatten the decoded node set: centers only, or every ego node.
+  DecodedBatch batch;
+  std::vector<int> center_of_row;      // Row -> index into h0.
+  std::vector<int> z_src;              // Gather indices into Z.
+  std::vector<int> z_dst;              // Row receiving that Z contribution.
+  std::vector<graphs::TemporalNodeRef> z_nodes;  // Z row definitions.
+
+  if (centers_only) {
+    for (size_t e = 0; e < egos.size(); ++e) {
+      batch.row_nodes.push_back(egos[e].center);
+      center_of_row.push_back(stack.center_index[e]);
+      // Row = h_center + z_center.
+      z_src.push_back(static_cast<int>(z_nodes.size()));
+      z_dst.push_back(static_cast<int>(batch.row_nodes.size()) - 1);
+      z_nodes.push_back(egos[e].center);
+    }
+  } else {
+    for (size_t e = 0; e < egos.size(); ++e) {
+      const graphs::EgoGraph& ego = egos[e];
+      // First-parent tree for path sums (Alg. 2 recursion). Only strictly
+      // layered edges define the tree so paths cannot cycle.
+      std::vector<int> parent(static_cast<size_t>(ego.size()), -1);
+      for (auto [p, c] : ego.edges) {
+        if (ego.depth[static_cast<size_t>(c)] !=
+            ego.depth[static_cast<size_t>(p)] + 1)
+          continue;
+        if (parent[static_cast<size_t>(c)] == -1)
+          parent[static_cast<size_t>(c)] = p;
+      }
+      int z_base = static_cast<int>(z_nodes.size());
+      for (int j = 0; j < ego.size(); ++j)
+        z_nodes.push_back(ego.nodes[static_cast<size_t>(j)]);
+      for (int j = 0; j < ego.size(); ++j) {
+        int row = static_cast<int>(batch.row_nodes.size());
+        batch.row_nodes.push_back(ego.nodes[static_cast<size_t>(j)]);
+        center_of_row.push_back(stack.center_index[e]);
+        if (j == 0) {
+          z_src.push_back(z_base);  // Center row: h_center + z_center.
+          z_dst.push_back(row);
+        } else {
+          // Accumulate z along the path center -> j (excluding center).
+          int cur = j;
+          int guard = 0;
+          while (cur > 0 && guard++ <= ego.size()) {
+            z_src.push_back(z_base + cur);
+            z_dst.push_back(row);
+            cur = parent[static_cast<size_t>(cur)];
+            if (cur < 0) break;
+          }
+        }
+      }
+    }
+  }
+
+  // Variational head over the Z node set (Alg. 2: MLP_mu / MLP_sigma).
+  nn::Var x_z = InputFeatures(z_nodes);
+  batch.mu = mlp_mu_->Forward(x_z);
+  if (config_.probabilistic) {
+    batch.logvar = mlp_sigma_->Forward(x_z);
+  }
+  nn::Var z = batch.mu;
+  if (config_.probabilistic && stochastic) {
+    nn::Var noise = nn::Var::Constant(
+        nn::Tensor::Randn(rng, batch.mu.rows(), batch.mu.cols()));
+    z = nn::Add(batch.mu,
+                nn::Mul(nn::Exp(nn::Scale(batch.logvar, 0.5)), noise));
+  }
+
+  const int num_rows = static_cast<int>(batch.row_nodes.size());
+  nn::Var rows_h = nn::GatherRows(h0, center_of_row);
+  nn::Var z_contrib =
+      nn::SegmentSum(nn::GatherRows(z, z_src), z_dst, num_rows);
+  rows_h = nn::Add(rows_h, z_contrib);
+  if (config_.tie_decoder) {
+    batch.logits = nn::Add(
+        nn::MatMul(rows_h, nn::Transpose(node_emb_->table())), b_dec_);
+  } else {
+    batch.logits = nn::Add(nn::MatMul(rows_h, w_dec_), b_dec_);
+  }
+  return batch;
+}
+
+nn::Tensor TgaeGenerator::TargetRows(
+    const std::vector<graphs::TemporalNodeRef>& row_nodes) const {
+  const int n = shape_.num_nodes;
+  nn::Tensor targets(static_cast<int>(row_nodes.size()), n);
+  for (size_t i = 0; i < row_nodes.size(); ++i) {
+    // Directed adjacency row A_{u^t} (Eq. 6); temporal nodes that only
+    // appear as destinations fall back to their full temporal neighborhood
+    // so every decoded row receives signal.
+    std::vector<graphs::TemporalNeighbor> nbrs = observed_->OutNeighborhood(
+        row_nodes[i].node, row_nodes[i].t, /*time_window=*/0);
+    if (nbrs.empty()) {
+      nbrs = observed_->TemporalNeighborhood(row_nodes[i].node,
+                                             row_nodes[i].t,
+                                             /*time_window=*/0);
+    }
+    if (nbrs.empty()) continue;
+    double w = 1.0 / static_cast<double>(nbrs.size());
+    for (const auto& nb : nbrs)
+      targets.at(static_cast<int>(i), nb.node) += w;
+  }
+  return targets;
+}
+
+void TgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+  observed_ = &observed;
+  shape_.CaptureFrom(observed);
+
+  graphs::EgoGraphConfig ego_cfg;
+  ego_cfg.radius = config_.radius;
+  ego_cfg.neighbor_threshold = config_.neighbor_threshold;
+  ego_cfg.time_window = config_.time_window;
+  ego_sampler_ = std::make_unique<graphs::EgoGraphSampler>(&observed, ego_cfg);
+  initial_sampler_ = std::make_unique<graphs::InitialNodeSampler>(
+      &observed, config_.time_window,
+      /*uniform=*/!config_.degree_weighted_sampling);
+
+  const int n = shape_.num_nodes;
+  node_emb_ = std::make_unique<nn::Embedding>(rng, n, config_.embedding_dim);
+  time_emb_ = std::make_unique<nn::Embedding>(rng, shape_.num_timestamps,
+                                              config_.embedding_dim);
+  encoder_ = std::make_unique<TgatEncoder>(
+      rng, config_.embedding_dim, config_.hidden_dim, config_.num_heads,
+      config_.radius);
+  mlp_mu_ = std::make_unique<nn::Mlp>(
+      rng,
+      std::vector<int>{config_.embedding_dim, config_.hidden_dim,
+                       config_.hidden_dim},
+      nn::Activation::kTanh);
+  mlp_sigma_ = std::make_unique<nn::Mlp>(
+      rng,
+      std::vector<int>{config_.embedding_dim, config_.hidden_dim,
+                       config_.hidden_dim},
+      nn::Activation::kTanh);
+  Rng init = rng.Fork();
+  if (config_.tie_decoder) {
+    // Tied decoder shares the node embedding table; the row representation
+    // and the embeddings must live in the same space.
+    TGSIM_CHECK_EQ(config_.hidden_dim, config_.embedding_dim);
+  } else {
+    w_dec_ = nn::Var::Param(
+        nn::Tensor::GlorotUniform(init, config_.hidden_dim, n));
+  }
+  b_dec_ = nn::Var::Param(nn::Tensor::Zeros(1, n));
+
+  params_.clear();
+  for (const nn::Module* m :
+       {static_cast<const nn::Module*>(node_emb_.get()),
+        static_cast<const nn::Module*>(time_emb_.get()),
+        static_cast<const nn::Module*>(encoder_.get()),
+        static_cast<const nn::Module*>(mlp_mu_.get()),
+        static_cast<const nn::Module*>(mlp_sigma_.get())})
+    params_.insert(params_.end(), m->params().begin(), m->params().end());
+  if (!config_.tie_decoder) params_.push_back(w_dec_);
+  params_.push_back(b_dec_);
+  nn::Adam opt(params_, config_.learning_rate);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::vector<graphs::TemporalNodeRef> centers =
+        initial_sampler_->Sample(config_.batch_centers, rng);
+    std::vector<graphs::EgoGraph> egos;
+    egos.reserve(centers.size());
+    for (const auto& c : centers) egos.push_back(ego_sampler_->Sample(c, rng));
+
+    opt.ZeroGrad();
+    DecodedBatch batch = EncodeDecode(egos, /*centers_only=*/false,
+                                      /*stochastic=*/true, rng);
+    nn::Tensor targets = TargetRows(batch.row_nodes);
+    nn::Var loss = nn::RowCrossEntropyWithLogits(batch.logits, targets);
+    if (config_.probabilistic) {
+      loss = nn::Add(loss, nn::Scale(nn::KlToStandardNormal(
+                                         batch.mu, batch.logvar),
+                                     config_.kl_weight));
+    }
+    nn::Backward(loss);
+    opt.ClipGradNorm(5.0);
+    opt.Step();
+    last_epoch_loss_ = loss.item();
+  }
+}
+
+Status TgaeGenerator::SaveCheckpoint(const std::string& path) const {
+  if (params_.empty())
+    return Status::InvalidArgument("SaveCheckpoint requires a prior Fit()");
+  return SaveParameters(params_, path);
+}
+
+Status TgaeGenerator::LoadCheckpoint(const std::string& path) {
+  if (params_.empty())
+    return Status::InvalidArgument(
+        "LoadCheckpoint requires a prior Fit() to build the parameter "
+        "structures");
+  return LoadParameters(params_, path);
+}
+
+graphs::TemporalGraph TgaeGenerator::Generate(Rng& rng) {
+  TGSIM_CHECK(observed_ != nullptr);
+  const int n = shape_.num_nodes;
+  graphs::TemporalGraph out(n, shape_.num_timestamps);
+
+  for (int t = 0; t < shape_.num_timestamps; ++t) {
+    // Active temporal nodes at t with their observed out-edge budgets
+    // (generation stops exactly at the observed edge amount, Section IV-G).
+    std::vector<graphs::TemporalNodeRef> occ;
+    std::vector<int> budget;
+    {
+      auto span = observed_->EdgesAt(static_cast<graphs::Timestamp>(t));
+      std::vector<int> count(static_cast<size_t>(n), 0);
+      for (const auto& e : span) ++count[static_cast<size_t>(e.u)];
+      for (int u = 0; u < n; ++u) {
+        if (count[static_cast<size_t>(u)] > 0) {
+          occ.push_back({static_cast<graphs::NodeId>(u),
+                         static_cast<graphs::Timestamp>(t)});
+          budget.push_back(count[static_cast<size_t>(u)]);
+        }
+      }
+    }
+    // Chunked decoding keeps peak memory at O(chunk x n).
+    for (size_t base = 0; base < occ.size();
+         base += static_cast<size_t>(config_.generation_chunk)) {
+      size_t end = std::min(
+          occ.size(), base + static_cast<size_t>(config_.generation_chunk));
+      std::vector<graphs::EgoGraph> egos;
+      for (size_t i = base; i < end; ++i)
+        egos.push_back(ego_sampler_->Sample(occ[i], rng));
+      DecodedBatch batch = EncodeDecode(egos, /*centers_only=*/true,
+                                        /*stochastic=*/false, rng);
+      nn::Tensor probs = batch.logits.value().SoftmaxRows();
+      for (size_t i = base; i < end; ++i) {
+        int row = static_cast<int>(i - base);
+        graphs::NodeId u = occ[i].node;
+        // Paper Section IV-G: the categorical distribution is normalized
+        // over the temporal neighborhood N(u^t) — scores outside the
+        // neighborhood support are not eligible. The support is directed
+        // (the row's budget is the observed out-degree). Neighbors from
+        // the surrounding window ring carry a fixed temporal-proximity
+        // discount: the decoder's output classes are per-node (that is
+        // TGAE's O(n^2 T) advantage over TagGen's O(n^2 T^2) state space),
+        // so within-window time preference cannot be learned and is
+        // supplied as a prior (DESIGN.md §2).
+        std::vector<graphs::TemporalNeighbor> nbrs =
+            observed_->OutNeighborhood(u, occ[i].t,
+                                       config_.generation_time_window);
+        std::vector<graphs::NodeId> support;
+        std::vector<bool> is_exact;
+        {
+          std::unordered_set<graphs::NodeId> seen;
+          for (const auto& nb : nbrs) {
+            if (nb.node == u) continue;
+            auto [it, inserted] = seen.insert(nb.node);
+            if (inserted) {
+              support.push_back(nb.node);
+              is_exact.push_back(nb.t == occ[i].t);
+            } else if (nb.t == occ[i].t) {
+              for (size_t c = 0; c < support.size(); ++c)
+                if (support[c] == nb.node) is_exact[c] = true;
+            }
+          }
+        }
+        std::vector<double> weights(support.size());
+        for (size_t c = 0; c < support.size(); ++c)
+          weights[c] = (probs.at(row, support[c]) + 1e-12) *
+                       (is_exact[c] ? 1.0 : config_.generation_ring_weight);
+        // Categorical sampling without replacement (paper Section IV-G);
+        // budgets beyond the support fall back to the full score row.
+        int wanted = std::min(budget[i], n - 1);
+        int from_support =
+            std::min(wanted, static_cast<int>(support.size()));
+        std::vector<bool> taken(static_cast<size_t>(n), false);
+        taken[static_cast<size_t>(u)] = true;
+        for (int d = 0; d < from_support; ++d) {
+          size_t pick = rng.WeightedChoice(weights);
+          graphs::NodeId v = support[pick];
+          out.AddEdge(u, v, static_cast<graphs::Timestamp>(t));
+          taken[static_cast<size_t>(v)] = true;
+          weights[pick] = 0.0;
+          bool all_zero = true;
+          for (double w : weights)
+            if (w > 0.0) {
+              all_zero = false;
+              break;
+            }
+          if (all_zero) {
+            from_support = d + 1;
+            break;
+          }
+        }
+        if (from_support < wanted) {
+          // The observed stream can carry more edges at (u, t) than there
+          // are distinct neighbors (repeated interactions). Once the
+          // support is exhausted, the remainder re-samples the support
+          // with replacement, reproducing duplicate temporal edges; only
+          // an empty support falls back to the full score row.
+          if (!support.empty()) {
+            for (size_t c = 0; c < support.size(); ++c)
+              weights[c] =
+                  (probs.at(row, support[c]) + 1e-12) *
+                  (is_exact[c] ? 1.0 : config_.generation_ring_weight);
+            for (int d = from_support; d < wanted; ++d) {
+              graphs::NodeId v = support[rng.WeightedChoice(weights)];
+              out.AddEdge(u, v, static_cast<graphs::Timestamp>(t));
+            }
+          } else {
+            std::vector<double> full(static_cast<size_t>(n));
+            for (int v = 0; v < n; ++v)
+              full[static_cast<size_t>(v)] =
+                  taken[static_cast<size_t>(v)] ? 0.0 : probs.at(row, v);
+            for (int d = from_support; d < wanted; ++d) {
+              double total = 0.0;
+              for (double w : full) total += w;
+              graphs::NodeId v;
+              if (total <= 1e-15) {
+                v = static_cast<graphs::NodeId>(
+                    rng.UniformInt(static_cast<int64_t>(n)));
+                if (taken[static_cast<size_t>(v)])
+                  v = static_cast<graphs::NodeId>((v + 1) % n);
+              } else {
+                v = static_cast<graphs::NodeId>(rng.WeightedChoice(full));
+              }
+              out.AddEdge(u, v, static_cast<graphs::Timestamp>(t));
+              taken[static_cast<size_t>(v)] = true;
+              full[static_cast<size_t>(v)] = 0.0;
+            }
+          }
+        }
+      }
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace tgsim::core

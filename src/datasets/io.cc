@@ -1,0 +1,78 @@
+#include "datasets/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace tgsim::datasets {
+
+Result<graphs::TemporalGraph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open())
+    return Status::IoError("cannot open edge list: " + path);
+
+  int64_t header_nodes = -1, header_timestamps = -1;
+  std::vector<graphs::TemporalEdge> edges;
+  int64_t max_node = -1;
+  int64_t min_t = std::numeric_limits<int64_t>::max();
+  int64_t max_t = std::numeric_limits<int64_t>::min();
+
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    if (line[0] == '#') {
+      std::istringstream hs(line.substr(1));
+      hs >> header_nodes >> header_timestamps;
+      continue;
+    }
+    std::istringstream ls(line);
+    int64_t u, v, t;
+    if (!(ls >> u >> v >> t))
+      return Status::InvalidArgument("malformed edge at line " +
+                                     std::to_string(line_no) + " of " + path);
+    if (u < 0 || v < 0)
+      return Status::InvalidArgument("negative node id at line " +
+                                     std::to_string(line_no));
+    edges.push_back({static_cast<graphs::NodeId>(u),
+                     static_cast<graphs::NodeId>(v),
+                     static_cast<graphs::Timestamp>(t)});
+    max_node = std::max({max_node, u, v});
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  if (edges.empty())
+    return Status::InvalidArgument("edge list is empty: " + path);
+
+  // Re-base timestamps at zero.
+  for (auto& e : edges)
+    e.t = static_cast<graphs::Timestamp>(e.t - min_t);
+
+  int num_nodes = header_nodes > 0 ? static_cast<int>(header_nodes)
+                                   : static_cast<int>(max_node + 1);
+  int num_ts = header_timestamps > 0
+                   ? static_cast<int>(header_timestamps)
+                   : static_cast<int>(max_t - min_t + 1);
+  if (max_node >= num_nodes)
+    return Status::InvalidArgument("node id exceeds header count");
+  if (max_t - min_t >= num_ts)
+    return Status::InvalidArgument("timestamp exceeds header count");
+  return graphs::TemporalGraph::FromEdges(num_nodes, num_ts,
+                                          std::move(edges));
+}
+
+Status SaveEdgeList(const graphs::TemporalGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot write: " + path);
+  out << "# " << g.num_nodes() << " " << g.num_timestamps() << "\n";
+  for (const graphs::TemporalEdge& e : g.edges())
+    out << e.u << " " << e.v << " " << e.t << "\n";
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace tgsim::datasets

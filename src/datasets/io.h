@@ -1,0 +1,25 @@
+#ifndef TGSIM_DATASETS_IO_H_
+#define TGSIM_DATASETS_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/temporal_graph.h"
+
+namespace tgsim::datasets {
+
+/// Loads a temporal graph from a whitespace-separated edge-list file.
+///
+/// Format: an optional header line `# <num_nodes> <num_timestamps>`,
+/// followed by one `u v t` triple per line. Lines starting with `%` or
+/// empty lines are skipped. Without a header, node/timestamp counts are
+/// inferred as (max id + 1). Timestamps are re-based to start at 0.
+Result<graphs::TemporalGraph> LoadEdgeList(const std::string& path);
+
+/// Writes the graph in the same format (with header) so that
+/// LoadEdgeList(SaveEdgeList(g)) round-trips.
+Status SaveEdgeList(const graphs::TemporalGraph& g, const std::string& path);
+
+}  // namespace tgsim::datasets
+
+#endif  // TGSIM_DATASETS_IO_H_

@@ -1,0 +1,192 @@
+#include "datasets/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tgsim::datasets {
+
+const std::vector<DatasetSpec>& TableIIDatasets() {
+  static const std::vector<DatasetSpec>* kSpecs =
+      new std::vector<DatasetSpec>{
+          {"DBLP", 1909, 8237, 15},
+          {"EMAIL", 986, 332334, 805},
+          {"MSG", 1899, 20296, 195},
+          {"BITCOIN-A", 3783, 24186, 1902},
+          {"BITCOIN-O", 5881, 35592, 1904},
+          {"MATH", 24818, 506550, 79},
+          {"UBUNTU", 159316, 964437, 88},
+      };
+  return *kSpecs;
+}
+
+const DatasetSpec* FindDataset(const std::string& name) {
+  for (const DatasetSpec& s : TableIIDatasets())
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+graphs::TemporalGraph MakeMimic(const DatasetSpec& spec,
+                                const MimicConfig& config, uint64_t seed) {
+  TGSIM_CHECK_GT(config.scale, 0.0);
+  const int n = std::max(8, static_cast<int>(spec.num_nodes * config.scale));
+  const int64_t m =
+      std::max<int64_t>(16, static_cast<int64_t>(spec.num_edges * config.scale));
+  const int t_count = std::max(
+      8, static_cast<int>(spec.num_timestamps * config.scale));
+
+  Rng rng(seed);
+  int num_comm = config.num_communities > 0
+                     ? config.num_communities
+                     : std::max(2, static_cast<int>(std::sqrt(n) / 2.0));
+
+  // Static node attributes.
+  std::vector<int> community(static_cast<size_t>(n));
+  std::vector<double> activity(static_cast<size_t>(n));
+  std::vector<int> arrival(static_cast<size_t>(n));
+  const int initial_active = std::max(
+      2, static_cast<int>(n * config.initial_active_fraction));
+  for (int v = 0; v < n; ++v) {
+    community[v] = static_cast<int>(rng.UniformInt(num_comm));
+    activity[v] = rng.Pareto(config.activity_alpha);
+    arrival[v] = v < initial_active
+                     ? 0
+                     : static_cast<int>(
+                           rng.UniformInt(static_cast<int64_t>(t_count)));
+  }
+
+  // Community member lists for intra-community destination sampling.
+  std::vector<std::vector<graphs::NodeId>> members(
+      static_cast<size_t>(num_comm));
+  for (int v = 0; v < n; ++v)
+    members[static_cast<size_t>(community[v])].push_back(v);
+
+  // Per-timestamp edge budget: mild super-linear growth (densification,
+  // Leskovec et al.), normalized to the total edge budget m.
+  std::vector<double> weight(static_cast<size_t>(t_count));
+  double wsum = 0.0;
+  for (int t = 0; t < t_count; ++t) {
+    weight[t] = 0.5 + 1.5 * (static_cast<double>(t) + 1.0) / t_count;
+    wsum += weight[t];
+  }
+
+  // Degree-preferential destination choice uses a dynamically growing
+  // multiset of endpoints ("repeated nodes" trick from B-A generators).
+  std::vector<graphs::NodeId> endpoint_pool;
+  endpoint_pool.reserve(static_cast<size_t>(2 * m));
+
+  graphs::TemporalGraph g(n, t_count);
+  int64_t emitted = 0;
+  for (int t = 0; t < t_count; ++t) {
+    int64_t budget =
+        t + 1 == t_count
+            ? m - emitted
+            : static_cast<int64_t>(std::llround(m * weight[t] / wsum));
+    budget = std::max<int64_t>(budget, 0);
+    // Active node prefix under the arrival schedule.
+    std::vector<graphs::NodeId> active;
+    std::vector<double> act_weight;
+    for (int v = 0; v < n; ++v) {
+      if (arrival[v] <= t) {
+        active.push_back(v);
+        act_weight.push_back(activity[v]);
+      }
+    }
+    if (active.size() < 2) continue;
+    // CDF over activity for source sampling.
+    std::vector<double> cdf(act_weight.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < act_weight.size(); ++i) {
+      acc += act_weight[i];
+      cdf[i] = acc;
+    }
+    for (int64_t e = 0; e < budget && emitted < m; ++e) {
+      double r = rng.Uniform() * acc;
+      size_t si = static_cast<size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
+      if (si >= active.size()) si = active.size() - 1;
+      graphs::NodeId src = active[si];
+
+      graphs::NodeId dst = src;
+      for (int attempt = 0; attempt < 8 && dst == src; ++attempt) {
+        bool intra = rng.Bernoulli(config.intra_community_prob);
+        if (!endpoint_pool.empty() && rng.Bernoulli(0.6)) {
+          // Preferential attachment: draw from the endpoint multiset,
+          // optionally restricted to the source's community.
+          graphs::NodeId cand = endpoint_pool[static_cast<size_t>(
+              rng.UniformInt(static_cast<int64_t>(endpoint_pool.size())))];
+          if (!intra ||
+              community[static_cast<size_t>(cand)] ==
+                  community[static_cast<size_t>(src)]) {
+            dst = cand;
+            continue;
+          }
+        }
+        if (intra) {
+          const auto& comm = members[static_cast<size_t>(
+              community[static_cast<size_t>(src)])];
+          dst = comm[static_cast<size_t>(
+              rng.UniformInt(static_cast<int64_t>(comm.size())))];
+        } else {
+          dst = active[static_cast<size_t>(
+              rng.UniformInt(static_cast<int64_t>(active.size())))];
+        }
+      }
+      if (dst == src) dst = active[(si + 1) % active.size()];
+      g.AddEdge(src, dst, t);
+      endpoint_pool.push_back(src);
+      endpoint_pool.push_back(dst);
+      ++emitted;
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+graphs::TemporalGraph MakeMimicByName(const std::string& name, double scale,
+                                      uint64_t seed) {
+  const DatasetSpec* spec = FindDataset(name);
+  TGSIM_CHECK(spec != nullptr);
+  MimicConfig config;
+  config.scale = scale;
+  return MakeMimic(*spec, config, seed);
+}
+
+std::string ScalabilityConfig::Label() const {
+  std::ostringstream os;
+  if (num_nodes % 1000 == 0) {
+    os << num_nodes / 1000 << "k";
+  } else {
+    os << num_nodes;
+  }
+  os << "*" << num_timestamps << "*" << density;
+  return os.str();
+}
+
+graphs::TemporalGraph MakeScalabilityGraph(const ScalabilityConfig& config,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  const int n = config.num_nodes;
+  const int t_count = config.num_timestamps;
+  const int64_t per_snapshot = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(
+             config.density * static_cast<double>(n) * static_cast<double>(n))));
+  graphs::TemporalGraph g(n, t_count);
+  for (int t = 0; t < t_count; ++t) {
+    for (int64_t e = 0; e < per_snapshot; ++e) {
+      graphs::NodeId u =
+          static_cast<graphs::NodeId>(rng.UniformInt(static_cast<int64_t>(n)));
+      graphs::NodeId v =
+          static_cast<graphs::NodeId>(rng.UniformInt(static_cast<int64_t>(n)));
+      if (u == v) v = static_cast<graphs::NodeId>((v + 1) % n);
+      g.AddEdge(u, v, t);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+}  // namespace tgsim::datasets

@@ -1,0 +1,99 @@
+#include "eval/registry.h"
+
+#include "baselines/dymond.h"
+#include "baselines/er_ba.h"
+#include "baselines/netgan.h"
+#include "baselines/sbmgnn.h"
+#include "baselines/taggen.h"
+#include "baselines/tggan.h"
+#include "baselines/tigger.h"
+#include "baselines/vgae.h"
+#include "common/check.h"
+#include "core/tgae.h"
+
+namespace tgsim::eval {
+
+const std::vector<std::string>& AllMethodNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "TGAE",   "TIGGER", "DYMOND", "TGGAN",    "TagGen", "NetGAN",
+      "E-R",    "B-A",    "VGAE",   "Graphite", "SBMGNN"};
+  return *kNames;
+}
+
+const std::vector<std::string>& AblationMethodNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "TGAE", "TGAE-g", "TGAE-t", "TGAE-n", "TGAE-p"};
+  return *kNames;
+}
+
+std::unique_ptr<baselines::TemporalGraphGenerator> MakeGenerator(
+    const std::string& name, Effort effort) {
+  const bool fast = effort == Effort::kFast;
+  if (name == "TGAE" || name.rfind("TGAE-", 0) == 0) {
+    core::TgaeVariant variant = core::TgaeVariant::kFull;
+    if (name == "TGAE-g") variant = core::TgaeVariant::kRandomWalk;
+    if (name == "TGAE-t") variant = core::TgaeVariant::kNoTruncation;
+    if (name == "TGAE-n") variant = core::TgaeVariant::kUniformSampling;
+    if (name == "TGAE-p") variant = core::TgaeVariant::kNonProbabilistic;
+    core::TgaeConfig cfg = core::TgaeConfig::ForVariant(variant);
+    if (fast) {
+      cfg.epochs = 5;
+      cfg.batch_centers = 16;
+    }
+    return std::make_unique<core::TgaeGenerator>(cfg);
+  }
+  if (name == "TIGGER") {
+    baselines::TiggerConfig cfg;
+    if (fast) {
+      cfg.epochs = 3;
+      cfg.walks_per_epoch = 40;
+    }
+    return std::make_unique<baselines::TiggerGenerator>(cfg);
+  }
+  if (name == "DYMOND")
+    return std::make_unique<baselines::DymondGenerator>();
+  if (name == "TGGAN") {
+    baselines::TgganConfig cfg;
+    if (fast) {
+      cfg.iterations = 8;
+      cfg.batch_walks = 12;
+    }
+    return std::make_unique<baselines::TgganGenerator>(cfg);
+  }
+  if (name == "TagGen") {
+    baselines::TagGenConfig cfg;
+    if (fast) {
+      cfg.epochs = 4;
+      cfg.walks_per_epoch = 60;
+    }
+    return std::make_unique<baselines::TagGenGenerator>(cfg);
+  }
+  if (name == "NetGAN") {
+    baselines::NetGanConfig cfg;
+    if (fast) cfg.epochs = 15;
+    return std::make_unique<baselines::NetGanGenerator>(cfg);
+  }
+  if (name == "E-R")
+    return std::make_unique<baselines::ErdosRenyiGenerator>();
+  if (name == "B-A")
+    return std::make_unique<baselines::BarabasiAlbertGenerator>();
+  if (name == "VGAE") {
+    baselines::VgaeConfig cfg;
+    if (fast) cfg.epochs = 10;
+    return std::make_unique<baselines::VgaeGenerator>(cfg);
+  }
+  if (name == "Graphite") {
+    baselines::VgaeConfig cfg;
+    if (fast) cfg.epochs = 10;
+    return std::make_unique<baselines::GraphiteGenerator>(cfg);
+  }
+  if (name == "SBMGNN") {
+    baselines::SbmGnnConfig cfg;
+    if (fast) cfg.epochs = 10;
+    return std::make_unique<baselines::SbmGnnGenerator>(cfg);
+  }
+  TGSIM_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace tgsim::eval

@@ -1,0 +1,32 @@
+#ifndef TGSIM_EVAL_REGISTRY_H_
+#define TGSIM_EVAL_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/generator.h"
+
+namespace tgsim::eval {
+
+/// Effort profile for the learned generators: "fast" shrinks epochs/walks
+/// for smoke tests, "paper" uses the defaults the benches report.
+enum class Effort { kFast, kPaper };
+
+/// All method names in the paper's table column order:
+/// TGAE, TIGGER, DYMOND, TGGAN, TagGen, NetGAN, E-R, B-A, VGAE, Graphite,
+/// SBMGNN.
+const std::vector<std::string>& AllMethodNames();
+
+/// Ablation variant names of Table VII (TGAE, TGAE-g, TGAE-t, TGAE-n,
+/// TGAE-p).
+const std::vector<std::string>& AblationMethodNames();
+
+/// Instantiates a generator by its table name (either list above).
+/// Checks-fails on unknown names.
+std::unique_ptr<baselines::TemporalGraphGenerator> MakeGenerator(
+    const std::string& name, Effort effort = Effort::kPaper);
+
+}  // namespace tgsim::eval
+
+#endif  // TGSIM_EVAL_REGISTRY_H_

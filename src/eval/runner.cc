@@ -1,0 +1,61 @@
+#include "eval/runner.h"
+
+#include <cstdio>
+
+#include "common/memory_tracker.h"
+#include "common/stopwatch.h"
+#include "metrics/motifs.h"
+
+namespace tgsim::eval {
+
+RunResult RunMethod(const std::string& method,
+                    const graphs::TemporalGraph& observed,
+                    const RunOptions& options) {
+  RunResult result;
+  result.method = method;
+
+  std::unique_ptr<baselines::TemporalGraphGenerator> generator =
+      MakeGenerator(method, options.effort);
+
+  if (options.paper_scale.has_value()) {
+    const datasets::DatasetSpec& spec = *options.paper_scale;
+    int64_t estimate = generator->EstimatePaperMemoryBytes(
+        spec.num_nodes, spec.num_edges, spec.num_timestamps);
+    if (estimate > options.memory_budget_bytes) {
+      result.oom = true;
+      return result;
+    }
+  }
+
+  Rng rng(options.seed);
+  MemoryUsageScope mem_scope;
+
+  Stopwatch fit_watch;
+  generator->Fit(observed, rng);
+  result.fit_seconds = fit_watch.ElapsedSeconds();
+
+  Stopwatch gen_watch;
+  graphs::TemporalGraph generated = generator->Generate(rng);
+  result.generate_seconds = gen_watch.ElapsedSeconds();
+  result.peak_mib = mem_scope.PeakMiB();
+
+  if (options.compute_graph_scores) {
+    result.scores = metrics::ScoreAllMetrics(observed, generated,
+                                             options.metric_stride);
+  }
+  if (options.compute_motif_mmd) {
+    result.motif_mmd =
+        metrics::MotifMmd(observed, generated, options.motif_delta,
+                          options.mmd_sigma, options.motif_max_triples);
+  }
+  return result;
+}
+
+std::string FormatCell(double value, bool oom) {
+  if (oom) return "OOM";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2E", value);
+  return buf;
+}
+
+}  // namespace tgsim::eval

@@ -1,0 +1,62 @@
+#ifndef TGSIM_EVAL_RUNNER_H_
+#define TGSIM_EVAL_RUNNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datasets/synthetic.h"
+#include "eval/registry.h"
+#include "graph/temporal_graph.h"
+#include "metrics/temporal_scores.h"
+
+namespace tgsim::eval {
+
+/// Options for one fit+generate+score run.
+struct RunOptions {
+  uint64_t seed = 7;
+  Effort effort = Effort::kPaper;
+  /// Device budget for the paper-scale OOM emulation; 32 GB = the V100 of
+  /// the paper's testbed (DESIGN.md §2).
+  int64_t memory_budget_bytes = 32LL * 1024 * 1024 * 1024;
+  /// Paper-scale shape used for the OOM decision. When unset, OOM
+  /// emulation is disabled (everything runs).
+  std::optional<datasets::DatasetSpec> paper_scale;
+  /// Snapshot-metric timestamp stride (1 = every timestamp).
+  int metric_stride = 1;
+  /// Temporal motif window delta and MMD kernel bandwidth (Table VI).
+  int motif_delta = 4;
+  double mmd_sigma = 1.0;
+  /// Cap on enumerated motif triples per census (guards dense graphs).
+  int64_t motif_max_triples = 4000000;
+  bool compute_graph_scores = true;
+  bool compute_motif_mmd = false;
+};
+
+/// Outcome of one method on one dataset.
+struct RunResult {
+  std::string method;
+  bool oom = false;
+  double fit_seconds = 0.0;
+  double generate_seconds = 0.0;
+  double peak_mib = 0.0;  // Tracked allocator peak during fit+generate.
+  /// f_avg/f_med per metric, ordered like metrics::AllGraphMetrics().
+  std::vector<metrics::TemporalScore> scores;
+  double motif_mmd = 0.0;
+};
+
+/// Fits `method` on `observed`, generates one graph, and scores it.
+/// If `options.paper_scale` is set and the method's analytic paper-scale
+/// memory model exceeds the budget, the run is skipped and marked OOM
+/// (matching the paper's table presentation).
+RunResult RunMethod(const std::string& method,
+                    const graphs::TemporalGraph& observed,
+                    const RunOptions& options);
+
+/// Formats a score the way the paper's tables do (e.g. "2.41E-3"), or
+/// "OOM".
+std::string FormatCell(double value, bool oom);
+
+}  // namespace tgsim::eval
+
+#endif  // TGSIM_EVAL_RUNNER_H_

@@ -1,0 +1,27 @@
+#ifndef TGSIM_EVAL_TABLE_PRINTER_H_
+#define TGSIM_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace tgsim::eval {
+
+/// Minimal fixed-width table renderer for the bench binaries: prints a
+/// header row and data rows padded to the widest cell per column.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table (header, separator, rows) to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tgsim::eval
+
+#endif  // TGSIM_EVAL_TABLE_PRINTER_H_

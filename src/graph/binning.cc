@@ -1,0 +1,59 @@
+#include "graph/binning.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tgsim::graphs {
+
+BinnedGraph BinEvents(const std::vector<RawEvent>& events, int num_nodes,
+                      int num_timestamps, BinningStrategy strategy) {
+  TGSIM_CHECK(!events.empty());
+  TGSIM_CHECK_GE(num_timestamps, 1);
+
+  std::vector<int64_t> times;
+  times.reserve(events.size());
+  for (const RawEvent& e : events) times.push_back(e.time);
+  std::sort(times.begin(), times.end());
+  const int64_t t_min = times.front();
+  const int64_t t_max = times.back();
+
+  // Bin lower boundaries (inclusive).
+  std::vector<int64_t> boundaries(static_cast<size_t>(num_timestamps));
+  if (strategy == BinningStrategy::kUniformTime) {
+    const double width =
+        static_cast<double>(t_max - t_min + 1) / num_timestamps;
+    for (int b = 0; b < num_timestamps; ++b)
+      boundaries[static_cast<size_t>(b)] =
+          t_min + static_cast<int64_t>(b * width);
+  } else {
+    for (int b = 0; b < num_timestamps; ++b) {
+      size_t idx = static_cast<size_t>(
+          static_cast<double>(b) * static_cast<double>(times.size()) /
+          num_timestamps);
+      boundaries[static_cast<size_t>(b)] = times[idx];
+    }
+  }
+  // Boundaries must be non-decreasing; de-duplicate runs caused by ties.
+  for (int b = 1; b < num_timestamps; ++b)
+    boundaries[static_cast<size_t>(b)] = std::max(
+        boundaries[static_cast<size_t>(b)], boundaries[static_cast<size_t>(b) - 1]);
+
+  auto bin_of = [&](int64_t time) {
+    // Last boundary <= time.
+    auto it = std::upper_bound(boundaries.begin(), boundaries.end(), time);
+    int b = static_cast<int>(it - boundaries.begin()) - 1;
+    return std::clamp(b, 0, num_timestamps - 1);
+  };
+
+  TemporalGraph g(num_nodes, num_timestamps);
+  for (const RawEvent& e : events) {
+    TGSIM_CHECK(e.u >= 0 && e.u < num_nodes);
+    TGSIM_CHECK(e.v >= 0 && e.v < num_nodes);
+    g.AddEdge(e.u, e.v, static_cast<Timestamp>(bin_of(e.time)));
+  }
+  g.Finalize();
+  return BinnedGraph{std::move(g), std::move(boundaries)};
+}
+
+}  // namespace tgsim::graphs

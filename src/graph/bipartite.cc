@@ -1,0 +1,113 @@
+#include "graph/bipartite.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace tgsim::graphs {
+
+namespace {
+
+int64_t KeyOf(TemporalNodeRef r) {
+  return static_cast<int64_t>(r.node) * 4000037 + r.t;
+}
+
+}  // namespace
+
+BipartiteStack BuildBipartiteStack(const std::vector<EgoGraph>& egos,
+                                   int radius) {
+  TGSIM_CHECK_GE(radius, 1);
+  BipartiteStack stack;
+  stack.layer_nodes.resize(static_cast<size_t>(radius) + 1);
+  stack.layers.resize(static_cast<size_t>(radius));
+
+  // Index maps per layer: temporal node -> position in layer_nodes[l].
+  std::vector<std::unordered_map<int64_t, int>> layer_index(
+      static_cast<size_t>(radius) + 1);
+
+  auto intern = [&](int layer, TemporalNodeRef node) -> int {
+    auto& idx = layer_index[static_cast<size_t>(layer)];
+    auto [it, inserted] = idx.try_emplace(
+        KeyOf(node), static_cast<int>(stack.layer_nodes[layer].size()));
+    if (inserted) stack.layer_nodes[layer].push_back(node);
+    return it->second;
+  };
+
+  // Pass 1: S_0 = centers.
+  stack.center_index.reserve(egos.size());
+  for (const EgoGraph& ego : egos)
+    stack.center_index.push_back(intern(0, ego.center));
+
+  // Pass 2: layer l must contain every node of layer l-1 (self message
+  // path), plus all hop-l nodes of every ego-graph.
+  for (int l = 1; l <= radius; ++l) {
+    for (const TemporalNodeRef& node : stack.layer_nodes[l - 1])
+      intern(l, node);
+    for (const EgoGraph& ego : egos) {
+      for (int i = 0; i < ego.size(); ++i) {
+        if (ego.depth[static_cast<size_t>(i)] == l)
+          intern(l, ego.nodes[static_cast<size_t>(i)]);
+      }
+    }
+  }
+
+  // Record where each layer-l node lives inside layer l+1.
+  stack.copy_in_next.resize(static_cast<size_t>(radius));
+  for (int l = 0; l < radius; ++l) {
+    auto& copies = stack.copy_in_next[static_cast<size_t>(l)];
+    copies.reserve(stack.layer_nodes[l].size());
+    for (const TemporalNodeRef& node : stack.layer_nodes[l])
+      copies.push_back(layer_index[static_cast<size_t>(l) + 1].at(KeyOf(node)));
+  }
+
+  // Pass 3: edges. An ego edge (parent at depth d, child at depth d+1)
+  // becomes a message edge child(S_{d+1}) -> parent(S_d) in layers[d].
+  // Self-loops connect each S_d node from its S_{d+1} copy.
+  std::vector<std::vector<std::pair<int, int>>> edges(
+      static_cast<size_t>(radius));
+  for (int l = 0; l < radius; ++l) {
+    for (const TemporalNodeRef& node : stack.layer_nodes[l]) {
+      auto src_it = layer_index[static_cast<size_t>(l) + 1].find(KeyOf(node));
+      TGSIM_CHECK(src_it != layer_index[static_cast<size_t>(l) + 1].end());
+      int dst = layer_index[static_cast<size_t>(l)].at(KeyOf(node));
+      edges[static_cast<size_t>(l)].emplace_back(src_it->second, dst);
+    }
+  }
+  for (const EgoGraph& ego : egos) {
+    for (auto [pi, ci] : ego.edges) {
+      int d = ego.depth[static_cast<size_t>(pi)];
+      // Ego-graphs may contain non-layered edges (a sampled neighbor that
+      // was already discovered at an equal or shallower hop). Only strictly
+      // layered edges participate in the bipartite computation graph; the
+      // self-loop paths keep everything else reachable.
+      if (ego.depth[static_cast<size_t>(ci)] != d + 1) continue;
+      if (d >= radius) continue;
+      auto& src_map = layer_index[static_cast<size_t>(d) + 1];
+      auto& dst_map = layer_index[static_cast<size_t>(d)];
+      auto src_it = src_map.find(KeyOf(ego.nodes[static_cast<size_t>(ci)]));
+      auto dst_it = dst_map.find(KeyOf(ego.nodes[static_cast<size_t>(pi)]));
+      // Parents at depth d>0 were interned into every deeper layer too, but
+      // the (src,dst) pair for the message at layer d always exists.
+      TGSIM_CHECK(src_it != src_map.end());
+      TGSIM_CHECK(dst_it != dst_map.end());
+      edges[static_cast<size_t>(d)].emplace_back(src_it->second,
+                                                 dst_it->second);
+    }
+  }
+
+  for (int l = 0; l < radius; ++l) {
+    auto& e = edges[static_cast<size_t>(l)];
+    std::sort(e.begin(), e.end());
+    e.erase(std::unique(e.begin(), e.end()), e.end());
+    BipartiteLayer& layer = stack.layers[static_cast<size_t>(l)];
+    layer.src.reserve(e.size());
+    layer.dst.reserve(e.size());
+    for (auto [s, d] : e) {
+      layer.src.push_back(s);
+      layer.dst.push_back(d);
+    }
+  }
+  return stack;
+}
+
+}  // namespace tgsim::graphs

@@ -1,0 +1,95 @@
+#include "graph/static_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace tgsim::graphs {
+
+StaticGraph StaticGraph::FromEdgeList(
+    int num_nodes, const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  StaticGraph g;
+  g.num_nodes_ = num_nodes;
+  // Canonicalize: undirected, no self-loops, dedup.
+  std::vector<std::pair<NodeId, NodeId>> canon;
+  canon.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    TGSIM_DCHECK(u >= 0 && u < num_nodes && v >= 0 && v < num_nodes);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    canon.emplace_back(u, v);
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  g.num_edges_ = static_cast<int64_t>(canon.size());
+
+  std::vector<int64_t> counts(static_cast<size_t>(num_nodes) + 1, 0);
+  for (auto [u, v] : canon) {
+    ++counts[static_cast<size_t>(u) + 1];
+    ++counts[static_cast<size_t>(v) + 1];
+  }
+  g.offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (int i = 0; i < num_nodes; ++i)
+    g.offsets_[i + 1] = g.offsets_[i] + counts[static_cast<size_t>(i) + 1];
+  g.adj_.resize(static_cast<size_t>(g.offsets_[num_nodes]));
+  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (auto [u, v] : canon) {
+    g.adj_[static_cast<size_t>(cursor[u]++)] = v;
+    g.adj_[static_cast<size_t>(cursor[v]++)] = u;
+  }
+  for (int u = 0; u < num_nodes; ++u) {
+    std::sort(g.adj_.begin() + g.offsets_[u], g.adj_.begin() + g.offsets_[u + 1]);
+  }
+  return g;
+}
+
+bool StaticGraph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<int> StaticGraph::Degrees() const {
+  std::vector<int> d(static_cast<size_t>(num_nodes_));
+  for (int u = 0; u < num_nodes_; ++u) d[u] = Degree(u);
+  return d;
+}
+
+std::vector<int> StaticGraph::ConnectedComponents(int* num_components) const {
+  std::vector<int> parent(static_cast<size_t>(num_nodes_));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<int> rank(static_cast<size_t>(num_nodes_), 0);
+
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (rank[a] < rank[b]) std::swap(a, b);
+    parent[b] = a;
+    if (rank[a] == rank[b]) ++rank[a];
+  };
+
+  for (int u = 0; u < num_nodes_; ++u)
+    for (NodeId v : Neighbors(u))
+      if (u < v) unite(u, v);
+
+  std::vector<int> comp(static_cast<size_t>(num_nodes_), -1);
+  int next = 0;
+  for (int u = 0; u < num_nodes_; ++u) {
+    int r = find(u);
+    if (comp[r] == -1) comp[r] = next++;
+    comp[u] = comp[r];
+  }
+  if (num_components != nullptr) *num_components = next;
+  return comp;
+}
+
+}  // namespace tgsim::graphs

@@ -1,0 +1,60 @@
+#ifndef TGSIM_GRAPH_STATIC_GRAPH_H_
+#define TGSIM_GRAPH_STATIC_GRAPH_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace tgsim::graphs {
+
+/// Undirected simple graph stored in CSR form.
+///
+/// This is the object the evaluation metrics (paper Table III) operate on:
+/// temporal snapshots are accumulated into a StaticGraph, self-loops are
+/// dropped and parallel edges collapsed, matching how TagGen's evaluation
+/// treats snapshots.
+class StaticGraph {
+ public:
+  StaticGraph() = default;
+
+  /// Builds from (possibly duplicated, possibly self-looped) edge pairs.
+  static StaticGraph FromEdgeList(
+      int num_nodes, const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  int num_nodes() const { return num_nodes_; }
+  /// Number of undirected simple edges.
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Sorted neighbor list of u.
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    return {adj_.data() + offsets_[u],
+            static_cast<size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+
+  int Degree(NodeId u) const {
+    return static_cast<int>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// True iff the undirected edge {u, v} exists (binary search).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Degrees of all nodes.
+  std::vector<int> Degrees() const;
+
+  /// Connected components via union-find; returns component id per node.
+  /// `num_components` receives the number of components among *non-isolated
+  /// nodes plus isolated nodes* (each isolated node is its own component).
+  std::vector<int> ConnectedComponents(int* num_components) const;
+
+ private:
+  int num_nodes_ = 0;
+  int64_t num_edges_ = 0;
+  std::vector<int64_t> offsets_;  // size num_nodes_+1
+  std::vector<NodeId> adj_;
+};
+
+}  // namespace tgsim::graphs
+
+#endif  // TGSIM_GRAPH_STATIC_GRAPH_H_

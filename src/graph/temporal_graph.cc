@@ -1,0 +1,189 @@
+#include "graph/temporal_graph.h"
+
+#include <algorithm>
+
+namespace tgsim::graphs {
+
+TemporalGraph::TemporalGraph(int num_nodes, int num_timestamps)
+    : num_nodes_(num_nodes), num_timestamps_(num_timestamps) {
+  TGSIM_CHECK_GT(num_nodes, 0);
+  TGSIM_CHECK_GT(num_timestamps, 0);
+}
+
+TemporalGraph TemporalGraph::FromEdges(int num_nodes, int num_timestamps,
+                                       std::vector<TemporalEdge> edges) {
+  TemporalGraph g(num_nodes, num_timestamps);
+  g.edges_ = std::move(edges);
+  for (const TemporalEdge& e : g.edges_) {
+    TGSIM_CHECK(e.u >= 0 && e.u < num_nodes);
+    TGSIM_CHECK(e.v >= 0 && e.v < num_nodes);
+    TGSIM_CHECK(e.t >= 0 && e.t < num_timestamps);
+  }
+  g.Finalize();
+  return g;
+}
+
+void TemporalGraph::AddEdge(NodeId u, NodeId v, Timestamp t) {
+  TGSIM_CHECK(!finalized_);
+  TGSIM_DCHECK(u >= 0 && u < num_nodes_);
+  TGSIM_DCHECK(v >= 0 && v < num_nodes_);
+  TGSIM_DCHECK(t >= 0 && t < num_timestamps_);
+  edges_.push_back({u, v, t});
+}
+
+void TemporalGraph::Finalize() {
+  TGSIM_CHECK(!finalized_);
+  std::sort(edges_.begin(), edges_.end());
+
+  // Timestamp offsets for EdgesAt.
+  t_offsets_.assign(static_cast<size_t>(num_timestamps_) + 1, 0);
+  for (const TemporalEdge& e : edges_) ++t_offsets_[static_cast<size_t>(e.t) + 1];
+  for (int t = 0; t < num_timestamps_; ++t)
+    t_offsets_[t + 1] += t_offsets_[t];
+
+  // Bidirectional temporal adjacency grouped by node.
+  std::vector<int64_t> counts(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (const TemporalEdge& e : edges_) {
+    ++counts[static_cast<size_t>(e.u) + 1];
+    if (e.v != e.u) ++counts[static_cast<size_t>(e.v) + 1];
+  }
+  adj_offsets_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (int i = 0; i < num_nodes_; ++i)
+    adj_offsets_[i + 1] = adj_offsets_[i] + counts[static_cast<size_t>(i) + 1];
+  adj_.resize(static_cast<size_t>(adj_offsets_[num_nodes_]));
+  std::vector<int64_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (const TemporalEdge& e : edges_) {
+    adj_[static_cast<size_t>(cursor[e.u]++)] = {e.v, e.t};
+    if (e.v != e.u) adj_[static_cast<size_t>(cursor[e.v]++)] = {e.u, e.t};
+  }
+  for (int u = 0; u < num_nodes_; ++u) {
+    std::sort(adj_.begin() + adj_offsets_[u], adj_.begin() + adj_offsets_[u + 1],
+              [](const TemporalNeighbor& a, const TemporalNeighbor& b) {
+                return a.t < b.t || (a.t == b.t && a.node < b.node);
+              });
+  }
+
+  // Directed out-adjacency (source -> destinations).
+  std::vector<int64_t> out_counts(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (const TemporalEdge& e : edges_)
+    ++out_counts[static_cast<size_t>(e.u) + 1];
+  out_offsets_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (int i = 0; i < num_nodes_; ++i)
+    out_offsets_[i + 1] =
+        out_offsets_[i] + out_counts[static_cast<size_t>(i) + 1];
+  out_adj_.resize(static_cast<size_t>(out_offsets_[num_nodes_]));
+  std::vector<int64_t> out_cursor(out_offsets_.begin(),
+                                  out_offsets_.end() - 1);
+  for (const TemporalEdge& e : edges_)
+    out_adj_[static_cast<size_t>(out_cursor[e.u]++)] = {e.v, e.t};
+  // Edges are already sorted by (t,u,v), so each node's out list is sorted
+  // by t; no extra sort needed.
+  finalized_ = true;
+}
+
+std::span<const TemporalEdge> TemporalGraph::EdgesAt(Timestamp t) const {
+  TGSIM_CHECK(finalized_);
+  TGSIM_CHECK(t >= 0 && t < num_timestamps_);
+  return {edges_.data() + t_offsets_[t],
+          static_cast<size_t>(t_offsets_[t + 1] - t_offsets_[t])};
+}
+
+std::span<const TemporalNeighbor> TemporalGraph::Neighbors(NodeId u) const {
+  TGSIM_CHECK(finalized_);
+  return {adj_.data() + adj_offsets_[u],
+          static_cast<size_t>(adj_offsets_[u + 1] - adj_offsets_[u])};
+}
+
+std::span<const TemporalNeighbor> TemporalGraph::OutNeighbors(
+    NodeId u) const {
+  TGSIM_CHECK(finalized_);
+  return {out_adj_.data() + out_offsets_[u],
+          static_cast<size_t>(out_offsets_[u + 1] - out_offsets_[u])};
+}
+
+std::vector<TemporalNeighbor> TemporalGraph::OutNeighborhood(
+    NodeId u, Timestamp t, int time_window) const {
+  auto nbrs = OutNeighbors(u);
+  Timestamp lo = static_cast<Timestamp>(t - time_window);
+  Timestamp hi = static_cast<Timestamp>(t + time_window);
+  auto first = std::lower_bound(
+      nbrs.begin(), nbrs.end(), lo,
+      [](const TemporalNeighbor& a, Timestamp x) { return a.t < x; });
+  auto last = std::upper_bound(
+      nbrs.begin(), nbrs.end(), hi,
+      [](Timestamp x, const TemporalNeighbor& a) { return x < a.t; });
+  return {first, last};
+}
+
+std::vector<TemporalNeighbor> TemporalGraph::TemporalNeighborhood(
+    NodeId u, Timestamp t, int time_window) const {
+  auto nbrs = Neighbors(u);
+  // Neighbors are sorted by t; binary search the admissible window.
+  Timestamp lo = static_cast<Timestamp>(t - time_window);
+  Timestamp hi = static_cast<Timestamp>(t + time_window);
+  auto first = std::lower_bound(
+      nbrs.begin(), nbrs.end(), lo,
+      [](const TemporalNeighbor& a, Timestamp x) { return a.t < x; });
+  auto last = std::upper_bound(
+      nbrs.begin(), nbrs.end(), hi,
+      [](Timestamp x, const TemporalNeighbor& a) { return x < a.t; });
+  return {first, last};
+}
+
+int64_t TemporalGraph::TemporalDegree(NodeId u, Timestamp t,
+                                      int time_window) const {
+  auto nbrs = Neighbors(u);
+  Timestamp lo = static_cast<Timestamp>(t - time_window);
+  Timestamp hi = static_cast<Timestamp>(t + time_window);
+  auto first = std::lower_bound(
+      nbrs.begin(), nbrs.end(), lo,
+      [](const TemporalNeighbor& a, Timestamp x) { return a.t < x; });
+  auto last = std::upper_bound(
+      nbrs.begin(), nbrs.end(), hi,
+      [](Timestamp x, const TemporalNeighbor& a) { return x < a.t; });
+  return last - first;
+}
+
+int64_t TemporalGraph::NumTemporalNodes() const {
+  TGSIM_CHECK(finalized_);
+  int64_t count = 0;
+  for (int u = 0; u < num_nodes_; ++u) {
+    auto nbrs = Neighbors(u);
+    Timestamp prev = -1;
+    for (const TemporalNeighbor& nb : nbrs) {
+      if (nb.t != prev) {
+        ++count;
+        prev = nb.t;
+      }
+    }
+  }
+  return count;
+}
+
+StaticGraph TemporalGraph::SnapshotUpTo(Timestamp t) const {
+  TGSIM_CHECK(finalized_);
+  TGSIM_CHECK(t >= 0 && t < num_timestamps_);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  int64_t end = t_offsets_[t + 1];
+  pairs.reserve(static_cast<size_t>(end));
+  for (int64_t i = 0; i < end; ++i) pairs.emplace_back(edges_[i].u, edges_[i].v);
+  return StaticGraph::FromEdgeList(num_nodes_, pairs);
+}
+
+StaticGraph TemporalGraph::SnapshotAt(Timestamp t) const {
+  auto span = EdgesAt(t);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(span.size());
+  for (const TemporalEdge& e : span) pairs.emplace_back(e.u, e.v);
+  return StaticGraph::FromEdgeList(num_nodes_, pairs);
+}
+
+std::vector<int64_t> TemporalGraph::EdgesPerTimestamp() const {
+  TGSIM_CHECK(finalized_);
+  std::vector<int64_t> counts(static_cast<size_t>(num_timestamps_));
+  for (int t = 0; t < num_timestamps_; ++t)
+    counts[t] = t_offsets_[t + 1] - t_offsets_[t];
+  return counts;
+}
+
+}  // namespace tgsim::graphs

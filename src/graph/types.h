@@ -1,0 +1,52 @@
+#ifndef TGSIM_GRAPH_TYPES_H_
+#define TGSIM_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <tuple>
+
+namespace tgsim::graphs {
+
+/// Node identifier in [0, num_nodes).
+using NodeId = int32_t;
+/// Discrete timestamp in [0, num_timestamps) — the paper models the
+/// temporal graph as a series of snapshots G_1..G_T.
+using Timestamp = int32_t;
+
+/// A directed timestamped interaction (u -> v at time t).
+struct TemporalEdge {
+  NodeId u = 0;
+  NodeId v = 0;
+  Timestamp t = 0;
+
+  friend bool operator==(const TemporalEdge& a, const TemporalEdge& b) {
+    return a.u == b.u && a.v == b.v && a.t == b.t;
+  }
+  friend bool operator<(const TemporalEdge& a, const TemporalEdge& b) {
+    return std::tie(a.t, a.u, a.v) < std::tie(b.t, b.u, b.v);
+  }
+};
+
+/// A temporal node v^t (paper Def. 1): a node occurrence at a timestamp.
+struct TemporalNodeRef {
+  NodeId node = 0;
+  Timestamp t = 0;
+
+  friend bool operator==(const TemporalNodeRef& a, const TemporalNodeRef& b) {
+    return a.node == b.node && a.t == b.t;
+  }
+  friend bool operator<(const TemporalNodeRef& a, const TemporalNodeRef& b) {
+    return std::tie(a.t, a.node) < std::tie(b.t, b.node);
+  }
+};
+
+/// Hash functor for TemporalNodeRef (for flat hash sets/maps).
+struct TemporalNodeRefHash {
+  size_t operator()(const TemporalNodeRef& k) const {
+    return static_cast<size_t>(k.node) * 1000003u +
+           static_cast<size_t>(k.t) * 0x9e3779b97f4a7c15ull;
+  }
+};
+
+}  // namespace tgsim::graphs
+
+#endif  // TGSIM_GRAPH_TYPES_H_

@@ -1,0 +1,40 @@
+#include "metrics/degree_mmd.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "metrics/motifs.h"
+
+namespace tgsim::metrics {
+
+std::vector<double> DegreeHistogram(const graphs::StaticGraph& g,
+                                    int max_degree) {
+  TGSIM_CHECK_GE(max_degree, 1);
+  std::vector<double> hist(static_cast<size_t>(max_degree) + 1, 0.0);
+  int64_t active = 0;
+  for (graphs::NodeId u = 0; u < g.num_nodes(); ++u) {
+    int d = g.Degree(u);
+    if (d == 0) continue;
+    ++active;
+    hist[static_cast<size_t>(std::min(d, max_degree))] += 1.0;
+  }
+  if (active > 0)
+    for (double& h : hist) h /= static_cast<double>(active);
+  return hist;
+}
+
+double DegreeMmd(const graphs::TemporalGraph& real,
+                 const graphs::TemporalGraph& generated, double sigma,
+                 int max_degree, int stride) {
+  TGSIM_CHECK_EQ(real.num_timestamps(), generated.num_timestamps());
+  TGSIM_CHECK_GE(stride, 1);
+  std::vector<std::vector<double>> set_real, set_gen;
+  for (graphs::Timestamp t = 0; t < real.num_timestamps(); t += stride) {
+    set_real.push_back(DegreeHistogram(real.SnapshotUpTo(t), max_degree));
+    set_gen.push_back(
+        DegreeHistogram(generated.SnapshotUpTo(t), max_degree));
+  }
+  return MmdSquared(set_real, set_gen, sigma);
+}
+
+}  // namespace tgsim::metrics

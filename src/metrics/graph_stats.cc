@@ -1,0 +1,155 @@
+#include "metrics/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tgsim::metrics {
+
+const std::vector<GraphMetric>& AllGraphMetrics() {
+  static const std::vector<GraphMetric>* kAll = new std::vector<GraphMetric>{
+      GraphMetric::kMeanDegree,    GraphMetric::kLcc,
+      GraphMetric::kWedgeCount,    GraphMetric::kClawCount,
+      GraphMetric::kTriangleCount, GraphMetric::kPle,
+      GraphMetric::kNComponents};
+  return *kAll;
+}
+
+std::string MetricName(GraphMetric m) {
+  switch (m) {
+    case GraphMetric::kMeanDegree:
+      return "Mean Degree";
+    case GraphMetric::kLcc:
+      return "LCC";
+    case GraphMetric::kWedgeCount:
+      return "Wedge Count";
+    case GraphMetric::kClawCount:
+      return "Claw Count";
+    case GraphMetric::kTriangleCount:
+      return "Triangle Count";
+    case GraphMetric::kPle:
+      return "PLE";
+    case GraphMetric::kNComponents:
+      return "N-Components";
+  }
+  return "Unknown";
+}
+
+double GraphStats::Get(GraphMetric m) const {
+  switch (m) {
+    case GraphMetric::kMeanDegree:
+      return mean_degree;
+    case GraphMetric::kLcc:
+      return lcc;
+    case GraphMetric::kWedgeCount:
+      return wedge_count;
+    case GraphMetric::kClawCount:
+      return claw_count;
+    case GraphMetric::kTriangleCount:
+      return triangle_count;
+    case GraphMetric::kPle:
+      return ple;
+    case GraphMetric::kNComponents:
+      return n_components;
+  }
+  return 0.0;
+}
+
+int64_t TriangleCount(const graphs::StaticGraph& g) {
+  // For each edge (u,v) with u<v, count common neighbors w>v; each triangle
+  // is found exactly once at its lexicographically smallest edge.
+  int64_t triangles = 0;
+  for (graphs::NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nu = g.Neighbors(u);
+    for (graphs::NodeId v : nu) {
+      if (v <= u) continue;
+      auto nv = g.Neighbors(v);
+      // Two-pointer intersection over sorted lists, counting w > v.
+      auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
+      auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          ++triangles;
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+double PowerLawExponent(const graphs::StaticGraph& g) {
+  int64_t n = 0;
+  int d_min = INT32_MAX;
+  for (graphs::NodeId u = 0; u < g.num_nodes(); ++u) {
+    int d = g.Degree(u);
+    if (d > 0) {
+      ++n;
+      d_min = std::min(d_min, d);
+    }
+  }
+  if (n == 0) return 0.0;
+  double log_sum = 0.0;
+  for (graphs::NodeId u = 0; u < g.num_nodes(); ++u) {
+    int d = g.Degree(u);
+    if (d > 0) log_sum += std::log(static_cast<double>(d) / d_min);
+  }
+  if (log_sum <= 1e-12) return 1.0;  // Degenerate: all degrees equal d_min.
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+GraphStats ComputeAllStats(const graphs::StaticGraph& g) {
+  GraphStats s;
+  const int n = g.num_nodes();
+
+  double wedge = 0.0, claw = 0.0;
+  int64_t degree_sum = 0;
+  int64_t active_nodes = 0;
+  for (graphs::NodeId u = 0; u < n; ++u) {
+    double d = g.Degree(u);
+    degree_sum += g.Degree(u);
+    if (d > 0) ++active_nodes;
+    wedge += d * (d - 1) / 2.0;
+    claw += d * (d - 1) * (d - 2) / 6.0;
+  }
+  s.mean_degree = active_nodes > 0
+                      ? static_cast<double>(degree_sum) / active_nodes
+                      : 0.0;
+  s.wedge_count = wedge;
+  s.claw_count = claw;
+  s.triangle_count = static_cast<double>(TriangleCount(g));
+  s.ple = PowerLawExponent(g);
+
+  // Components over non-isolated nodes: nodes that have not yet appeared in
+  // an accumulated snapshot should not contribute singleton components.
+  int num_comp = 0;
+  std::vector<int> comp = g.ConnectedComponents(&num_comp);
+  std::vector<int64_t> sizes(static_cast<size_t>(num_comp), 0);
+  std::vector<bool> active(static_cast<size_t>(num_comp), false);
+  for (graphs::NodeId u = 0; u < n; ++u) {
+    ++sizes[static_cast<size_t>(comp[u])];
+    if (g.Degree(u) > 0) active[static_cast<size_t>(comp[u])] = true;
+  }
+  int64_t lcc = 0;
+  int64_t n_active_comp = 0;
+  for (int c = 0; c < num_comp; ++c) {
+    if (!active[static_cast<size_t>(c)]) continue;
+    ++n_active_comp;
+    lcc = std::max(lcc, sizes[static_cast<size_t>(c)]);
+  }
+  s.lcc = static_cast<double>(lcc);
+  s.n_components = static_cast<double>(n_active_comp);
+  return s;
+}
+
+double ComputeMetric(const graphs::StaticGraph& g, GraphMetric m) {
+  return ComputeAllStats(g).Get(m);
+}
+
+}  // namespace tgsim::metrics

@@ -1,0 +1,56 @@
+#ifndef TGSIM_METRICS_GRAPH_STATS_H_
+#define TGSIM_METRICS_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/static_graph.h"
+
+namespace tgsim::metrics {
+
+/// The seven graph statistics of the paper's Table III.
+enum class GraphMetric {
+  kMeanDegree,
+  kLcc,            // size of the largest connected component
+  kWedgeCount,     // sum_v C(d(v), 2)
+  kClawCount,      // sum_v C(d(v), 3)
+  kTriangleCount,  // trace(A^3) / 6
+  kPle,            // power-law exponent (Hill estimator)
+  kNComponents,    // number of connected components
+};
+
+/// All Table III metrics, in the order used by the paper's tables.
+const std::vector<GraphMetric>& AllGraphMetrics();
+
+/// Human-readable metric name (matches the paper's rows).
+std::string MetricName(GraphMetric m);
+
+/// Computes one statistic on an accumulated snapshot.
+double ComputeMetric(const graphs::StaticGraph& g, GraphMetric m);
+
+/// Bundle of all seven statistics computed in one pass.
+struct GraphStats {
+  double mean_degree = 0.0;
+  double lcc = 0.0;
+  double wedge_count = 0.0;
+  double claw_count = 0.0;
+  double triangle_count = 0.0;
+  double ple = 0.0;
+  double n_components = 0.0;
+
+  double Get(GraphMetric m) const;
+};
+
+GraphStats ComputeAllStats(const graphs::StaticGraph& g);
+
+/// Exact triangle count by sorted-adjacency intersection,
+/// equivalent to trace(A^3)/6 on the simple undirected graph.
+int64_t TriangleCount(const graphs::StaticGraph& g);
+
+/// Hill estimator of the power-law exponent over non-isolated nodes:
+/// 1 + n * (sum_v log(d(v)/d_min))^{-1} (paper Table III).
+double PowerLawExponent(const graphs::StaticGraph& g);
+
+}  // namespace tgsim::metrics
+
+#endif  // TGSIM_METRICS_GRAPH_STATS_H_

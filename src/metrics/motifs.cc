@@ -1,0 +1,179 @@
+#include "metrics/motifs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+
+namespace tgsim::metrics {
+
+namespace {
+
+/// Relabels the six endpoints by order of first appearance and packs them.
+MotifCode Canonicalize(graphs::NodeId a1, graphs::NodeId b1,
+                       graphs::NodeId a2, graphs::NodeId b2,
+                       graphs::NodeId a3, graphs::NodeId b3) {
+  graphs::NodeId raw[6] = {a1, b1, a2, b2, a3, b3};
+  graphs::NodeId seen[3] = {-1, -1, -1};
+  int next = 0;
+  int labels[6];
+  for (int i = 0; i < 6; ++i) {
+    int lab = -1;
+    for (int j = 0; j < next; ++j) {
+      if (seen[j] == raw[i]) {
+        lab = j;
+        break;
+      }
+    }
+    if (lab == -1) {
+      TGSIM_CHECK_LT(next, 3);
+      seen[next] = raw[i];
+      lab = next++;
+    }
+    labels[i] = lab;
+  }
+  return EncodeMotif(labels[0], labels[1], labels[2], labels[3], labels[4],
+                     labels[5]);
+}
+
+/// Number of distinct nodes among the six endpoints (<= 3 required).
+int DistinctNodes(graphs::NodeId a1, graphs::NodeId b1, graphs::NodeId a2,
+                  graphs::NodeId b2, graphs::NodeId a3, graphs::NodeId b3) {
+  graphs::NodeId raw[6] = {a1, b1, a2, b2, a3, b3};
+  int distinct = 0;
+  graphs::NodeId seen[6];
+  for (int i = 0; i < 6; ++i) {
+    bool found = false;
+    for (int j = 0; j < distinct; ++j) {
+      if (seen[j] == raw[i]) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) seen[distinct++] = raw[i];
+  }
+  return distinct;
+}
+
+}  // namespace
+
+MotifCode EncodeMotif(int u1, int v1, int u2, int v2, int u3, int v3) {
+  return static_cast<MotifCode>(u1) | (static_cast<MotifCode>(v1) << 2) |
+         (static_cast<MotifCode>(u2) << 4) |
+         (static_cast<MotifCode>(v2) << 6) |
+         (static_cast<MotifCode>(u3) << 8) |
+         (static_cast<MotifCode>(v3) << 10);
+}
+
+MotifCensus CountTemporalMotifs(const graphs::TemporalGraph& g, int delta,
+                                int64_t max_triples) {
+  MotifCensus census;
+  const auto& edges = g.edges();  // Sorted by (t,u,v).
+  const int64_t m = static_cast<int64_t>(edges.size());
+  int64_t examined = 0;
+  for (int64_t i = 0; i < m; ++i) {
+    const auto& e1 = edges[static_cast<size_t>(i)];
+    for (int64_t j = i + 1; j < m; ++j) {
+      const auto& e2 = edges[static_cast<size_t>(j)];
+      if (e2.t - e1.t > delta) break;
+      // e1,e2 must share at least one node, otherwise no third edge can
+      // bring the span down to <= 3 nodes.
+      if (DistinctNodes(e1.u, e1.v, e2.u, e2.v, e2.u, e2.v) > 3) continue;
+      for (int64_t k = j + 1; k < m; ++k) {
+        const auto& e3 = edges[static_cast<size_t>(k)];
+        if (e3.t - e1.t > delta) break;
+        if (DistinctNodes(e1.u, e1.v, e2.u, e2.v, e3.u, e3.v) > 3) continue;
+        ++census.counts[Canonicalize(e1.u, e1.v, e2.u, e2.v, e3.u, e3.v)];
+        ++census.total;
+        if (max_triples > 0 && ++examined >= max_triples) return census;
+      }
+    }
+  }
+  return census;
+}
+
+MotifCensus CountTemporalMotifsBruteForce(const graphs::TemporalGraph& g,
+                                          int delta) {
+  MotifCensus census;
+  std::vector<graphs::TemporalEdge> edges = g.edges();
+  std::sort(edges.begin(), edges.end());
+  const int64_t m = static_cast<int64_t>(edges.size());
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = i + 1; j < m; ++j)
+      for (int64_t k = j + 1; k < m; ++k) {
+        const auto& e1 = edges[static_cast<size_t>(i)];
+        const auto& e2 = edges[static_cast<size_t>(j)];
+        const auto& e3 = edges[static_cast<size_t>(k)];
+        if (e3.t - e1.t > delta) continue;
+        if (DistinctNodes(e1.u, e1.v, e2.u, e2.v, e3.u, e3.v) > 3) continue;
+        ++census.counts[Canonicalize(e1.u, e1.v, e2.u, e2.v, e3.u, e3.v)];
+        ++census.total;
+      }
+  return census;
+}
+
+std::vector<double> MotifDistribution(const MotifCensus& census,
+                                      const std::vector<MotifCode>& classes) {
+  std::vector<double> dist(classes.size(), 0.0);
+  if (census.total == 0) return dist;
+  for (size_t i = 0; i < classes.size(); ++i) {
+    auto it = census.counts.find(classes[i]);
+    if (it != census.counts.end())
+      dist[i] = static_cast<double>(it->second) /
+                static_cast<double>(census.total);
+  }
+  return dist;
+}
+
+std::vector<MotifCode> UnionClasses(
+    const std::vector<const MotifCensus*>& cs) {
+  std::set<MotifCode> all;
+  for (const MotifCensus* c : cs)
+    for (const auto& [code, count] : c->counts) all.insert(code);
+  return {all.begin(), all.end()};
+}
+
+double TotalVariation(const std::vector<double>& p,
+                      const std::vector<double>& q) {
+  TGSIM_CHECK_EQ(p.size(), q.size());
+  double tv = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) tv += std::fabs(p[i] - q[i]);
+  return 0.5 * tv;
+}
+
+double GaussianTvKernel(double tv, double sigma) {
+  return std::exp(-(tv * tv) / (2.0 * sigma * sigma));
+}
+
+double MmdSquared(const std::vector<std::vector<double>>& set_p,
+                  const std::vector<std::vector<double>>& set_q,
+                  double sigma) {
+  TGSIM_CHECK(!set_p.empty());
+  TGSIM_CHECK(!set_q.empty());
+  auto mean_kernel = [sigma](const std::vector<std::vector<double>>& a,
+                             const std::vector<std::vector<double>>& b) {
+    double acc = 0.0;
+    for (const auto& x : a)
+      for (const auto& y : b)
+        acc += GaussianTvKernel(TotalVariation(x, y), sigma);
+    return acc / (static_cast<double>(a.size()) * b.size());
+  };
+  double mmd2 = mean_kernel(set_p, set_p) + mean_kernel(set_q, set_q) -
+                2.0 * mean_kernel(set_p, set_q);
+  return std::max(mmd2, 0.0);  // Clamp tiny negative floating-point drift.
+}
+
+double MotifMmd(const graphs::TemporalGraph& real,
+                const graphs::TemporalGraph& generated, int delta,
+                double sigma, int64_t max_triples) {
+  MotifCensus cr = CountTemporalMotifs(real, delta, max_triples);
+  MotifCensus cg = CountTemporalMotifs(generated, delta, max_triples);
+  std::vector<MotifCode> classes = UnionClasses({&cr, &cg});
+  if (classes.empty()) return 0.0;
+  std::vector<double> p = MotifDistribution(cr, classes);
+  std::vector<double> q = MotifDistribution(cg, classes);
+  return MmdSquared({p}, {q}, sigma);
+}
+
+}  // namespace tgsim::metrics

@@ -1,0 +1,77 @@
+#ifndef TGSIM_METRICS_MOTIFS_H_
+#define TGSIM_METRICS_MOTIFS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace tgsim::metrics {
+
+/// Canonical code of a {2,3}-node 3-edge delta-temporal motif
+/// (Paranjape, Benson & Leskovec, WSDM'17).
+///
+/// A motif instance is a time-ordered triple of directed edges
+/// (e1,e2,e3), t1 <= t2 <= t3, with t3 - t1 <= delta, spanning at most three
+/// distinct nodes. The code relabels nodes by first appearance and packs the
+/// six endpoint labels (each in {0,1,2}) into one integer, giving one of the
+/// 36 equivalence classes of the paper's taxonomy.
+using MotifCode = uint32_t;
+
+/// Packs the ordered endpoint labels into a MotifCode.
+MotifCode EncodeMotif(int u1, int v1, int u2, int v2, int u3, int v3);
+
+/// Census of motif instances keyed by canonical code.
+struct MotifCensus {
+  std::map<MotifCode, int64_t> counts;
+  int64_t total = 0;
+};
+
+/// Counts all {2,3}-node 3-edge delta-temporal motif instances.
+///
+/// The scan is time-window bounded: for each anchor edge, only edges within
+/// `delta` timestamps are considered, and candidate triples are pruned to
+/// those spanning <= 3 nodes. `max_triples` caps the work (negative:
+/// unlimited); when the cap triggers, counts are an unbiased prefix sample
+/// (the benches keep inputs small enough that the cap never triggers).
+MotifCensus CountTemporalMotifs(const graphs::TemporalGraph& g, int delta,
+                                int64_t max_triples = -1);
+
+/// Reference O(m^3) enumerator over all edge triples; used by tests to
+/// cross-validate CountTemporalMotifs on small graphs.
+MotifCensus CountTemporalMotifsBruteForce(const graphs::TemporalGraph& g,
+                                          int delta);
+
+/// Normalizes a census into a distribution over the union of classes
+/// appearing in `classes` (probabilities sum to 1 unless the census is
+/// empty).
+std::vector<double> MotifDistribution(const MotifCensus& census,
+                                      const std::vector<MotifCode>& classes);
+
+/// Union of class codes of several censuses (sorted).
+std::vector<MotifCode> UnionClasses(const std::vector<const MotifCensus*>& cs);
+
+/// Total variation distance between two distributions on the same support.
+double TotalVariation(const std::vector<double>& p,
+                      const std::vector<double>& q);
+
+/// Gaussian kernel on a TV distance: exp(-tv^2 / (2 sigma^2)).
+double GaussianTvKernel(double tv, double sigma);
+
+/// Squared maximum mean discrepancy between two *sets* of distributions
+/// with the Gaussian-TV kernel (paper Eq. 1). With singleton sets this is
+/// 2 - 2 k(TV(p,q)).
+double MmdSquared(const std::vector<std::vector<double>>& set_p,
+                  const std::vector<std::vector<double>>& set_q,
+                  double sigma);
+
+/// End-to-end motif-distribution MMD between an observed and a generated
+/// temporal graph (the quantity of the paper's Table VI).
+double MotifMmd(const graphs::TemporalGraph& real,
+                const graphs::TemporalGraph& generated, int delta,
+                double sigma = 1.0, int64_t max_triples = -1);
+
+}  // namespace tgsim::metrics
+
+#endif  // TGSIM_METRICS_MOTIFS_H_

@@ -1,0 +1,96 @@
+#include "metrics/temporal_scores.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tgsim::metrics {
+
+namespace {
+
+/// Timestamps to evaluate for a given stride (always includes T-1).
+std::vector<graphs::Timestamp> EvalGrid(int num_timestamps, int stride) {
+  TGSIM_CHECK_GE(stride, 1);
+  std::vector<graphs::Timestamp> ts;
+  for (int t = 0; t < num_timestamps; t += stride) ts.push_back(t);
+  if (ts.empty() || ts.back() != num_timestamps - 1)
+    ts.push_back(num_timestamps - 1);
+  return ts;
+}
+
+double Median(std::vector<double> xs) {
+  TGSIM_CHECK(!xs.empty());
+  size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double RelativeError(double real, double generated) {
+  double denom = std::fabs(real);
+  if (denom < 1e-12) {
+    // Both (near) zero: no error; otherwise full error mass.
+    return std::fabs(generated) < 1e-12 ? 0.0 : 1.0;
+  }
+  return std::fabs(real - generated) / denom;
+}
+
+std::vector<double> MetricOverTime(const graphs::TemporalGraph& g,
+                                   GraphMetric m, int stride) {
+  std::vector<double> out;
+  for (graphs::Timestamp t : EvalGrid(g.num_timestamps(), stride))
+    out.push_back(ComputeMetric(g.SnapshotUpTo(t), m));
+  return out;
+}
+
+std::vector<GraphStats> StatsOverTime(const graphs::TemporalGraph& g,
+                                      int stride) {
+  std::vector<GraphStats> out;
+  for (graphs::Timestamp t : EvalGrid(g.num_timestamps(), stride))
+    out.push_back(ComputeAllStats(g.SnapshotUpTo(t)));
+  return out;
+}
+
+TemporalScore ScoreMetric(const graphs::TemporalGraph& real,
+                          const graphs::TemporalGraph& generated,
+                          GraphMetric m, int stride) {
+  TGSIM_CHECK_EQ(real.num_timestamps(), generated.num_timestamps());
+  std::vector<double> r = MetricOverTime(real, m, stride);
+  std::vector<double> g = MetricOverTime(generated, m, stride);
+  std::vector<double> errs(r.size());
+  for (size_t i = 0; i < r.size(); ++i) errs[i] = RelativeError(r[i], g[i]);
+  TemporalScore s;
+  double sum = 0.0;
+  for (double e : errs) sum += e;
+  s.avg = sum / static_cast<double>(errs.size());
+  s.med = Median(errs);
+  return s;
+}
+
+std::vector<TemporalScore> ScoreAllMetrics(
+    const graphs::TemporalGraph& real,
+    const graphs::TemporalGraph& generated, int stride) {
+  TGSIM_CHECK_EQ(real.num_timestamps(), generated.num_timestamps());
+  std::vector<GraphStats> sr = StatsOverTime(real, stride);
+  std::vector<GraphStats> sg = StatsOverTime(generated, stride);
+  TGSIM_CHECK_EQ(sr.size(), sg.size());
+  const auto& all = AllGraphMetrics();
+  std::vector<TemporalScore> scores(all.size());
+  for (size_t mi = 0; mi < all.size(); ++mi) {
+    std::vector<double> errs(sr.size());
+    for (size_t i = 0; i < sr.size(); ++i)
+      errs[i] = RelativeError(sr[i].Get(all[mi]), sg[i].Get(all[mi]));
+    double sum = 0.0;
+    for (double e : errs) sum += e;
+    scores[mi].avg = sum / static_cast<double>(errs.size());
+    scores[mi].med = Median(errs);
+  }
+  return scores;
+}
+
+}  // namespace tgsim::metrics

@@ -1,0 +1,46 @@
+#ifndef TGSIM_METRICS_TEMPORAL_SCORES_H_
+#define TGSIM_METRICS_TEMPORAL_SCORES_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "metrics/graph_stats.h"
+
+namespace tgsim::metrics {
+
+/// Relative difference |real - gen| / |real| with a zero-denominator guard
+/// (the per-timestamp term of the paper's Eq. 10).
+double RelativeError(double real, double generated);
+
+/// Value of metric `m` on the accumulated snapshot at every timestamp.
+/// `stride` > 1 evaluates a subsampled timestamp grid (always including the
+/// final timestamp) to bound cost on long histories.
+std::vector<double> MetricOverTime(const graphs::TemporalGraph& g,
+                                   GraphMetric m, int stride = 1);
+
+/// All seven metrics per timestamp in one pass over snapshots; result
+/// [i][j] is metric AllGraphMetrics()[j] at evaluated timestamp i.
+std::vector<GraphStats> StatsOverTime(const graphs::TemporalGraph& g,
+                                      int stride = 1);
+
+/// f_avg / f_med of Eq. 10: mean/median over timestamps of the relative
+/// metric difference between accumulated snapshots of the two graphs.
+/// Both graphs must share num_timestamps.
+struct TemporalScore {
+  double avg = 0.0;
+  double med = 0.0;
+};
+
+TemporalScore ScoreMetric(const graphs::TemporalGraph& real,
+                          const graphs::TemporalGraph& generated,
+                          GraphMetric m, int stride = 1);
+
+/// Scores all seven metrics with a single snapshot sweep per graph.
+/// Result is indexed like AllGraphMetrics().
+std::vector<TemporalScore> ScoreAllMetrics(
+    const graphs::TemporalGraph& real,
+    const graphs::TemporalGraph& generated, int stride = 1);
+
+}  // namespace tgsim::metrics
+
+#endif  // TGSIM_METRICS_TEMPORAL_SCORES_H_

@@ -1,0 +1,562 @@
+#include "nn/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+namespace tgsim::nn {
+
+Var::Var(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Var Var::FromNode(std::shared_ptr<Node> node) {
+  Var v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+Scalar Var::item() const {
+  TGSIM_CHECK_EQ(node_->value.rows(), 1);
+  TGSIM_CHECK_EQ(node_->value.cols(), 1);
+  return node_->value.at(0, 0);
+}
+
+namespace {
+
+/// Builds an op node: value, parent edges and the backward closure.
+Var MakeOp(Tensor value, std::vector<Var> parents,
+           std::function<void(Node&)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->parents.reserve(parents.size());
+  bool needs_grad = false;
+  for (const Var& p : parents) {
+    TGSIM_CHECK(p.defined());
+    node->parents.push_back(p.node());
+    needs_grad = needs_grad || p.node()->requires_grad;
+  }
+  node->requires_grad = needs_grad;
+  if (needs_grad) node->backward_fn = std::move(backward);
+  return Var::FromNode(node);
+}
+
+/// True if `p` participates in differentiation (grad must be accumulated).
+bool NeedsGrad(const std::shared_ptr<Node>& p) { return p->requires_grad; }
+
+}  // namespace
+
+void Backward(const Var& root) {
+  TGSIM_CHECK(root.defined());
+  TGSIM_CHECK_EQ(root.value().rows(), 1);
+  TGSIM_CHECK_EQ(root.value().cols(), 1);
+
+  // Iterative post-order DFS to get a topological order of the DAG.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root.node().get(), 0);
+  visited.insert(root.node().get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child++].get();
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  root.node()->EnsureGrad();
+  root.node()->grad.at(0, 0) += 1.0;
+
+  // `order` is post-order (leaves first); walk it backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      node->backward_fn(*node);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binary / unary arithmetic.
+// ---------------------------------------------------------------------------
+
+Var MatMul(const Var& a, const Var& b) {
+  Tensor out = a.value().MatMul(b.value());
+  return MakeOp(std::move(out), {a, b}, [](Node& self) {
+    auto& pa = self.parents[0];
+    auto& pb = self.parents[1];
+    if (NeedsGrad(pa)) {
+      pa->EnsureGrad();
+      pa->grad.AddInPlace(self.grad.MatMul(pb->value.Transpose()));
+    }
+    if (NeedsGrad(pb)) {
+      pb->EnsureGrad();
+      pb->grad.AddInPlace(pa->value.Transpose().MatMul(self.grad));
+    }
+  });
+}
+
+Var Add(const Var& a, const Var& b) {
+  const bool broadcast = b.rows() == 1 && a.rows() != 1 &&
+                         b.cols() == a.cols();
+  Tensor out = a.value();
+  if (broadcast) {
+    out.AddRowVectorInPlace(b.value());
+  } else {
+    out.AddInPlace(b.value());
+  }
+  return MakeOp(std::move(out), {a, b}, [broadcast](Node& self) {
+    auto& pa = self.parents[0];
+    auto& pb = self.parents[1];
+    if (NeedsGrad(pa)) {
+      pa->EnsureGrad();
+      pa->grad.AddInPlace(self.grad);
+    }
+    if (NeedsGrad(pb)) {
+      pb->EnsureGrad();
+      if (broadcast) {
+        for (int r = 0; r < self.grad.rows(); ++r)
+          for (int c = 0; c < self.grad.cols(); ++c)
+            pb->grad.at(0, c) += self.grad.at(r, c);
+      } else {
+        pb->grad.AddInPlace(self.grad);
+      }
+    }
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Tensor out = a.value() - b.value();
+  return MakeOp(std::move(out), {a, b}, [](Node& self) {
+    auto& pa = self.parents[0];
+    auto& pb = self.parents[1];
+    if (NeedsGrad(pa)) {
+      pa->EnsureGrad();
+      pa->grad.AddInPlace(self.grad);
+    }
+    if (NeedsGrad(pb)) {
+      pb->EnsureGrad();
+      pb->grad.Axpy(-1.0, self.grad);
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  Tensor out = a.value().CwiseMul(b.value());
+  return MakeOp(std::move(out), {a, b}, [](Node& self) {
+    auto& pa = self.parents[0];
+    auto& pb = self.parents[1];
+    if (NeedsGrad(pa)) {
+      pa->EnsureGrad();
+      pa->grad.AddInPlace(self.grad.CwiseMul(pb->value));
+    }
+    if (NeedsGrad(pb)) {
+      pb->EnsureGrad();
+      pb->grad.AddInPlace(self.grad.CwiseMul(pa->value));
+    }
+  });
+}
+
+Var MulColBroadcast(const Var& a, const Var& w) {
+  TGSIM_CHECK_EQ(w.cols(), 1);
+  TGSIM_CHECK_EQ(w.rows(), a.rows());
+  Tensor out = a.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    Scalar s = w.value().at(r, 0);
+    for (int c = 0; c < out.cols(); ++c) out.at(r, c) *= s;
+  }
+  return MakeOp(std::move(out), {a, w}, [](Node& self) {
+    auto& pa = self.parents[0];
+    auto& pw = self.parents[1];
+    if (NeedsGrad(pa)) {
+      pa->EnsureGrad();
+      for (int r = 0; r < self.grad.rows(); ++r) {
+        Scalar s = pw->value.at(r, 0);
+        for (int c = 0; c < self.grad.cols(); ++c)
+          pa->grad.at(r, c) += self.grad.at(r, c) * s;
+      }
+    }
+    if (NeedsGrad(pw)) {
+      pw->EnsureGrad();
+      for (int r = 0; r < self.grad.rows(); ++r) {
+        Scalar acc = 0.0;
+        for (int c = 0; c < self.grad.cols(); ++c)
+          acc += self.grad.at(r, c) * pa->value.at(r, c);
+        pw->grad.at(r, 0) += acc;
+      }
+    }
+  });
+}
+
+Var Scale(const Var& a, Scalar s) {
+  Tensor out = a.value() * s;
+  return MakeOp(std::move(out), {a}, [s](Node& self) {
+    auto& pa = self.parents[0];
+    if (NeedsGrad(pa)) {
+      pa->EnsureGrad();
+      pa->grad.Axpy(s, self.grad);
+    }
+  });
+}
+
+Var AddScalar(const Var& a, Scalar s) {
+  Tensor out = a.value();
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] += s;
+  return MakeOp(std::move(out), {a}, [](Node& self) {
+    auto& pa = self.parents[0];
+    if (NeedsGrad(pa)) {
+      pa->EnsureGrad();
+      pa->grad.AddInPlace(self.grad);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Activations.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared plumbing for elementwise y=f(x) with dy/dx expressible from y / x.
+Var ElementwiseOp(const Var& a, const std::function<Scalar(Scalar)>& fwd,
+                  std::function<Scalar(Scalar x, Scalar y)> dydx) {
+  Tensor out = a.value();
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = fwd(out.data()[i]);
+  return MakeOp(std::move(out), {a},
+                [dydx = std::move(dydx)](Node& self) {
+                  auto& pa = self.parents[0];
+                  if (!NeedsGrad(pa)) return;
+                  pa->EnsureGrad();
+                  for (int64_t i = 0; i < self.grad.size(); ++i) {
+                    pa->grad.data()[i] +=
+                        self.grad.data()[i] *
+                        dydx(pa->value.data()[i], self.value.data()[i]);
+                  }
+                });
+}
+
+}  // namespace
+
+Var Sigmoid(const Var& a) {
+  return ElementwiseOp(
+      a, [](Scalar x) { return 1.0 / (1.0 + std::exp(-x)); },
+      [](Scalar, Scalar y) { return y * (1.0 - y); });
+}
+
+Var Tanh(const Var& a) {
+  return ElementwiseOp(a, [](Scalar x) { return std::tanh(x); },
+                       [](Scalar, Scalar y) { return 1.0 - y * y; });
+}
+
+Var Relu(const Var& a) {
+  return ElementwiseOp(a, [](Scalar x) { return x > 0.0 ? x : 0.0; },
+                       [](Scalar x, Scalar) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Var LeakyRelu(const Var& a, Scalar slope) {
+  return ElementwiseOp(
+      a, [slope](Scalar x) { return x > 0.0 ? x : slope * x; },
+      [slope](Scalar x, Scalar) { return x > 0.0 ? 1.0 : slope; });
+}
+
+Var Exp(const Var& a) {
+  return ElementwiseOp(a, [](Scalar x) { return std::exp(x); },
+                       [](Scalar, Scalar y) { return y; });
+}
+
+Var Log(const Var& a, Scalar eps) {
+  return ElementwiseOp(
+      a, [eps](Scalar x) { return std::log(std::max(x, eps)); },
+      [eps](Scalar x, Scalar) { return 1.0 / std::max(x, eps); });
+}
+
+Var Square(const Var& a) {
+  return ElementwiseOp(a, [](Scalar x) { return x * x; },
+                       [](Scalar x, Scalar) { return 2.0 * x; });
+}
+
+// ---------------------------------------------------------------------------
+// Softmax family.
+// ---------------------------------------------------------------------------
+
+Var SoftmaxRows(const Var& a) {
+  Tensor out = a.value().SoftmaxRows();
+  return MakeOp(std::move(out), {a}, [](Node& self) {
+    auto& pa = self.parents[0];
+    if (!NeedsGrad(pa)) return;
+    pa->EnsureGrad();
+    // dL/dx = y * (g - <g, y>) per row.
+    for (int r = 0; r < self.value.rows(); ++r) {
+      Scalar dot = 0.0;
+      for (int c = 0; c < self.value.cols(); ++c)
+        dot += self.grad.at(r, c) * self.value.at(r, c);
+      for (int c = 0; c < self.value.cols(); ++c)
+        pa->grad.at(r, c) +=
+            self.value.at(r, c) * (self.grad.at(r, c) - dot);
+    }
+  });
+}
+
+Var LogSoftmaxRows(const Var& a) {
+  const Tensor& x = a.value();
+  Tensor out(x.rows(), x.cols());
+  for (int r = 0; r < x.rows(); ++r) {
+    Scalar m = x.at(r, 0);
+    for (int c = 1; c < x.cols(); ++c) m = std::max(m, x.at(r, c));
+    Scalar z = 0.0;
+    for (int c = 0; c < x.cols(); ++c) z += std::exp(x.at(r, c) - m);
+    Scalar log_z = m + std::log(z);
+    for (int c = 0; c < x.cols(); ++c) out.at(r, c) = x.at(r, c) - log_z;
+  }
+  return MakeOp(std::move(out), {a}, [](Node& self) {
+    auto& pa = self.parents[0];
+    if (!NeedsGrad(pa)) return;
+    pa->EnsureGrad();
+    // dL/dx = g - softmax(x) * sum(g) per row.
+    for (int r = 0; r < self.value.rows(); ++r) {
+      Scalar gsum = 0.0;
+      for (int c = 0; c < self.value.cols(); ++c)
+        gsum += self.grad.at(r, c);
+      for (int c = 0; c < self.value.cols(); ++c) {
+        Scalar p = std::exp(self.value.at(r, c));
+        pa->grad.at(r, c) += self.grad.at(r, c) - p * gsum;
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Reductions / reshapes.
+// ---------------------------------------------------------------------------
+
+Var Sum(const Var& a) {
+  Tensor out(1, 1);
+  out.at(0, 0) = a.value().Sum();
+  return MakeOp(std::move(out), {a}, [](Node& self) {
+    auto& pa = self.parents[0];
+    if (!NeedsGrad(pa)) return;
+    pa->EnsureGrad();
+    Scalar g = self.grad.at(0, 0);
+    for (int64_t i = 0; i < pa->grad.size(); ++i) pa->grad.data()[i] += g;
+  });
+}
+
+Var Mean(const Var& a) {
+  int64_t n = a.value().size();
+  TGSIM_CHECK_GT(n, 0);
+  return Scale(Sum(a), 1.0 / static_cast<Scalar>(n));
+}
+
+Var ConcatCols(const std::vector<Var>& vs) {
+  TGSIM_CHECK(!vs.empty());
+  int rows = vs[0].rows();
+  int cols = 0;
+  for (const Var& v : vs) {
+    TGSIM_CHECK_EQ(v.rows(), rows);
+    cols += v.cols();
+  }
+  Tensor out(rows, cols);
+  int offset = 0;
+  for (const Var& v : vs) {
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < v.cols(); ++c)
+        out.at(r, offset + c) = v.value().at(r, c);
+    offset += v.cols();
+  }
+  return MakeOp(std::move(out), vs, [](Node& self) {
+    int offset = 0;
+    for (auto& p : self.parents) {
+      int pc = p->value.cols();
+      if (NeedsGrad(p)) {
+        p->EnsureGrad();
+        for (int r = 0; r < p->value.rows(); ++r)
+          for (int c = 0; c < pc; ++c)
+            p->grad.at(r, c) += self.grad.at(r, offset + c);
+      }
+      offset += pc;
+    }
+  });
+}
+
+Var ConcatRows(const std::vector<Var>& vs) {
+  TGSIM_CHECK(!vs.empty());
+  int cols = vs[0].cols();
+  int rows = 0;
+  for (const Var& v : vs) {
+    TGSIM_CHECK_EQ(v.cols(), cols);
+    rows += v.rows();
+  }
+  Tensor out(rows, cols);
+  int offset = 0;
+  for (const Var& v : vs) {
+    for (int r = 0; r < v.rows(); ++r)
+      for (int c = 0; c < cols; ++c)
+        out.at(offset + r, c) = v.value().at(r, c);
+    offset += v.rows();
+  }
+  return MakeOp(std::move(out), vs, [](Node& self) {
+    int offset = 0;
+    for (auto& p : self.parents) {
+      int pr = p->value.rows();
+      if (NeedsGrad(p)) {
+        p->EnsureGrad();
+        for (int r = 0; r < pr; ++r)
+          for (int c = 0; c < p->value.cols(); ++c)
+            p->grad.at(r, c) += self.grad.at(offset + r, c);
+      }
+      offset += pr;
+    }
+  });
+}
+
+Var GatherRows(const Var& a, std::vector<int> idx) {
+  Tensor out = a.value().GatherRows(idx);
+  return MakeOp(std::move(out), {a}, [idx = std::move(idx)](Node& self) {
+    auto& pa = self.parents[0];
+    if (!NeedsGrad(pa)) return;
+    pa->EnsureGrad();
+    for (size_t i = 0; i < idx.size(); ++i)
+      for (int c = 0; c < self.grad.cols(); ++c)
+        pa->grad.at(idx[i], c) += self.grad.at(static_cast<int>(i), c);
+  });
+}
+
+Var SegmentSum(const Var& a, std::vector<int> seg, int num_segments) {
+  TGSIM_CHECK_EQ(static_cast<int>(seg.size()), a.rows());
+  Tensor out(num_segments, a.cols());
+  for (size_t i = 0; i < seg.size(); ++i) {
+    TGSIM_DCHECK(seg[i] >= 0 && seg[i] < num_segments);
+    for (int c = 0; c < a.cols(); ++c)
+      out.at(seg[i], c) += a.value().at(static_cast<int>(i), c);
+  }
+  return MakeOp(std::move(out), {a}, [seg = std::move(seg)](Node& self) {
+    auto& pa = self.parents[0];
+    if (!NeedsGrad(pa)) return;
+    pa->EnsureGrad();
+    for (size_t i = 0; i < seg.size(); ++i)
+      for (int c = 0; c < pa->grad.cols(); ++c)
+        pa->grad.at(static_cast<int>(i), c) += self.grad.at(seg[i], c);
+  });
+}
+
+Var SegmentSoftmax(const Var& scores, std::vector<int> seg,
+                   int num_segments) {
+  TGSIM_CHECK_EQ(scores.cols(), 1);
+  TGSIM_CHECK_EQ(static_cast<int>(seg.size()), scores.rows());
+  const Tensor& x = scores.value();
+  int n = x.rows();
+  // Stabilize per segment: subtract the segment max before exponentiating.
+  std::vector<Scalar> seg_max(static_cast<size_t>(num_segments),
+                              -1e300);
+  for (int i = 0; i < n; ++i)
+    seg_max[seg[i]] = std::max(seg_max[seg[i]], x.at(i, 0));
+  Tensor out(n, 1);
+  std::vector<Scalar> seg_z(static_cast<size_t>(num_segments), 0.0);
+  for (int i = 0; i < n; ++i) {
+    out.at(i, 0) = std::exp(x.at(i, 0) - seg_max[seg[i]]);
+    seg_z[seg[i]] += out.at(i, 0);
+  }
+  for (int i = 0; i < n; ++i) out.at(i, 0) /= seg_z[seg[i]];
+  return MakeOp(
+      std::move(out), {scores},
+      [seg = std::move(seg), num_segments](Node& self) {
+        auto& pa = self.parents[0];
+        if (!NeedsGrad(pa)) return;
+        pa->EnsureGrad();
+        // Per segment: dx_i = y_i * (g_i - sum_j g_j y_j).
+        std::vector<Scalar> seg_dot(static_cast<size_t>(num_segments), 0.0);
+        int n = self.value.rows();
+        for (int i = 0; i < n; ++i)
+          seg_dot[seg[i]] += self.grad.at(i, 0) * self.value.at(i, 0);
+        for (int i = 0; i < n; ++i)
+          pa->grad.at(i, 0) += self.value.at(i, 0) *
+                               (self.grad.at(i, 0) - seg_dot[seg[i]]);
+      });
+}
+
+Var Transpose(const Var& a) {
+  Tensor out = a.value().Transpose();
+  return MakeOp(std::move(out), {a}, [](Node& self) {
+    auto& pa = self.parents[0];
+    if (!NeedsGrad(pa)) return;
+    pa->EnsureGrad();
+    pa->grad.AddInPlace(self.grad.Transpose());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Losses.
+// ---------------------------------------------------------------------------
+
+Var RowCrossEntropyWithLogits(const Var& logits, const Tensor& targets) {
+  TGSIM_CHECK(logits.value().SameShape(targets));
+  Var log_p = LogSoftmaxRows(logits);
+  Var weighted = Mul(log_p, Var::Constant(targets));
+  int rows = targets.rows();
+  return Scale(Sum(weighted), -1.0 / static_cast<Scalar>(rows));
+}
+
+Var BinaryCrossEntropyWithLogits(const Var& logits, const Tensor& targets,
+                                 Scalar pos_weight) {
+  TGSIM_CHECK(logits.value().SameShape(targets));
+  const Tensor& x = logits.value();
+  Tensor out(1, 1);
+  Scalar total = 0.0;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    Scalar xi = x.data()[i];
+    Scalar ti = targets.data()[i];
+    // Stable formulation: max(x,0) - x*t + log(1+exp(-|x|)), with the
+    // positive term scaled by pos_weight.
+    Scalar softplus = std::log1p(std::exp(-std::fabs(xi)));
+    Scalar loss_pos = softplus + std::max(-xi, static_cast<Scalar>(0.0));
+    Scalar loss_neg = softplus + std::max(xi, static_cast<Scalar>(0.0));
+    total += pos_weight * ti * loss_pos + (1.0 - ti) * loss_neg;
+  }
+  int64_t n = x.size();
+  out.at(0, 0) = total / static_cast<Scalar>(n);
+  Tensor targets_copy = targets;
+  return MakeOp(std::move(out), {logits},
+                [targets = std::move(targets_copy), pos_weight,
+                 n](Node& self) {
+                  auto& pa = self.parents[0];
+                  if (!NeedsGrad(pa)) return;
+                  pa->EnsureGrad();
+                  Scalar g = self.grad.at(0, 0) / static_cast<Scalar>(n);
+                  for (int64_t i = 0; i < pa->value.size(); ++i) {
+                    Scalar xi = pa->value.data()[i];
+                    Scalar ti = targets.data()[i];
+                    Scalar s = 1.0 / (1.0 + std::exp(-xi));
+                    // d/dx [w*t*softplus(-x) + (1-t)*softplus(x)]
+                    Scalar d = -pos_weight * ti * (1.0 - s) +
+                               (1.0 - ti) * s;
+                    pa->grad.data()[i] += g * d;
+                  }
+                });
+}
+
+Var KlToStandardNormal(const Var& mu, const Var& logvar) {
+  TGSIM_CHECK(mu.value().SameShape(logvar.value()));
+  // -0.5 * sum(1 + logvar - mu^2 - exp(logvar)) / rows
+  Var term = Sub(Sub(AddScalar(logvar, 1.0), Square(mu)), Exp(logvar));
+  int rows = mu.rows();
+  return Scale(Sum(term), -0.5 / static_cast<Scalar>(rows));
+}
+
+Var MseLoss(const Var& pred, const Tensor& target) {
+  TGSIM_CHECK(pred.value().SameShape(target));
+  Var diff = Sub(pred, Var::Constant(target));
+  return Mean(Square(diff));
+}
+
+}  // namespace tgsim::nn

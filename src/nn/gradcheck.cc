@@ -1,0 +1,46 @@
+#include "nn/gradcheck.h"
+
+#include <cmath>
+
+namespace tgsim::nn {
+
+GradCheckResult CheckGradients(std::vector<Var> params,
+                               const std::function<Var()>& loss_fn,
+                               Scalar eps, Scalar tolerance) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (Var& p : params) p.ZeroGrad();
+  Var loss = loss_fn();
+  Backward(loss);
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (Var& p : params) {
+    p.node()->EnsureGrad();
+    analytic.push_back(p.grad());
+  }
+
+  // Numeric pass: central differences entry by entry.
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& x = params[pi].mutable_value();
+    for (int64_t j = 0; j < x.size(); ++j) {
+      Scalar saved = x.data()[j];
+      x.data()[j] = saved + eps;
+      Scalar f_plus = loss_fn().item();
+      x.data()[j] = saved - eps;
+      Scalar f_minus = loss_fn().item();
+      x.data()[j] = saved;
+      Scalar numeric = (f_plus - f_minus) / (2.0 * eps);
+      Scalar exact = analytic[pi].data()[j];
+      Scalar abs_err = std::fabs(numeric - exact);
+      Scalar denom = std::max({std::fabs(numeric), std::fabs(exact),
+                               static_cast<Scalar>(1.0)});
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+    }
+  }
+  result.ok = result.max_rel_error <= tolerance;
+  return result;
+}
+
+}  // namespace tgsim::nn

@@ -1,0 +1,30 @@
+#ifndef TGSIM_NN_GRADCHECK_H_
+#define TGSIM_NN_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace tgsim::nn {
+
+/// Result of a numerical gradient check.
+struct GradCheckResult {
+  Scalar max_abs_error = 0.0;
+  Scalar max_rel_error = 0.0;
+  bool ok = false;
+};
+
+/// Compares the analytic gradients of `loss_fn` with central finite
+/// differences over every entry of every parameter in `params`.
+///
+/// `loss_fn` must rebuild the computation graph (using the given params) and
+/// return the scalar loss Var on each call. Perturbation size `eps` and
+/// tolerance are tuned for double precision.
+GradCheckResult CheckGradients(std::vector<Var> params,
+                               const std::function<Var()>& loss_fn,
+                               Scalar eps = 1e-6, Scalar tolerance = 1e-4);
+
+}  // namespace tgsim::nn
+
+#endif  // TGSIM_NN_GRADCHECK_H_

@@ -1,0 +1,88 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace tgsim::nn {
+
+void Optimizer::ZeroGrad() {
+  for (Var& p : params_) p.ZeroGrad();
+}
+
+void Optimizer::ClipGradNorm(Scalar max_norm) {
+  Scalar total_sq = 0.0;
+  for (Var& p : params_) {
+    if (p.grad().SameShape(p.value())) {
+      Scalar n = p.grad().Norm();
+      total_sq += n * n;
+    }
+  }
+  Scalar total = std::sqrt(total_sq);
+  if (total > max_norm && total > 0.0) {
+    Scalar scale = max_norm / total;
+    for (Var& p : params_) {
+      if (p.grad().SameShape(p.value())) p.mutable_grad().ScaleInPlace(scale);
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<Var> params, Scalar lr, Scalar momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0) {
+    velocity_.reserve(params_.size());
+    for (const Var& p : params_)
+      velocity_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p.grad().SameShape(p.value())) continue;  // Never touched.
+    if (momentum_ != 0.0) {
+      velocity_[i].ScaleInPlace(momentum_);
+      velocity_[i].Axpy(1.0, p.grad());
+      p.mutable_value().Axpy(-lr_, velocity_[i]);
+    } else {
+      p.mutable_value().Axpy(-lr_, p.grad());
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, Scalar lr, Scalar beta1, Scalar beta2,
+           Scalar eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  Scalar bias1 = 1.0 - std::pow(beta1_, static_cast<Scalar>(t_));
+  Scalar bias2 = 1.0 - std::pow(beta2_, static_cast<Scalar>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p.grad().SameShape(p.value())) continue;
+    const Tensor& g = p.grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    Tensor& x = p.mutable_value();
+    for (int64_t j = 0; j < g.size(); ++j) {
+      Scalar gj = g.data()[j];
+      m.data()[j] = beta1_ * m.data()[j] + (1.0 - beta1_) * gj;
+      v.data()[j] = beta2_ * v.data()[j] + (1.0 - beta2_) * gj * gj;
+      Scalar m_hat = m.data()[j] / bias1;
+      Scalar v_hat = v.data()[j] / bias2;
+      x.data()[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace tgsim::nn

@@ -1,0 +1,261 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/memory_tracker.h"
+
+namespace tgsim::nn {
+
+void Tensor::Allocate(int rows, int cols) {
+  TGSIM_CHECK_GE(rows, 0);
+  TGSIM_CHECK_GE(cols, 0);
+  rows_ = rows;
+  cols_ = cols;
+  size_t n = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  if (n > 0) {
+    data_ = new Scalar[n];
+    MemoryTracker::Global().Allocate(n * sizeof(Scalar));
+  } else {
+    data_ = nullptr;
+  }
+}
+
+void Tensor::Deallocate() {
+  if (data_ != nullptr) {
+    MemoryTracker::Global().Release(static_cast<size_t>(size()) *
+                                    sizeof(Scalar));
+    delete[] data_;
+    data_ = nullptr;
+  }
+  rows_ = 0;
+  cols_ = 0;
+}
+
+Tensor::Tensor(int rows, int cols) {
+  Allocate(rows, cols);
+  if (data_ != nullptr) std::memset(data_, 0, size() * sizeof(Scalar));
+}
+
+Tensor::Tensor(int rows, int cols, Scalar fill) {
+  Allocate(rows, cols);
+  std::fill(data_, data_ + size(), fill);
+}
+
+Tensor::Tensor(int rows, int cols, std::vector<Scalar> data) {
+  TGSIM_CHECK_EQ(static_cast<int64_t>(data.size()),
+                 static_cast<int64_t>(rows) * cols);
+  Allocate(rows, cols);
+  std::copy(data.begin(), data.end(), data_);
+}
+
+Tensor::Tensor(const Tensor& other) {
+  Allocate(other.rows_, other.cols_);
+  if (data_ != nullptr)
+    std::memcpy(data_, other.data_, size() * sizeof(Scalar));
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : data_(other.data_), rows_(other.rows_), cols_(other.cols_) {
+  other.data_ = nullptr;
+  other.rows_ = 0;
+  other.cols_ = 0;
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  if (!SameShape(other)) {
+    Deallocate();
+    Allocate(other.rows_, other.cols_);
+  }
+  if (data_ != nullptr)
+    std::memcpy(data_, other.data_, size() * sizeof(Scalar));
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  Deallocate();
+  data_ = other.data_;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  other.data_ = nullptr;
+  other.rows_ = 0;
+  other.cols_ = 0;
+  return *this;
+}
+
+Tensor::~Tensor() { Deallocate(); }
+
+Tensor Tensor::Identity(int n) {
+  Tensor t(n, n);
+  for (int i = 0; i < n; ++i) t.at(i, i) = 1.0;
+  return t;
+}
+
+Tensor Tensor::Randn(Rng& rng, int rows, int cols, Scalar stddev) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.size(); ++i) t.data_[i] = rng.Normal() * stddev;
+  return t;
+}
+
+Tensor Tensor::RandUniform(Rng& rng, int rows, int cols, Scalar lo,
+                           Scalar hi) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.size(); ++i) t.data_[i] = rng.Uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::GlorotUniform(Rng& rng, int fan_in, int fan_out) {
+  Scalar limit = std::sqrt(6.0 / (fan_in + fan_out));
+  return RandUniform(rng, fan_in, fan_out, -limit, limit);
+}
+
+void Tensor::Fill(Scalar v) { std::fill(data_, data_ + size(), v); }
+
+void Tensor::AddInPlace(const Tensor& other) {
+  TGSIM_CHECK(SameShape(other));
+  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Axpy(Scalar alpha, const Tensor& other) {
+  TGSIM_CHECK(SameShape(other));
+  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::ScaleInPlace(Scalar alpha) {
+  for (int64_t i = 0; i < size(); ++i) data_[i] *= alpha;
+}
+
+void Tensor::AddRowVectorInPlace(const Tensor& vec) {
+  TGSIM_CHECK_EQ(vec.rows(), 1);
+  TGSIM_CHECK_EQ(vec.cols(), cols_);
+  for (int r = 0; r < rows_; ++r) {
+    Scalar* dst = row(r);
+    for (int c = 0; c < cols_; ++c) dst[c] += vec.data_[c];
+  }
+}
+
+Tensor Tensor::operator+(const Tensor& other) const {
+  Tensor out(*this);
+  out.AddInPlace(other);
+  return out;
+}
+
+Tensor Tensor::operator-(const Tensor& other) const {
+  TGSIM_CHECK(SameShape(other));
+  Tensor out(*this);
+  for (int64_t i = 0; i < size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Tensor Tensor::CwiseMul(const Tensor& other) const {
+  TGSIM_CHECK(SameShape(other));
+  Tensor out(*this);
+  for (int64_t i = 0; i < size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Tensor Tensor::operator*(Scalar s) const {
+  Tensor out(*this);
+  out.ScaleInPlace(s);
+  return out;
+}
+
+Tensor Tensor::MatMul(const Tensor& other) const {
+  TGSIM_CHECK_EQ(cols_, other.rows_);
+  Tensor out(rows_, other.cols_);
+  // ikj loop order: streams through `other` row-wise for cache locality.
+  for (int i = 0; i < rows_; ++i) {
+    const Scalar* a_row = row(i);
+    Scalar* o_row = out.row(i);
+    for (int k = 0; k < cols_; ++k) {
+      Scalar a = a_row[k];
+      if (a == 0.0) continue;
+      const Scalar* b_row = other.row(k);
+      for (int j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Transpose() const {
+  Tensor out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  return out;
+}
+
+Tensor Tensor::GatherRows(const std::vector<int>& map) const {
+  Tensor out(static_cast<int>(map.size()), cols_);
+  for (size_t i = 0; i < map.size(); ++i) {
+    TGSIM_DCHECK(map[i] >= 0 && map[i] < rows_);
+    std::memcpy(out.row(static_cast<int>(i)), row(map[i]),
+                static_cast<size_t>(cols_) * sizeof(Scalar));
+  }
+  return out;
+}
+
+Scalar Tensor::Sum() const {
+  Scalar s = 0.0;
+  for (int64_t i = 0; i < size(); ++i) s += data_[i];
+  return s;
+}
+
+Scalar Tensor::Mean() const {
+  TGSIM_CHECK_GT(size(), 0);
+  return Sum() / static_cast<Scalar>(size());
+}
+
+Scalar Tensor::MaxAbs() const {
+  Scalar m = 0.0;
+  for (int64_t i = 0; i < size(); ++i)
+    m = std::max(m, std::fabs(data_[i]));
+  return m;
+}
+
+Scalar Tensor::Norm() const { return std::sqrt(Dot(*this)); }
+
+Scalar Tensor::Dot(const Tensor& other) const {
+  TGSIM_CHECK(SameShape(other));
+  Scalar s = 0.0;
+  for (int64_t i = 0; i < size(); ++i) s += data_[i] * other.data_[i];
+  return s;
+}
+
+Tensor Tensor::SoftmaxRows() const {
+  Tensor out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    const Scalar* src = row(r);
+    Scalar* dst = out.row(r);
+    Scalar m = src[0];
+    for (int c = 1; c < cols_; ++c) m = std::max(m, src[c]);
+    Scalar z = 0.0;
+    for (int c = 0; c < cols_; ++c) {
+      dst[c] = std::exp(src[c] - m);
+      z += dst[c];
+    }
+    for (int c = 0; c < cols_; ++c) dst[c] /= z;
+  }
+  return out;
+}
+
+std::string Tensor::ToString(int max_rows) const {
+  std::ostringstream os;
+  os << "Tensor(" << rows_ << "x" << cols_ << ")";
+  int shown = std::min(rows_, max_rows);
+  for (int r = 0; r < shown; ++r) {
+    os << "\n  [";
+    for (int c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << at(r, c);
+    }
+    os << "]";
+  }
+  if (shown < rows_) os << "\n  ... (" << rows_ - shown << " more rows)";
+  return os.str();
+}
+
+}  // namespace tgsim::nn

@@ -1,0 +1,301 @@
+#include <set>
+#include <string>
+
+#include "baselines/er_ba.h"
+#include "baselines/score_sampling.h"
+#include "baselines/taggen.h"
+#include "baselines/tggan.h"
+#include "baselines/tigger.h"
+#include "baselines/walks.h"
+#include "datasets/synthetic.h"
+#include "eval/registry.h"
+#include "gtest/gtest.h"
+#include "metrics/graph_stats.h"
+
+namespace tgsim::baselines {
+namespace {
+
+graphs::TemporalGraph Observed() {
+  static const graphs::TemporalGraph* kGraph = new graphs::TemporalGraph(
+      datasets::MakeMimicByName("DBLP", 0.05, 21));
+  return *kGraph;
+}
+
+// ---------------------------------------------------------------------------
+// Generator contract, parameterized over every method in the registry.
+// ---------------------------------------------------------------------------
+
+class GeneratorContractTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GeneratorContractTest, FitGenerateMatchesObservedShape) {
+  graphs::TemporalGraph observed = Observed();
+  auto gen = eval::MakeGenerator(GetParam(), eval::Effort::kFast);
+  ASSERT_NE(gen, nullptr);
+  EXPECT_EQ(gen->name(), GetParam());
+
+  Rng rng(17);
+  gen->Fit(observed, rng);
+  graphs::TemporalGraph out = gen->Generate(rng);
+
+  EXPECT_EQ(out.num_nodes(), observed.num_nodes());
+  EXPECT_EQ(out.num_timestamps(), observed.num_timestamps());
+  EXPECT_EQ(out.num_edges(), observed.num_edges());
+  for (const graphs::TemporalEdge& e : out.edges()) {
+    EXPECT_GE(e.u, 0);
+    EXPECT_LT(e.u, out.num_nodes());
+    EXPECT_GE(e.v, 0);
+    EXPECT_LT(e.v, out.num_nodes());
+    EXPECT_GE(e.t, 0);
+    EXPECT_LT(e.t, out.num_timestamps());
+  }
+}
+
+TEST_P(GeneratorContractTest, DeterministicForSameSeed) {
+  graphs::TemporalGraph observed = Observed();
+  auto make = [&](uint64_t seed) {
+    auto gen = eval::MakeGenerator(GetParam(), eval::Effort::kFast);
+    Rng rng(seed);
+    gen->Fit(observed, rng);
+    return gen->Generate(rng);
+  };
+  graphs::TemporalGraph a = make(5);
+  graphs::TemporalGraph b = make(5);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t i = 0; i < a.edges().size(); ++i)
+    EXPECT_TRUE(a.edges()[i] == b.edges()[i]) << GetParam() << " edge " << i;
+}
+
+TEST_P(GeneratorContractTest, PaperMemoryModelIsMonotoneInScale) {
+  auto gen = eval::MakeGenerator(GetParam(), eval::Effort::kFast);
+  int64_t small = gen->EstimatePaperMemoryBytes(1000, 10000, 20);
+  int64_t large = gen->EstimatePaperMemoryBytes(100000, 1000000, 200);
+  EXPECT_GE(large, small);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, GeneratorContractTest,
+    ::testing::ValuesIn(eval::AllMethodNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Method-specific behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(ErdosRenyiTest, PerTimestampCountsMatchExactly) {
+  graphs::TemporalGraph observed = Observed();
+  ErdosRenyiGenerator gen;
+  Rng rng(3);
+  gen.Fit(observed, rng);
+  graphs::TemporalGraph out = gen.Generate(rng);
+  EXPECT_EQ(out.EdgesPerTimestamp(), observed.EdgesPerTimestamp());
+  EXPECT_FALSE(gen.is_learning_based());
+}
+
+TEST(ErdosRenyiTest, NoSelfLoops) {
+  graphs::TemporalGraph observed = Observed();
+  ErdosRenyiGenerator gen;
+  Rng rng(4);
+  gen.Fit(observed, rng);
+  for (const auto& e : gen.Generate(rng).edges()) EXPECT_NE(e.u, e.v);
+}
+
+TEST(BarabasiAlbertTest, ProducesHeavierTailThanErdosRenyi) {
+  graphs::TemporalGraph observed = Observed();
+  Rng rng(5);
+  ErdosRenyiGenerator er;
+  er.Fit(observed, rng);
+  graphs::TemporalGraph er_out = er.Generate(rng);
+  BarabasiAlbertGenerator ba;
+  ba.Fit(observed, rng);
+  graphs::TemporalGraph ba_out = ba.Generate(rng);
+  auto max_degree = [](const graphs::TemporalGraph& g) {
+    graphs::StaticGraph s = g.SnapshotUpTo(g.num_timestamps() - 1);
+    int mx = 0;
+    for (int d : s.Degrees()) mx = std::max(mx, d);
+    return mx;
+  };
+  EXPECT_GT(max_degree(ba_out), max_degree(er_out));
+}
+
+TEST(TagGenTest, TrainingLossIsFinite) {
+  graphs::TemporalGraph observed = Observed();
+  TagGenConfig cfg;
+  cfg.epochs = 3;
+  cfg.walks_per_epoch = 30;
+  TagGenGenerator gen(cfg);
+  Rng rng(6);
+  gen.Fit(observed, rng);
+  EXPECT_TRUE(std::isfinite(gen.last_epoch_loss()));
+  EXPECT_GT(gen.last_epoch_loss(), 0.0);
+}
+
+TEST(TiggerTest, TrainingLossDecreases) {
+  graphs::TemporalGraph observed = Observed();
+  Rng rng(7);
+  TiggerConfig short_cfg;
+  short_cfg.epochs = 1;
+  short_cfg.walks_per_epoch = 60;
+  TiggerGenerator short_run(short_cfg);
+  short_run.Fit(observed, rng);
+
+  Rng rng2(7);
+  TiggerConfig long_cfg = short_cfg;
+  long_cfg.epochs = 12;
+  TiggerGenerator long_run(long_cfg);
+  long_run.Fit(observed, rng2);
+  EXPECT_LT(long_run.last_epoch_loss(), short_run.last_epoch_loss());
+}
+
+TEST(TgganTest, AdversarialLossesAreFinite) {
+  graphs::TemporalGraph observed = Observed();
+  TgganConfig cfg;
+  cfg.iterations = 5;
+  cfg.batch_walks = 8;
+  TgganGenerator gen(cfg);
+  Rng rng(8);
+  gen.Fit(observed, rng);
+  EXPECT_TRUE(std::isfinite(gen.last_d_loss()));
+  EXPECT_TRUE(std::isfinite(gen.last_g_loss()));
+  EXPECT_GT(gen.last_d_loss(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Temporal walks.
+// ---------------------------------------------------------------------------
+
+TEST(TemporalWalkTest, StepsRespectTimeWindowOfPreviousStep) {
+  graphs::TemporalGraph observed = Observed();
+  const int window = 2;
+  TemporalWalkSampler sampler(&observed, window);
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    TemporalWalk w = sampler.Sample(6, rng);
+    ASSERT_GE(w.length(), 1);
+    for (size_t j = 1; j < w.steps.size(); ++j)
+      EXPECT_LE(std::abs(w.steps[j].t - w.steps[j - 1].t), window);
+  }
+}
+
+TEST(TemporalWalkTest, ConsecutiveStepsAreObservedEdges) {
+  graphs::TemporalGraph observed = Observed();
+  TemporalWalkSampler sampler(&observed, 2);
+  Rng rng(10);
+  std::set<std::tuple<int, int, int>> undirected;
+  for (const auto& e : observed.edges()) {
+    undirected.insert({std::min(e.u, e.v), std::max(e.u, e.v), e.t});
+  }
+  for (int i = 0; i < 30; ++i) {
+    TemporalWalk w = sampler.Sample(6, rng);
+    for (size_t j = 1; j < w.steps.size(); ++j) {
+      int a = std::min(w.steps[j - 1].node, w.steps[j].node);
+      int b = std::max(w.steps[j - 1].node, w.steps[j].node);
+      EXPECT_TRUE(undirected.count({a, b, w.steps[j].t}))
+          << "step " << j << " is not an observed temporal edge";
+    }
+  }
+}
+
+TEST(AssembleFromWalksTest, MeetsEdgeBudgetExactly) {
+  std::vector<TemporalWalk> walks;
+  TemporalWalk w;
+  w.steps = {{0, 0}, {1, 1}, {2, 1}};
+  walks.push_back(w);
+  Rng rng(11);
+  graphs::TemporalGraph g = AssembleFromWalks(walks, 5, 3, 10, rng);
+  EXPECT_EQ(g.num_edges(), 10);  // 2 from the walk + 8 filler.
+}
+
+TEST(AssembleFromWalksTest, SkipsSelfTransitions) {
+  std::vector<TemporalWalk> walks;
+  TemporalWalk w;
+  w.steps = {{0, 0}, {0, 1}, {1, 1}};
+  walks.push_back(w);
+  Rng rng(12);
+  graphs::TemporalGraph g = AssembleFromWalks(walks, 4, 2, 1, rng);
+  ASSERT_EQ(g.num_edges(), 1);
+  EXPECT_NE(g.edges()[0].u, g.edges()[0].v);
+}
+
+// ---------------------------------------------------------------------------
+// Score sampling.
+// ---------------------------------------------------------------------------
+
+TEST(ScoreSamplingTest, ProducesRequestedDistinctEdges) {
+  nn::Tensor scores(4, 4, 1.0);
+  Rng rng(13);
+  std::vector<graphs::TemporalEdge> out;
+  SampleEdgesFromScores(scores, 6, 2, rng, &out);
+  EXPECT_EQ(out.size(), 6u);
+  std::set<std::pair<int, int>> distinct;
+  for (const auto& e : out) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_EQ(e.t, 2);
+    distinct.insert({e.u, e.v});
+  }
+  EXPECT_EQ(distinct.size(), 6u);
+}
+
+TEST(ScoreSamplingTest, FollowsScoreMass) {
+  nn::Tensor scores(3, 3);
+  scores.at(0, 1) = 100.0;
+  scores.at(1, 2) = 1.0;
+  Rng rng(14);
+  int hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<graphs::TemporalEdge> out;
+    SampleEdgesFromScores(scores, 1, 0, rng, &out);
+    hits += out[0].u == 0 && out[0].v == 1;
+  }
+  EXPECT_GT(hits, 180);
+}
+
+TEST(ScoreSamplingTest, ZeroMassFallsBackToUniform) {
+  nn::Tensor scores(5, 5);
+  Rng rng(15);
+  std::vector<graphs::TemporalEdge> out;
+  SampleEdgesFromScores(scores, 4, 1, rng, &out);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(ScoreSamplingTest, RequestBeyondPairSpaceEmitsDuplicates) {
+  // 3 nodes -> only 6 distinct ordered pairs; asking for 10 edges must
+  // terminate and fill the remainder with duplicates (regression test for
+  // an infinite fill loop on dense snapshots).
+  nn::Tensor scores(3, 3, 1.0);
+  Rng rng(16);
+  std::vector<graphs::TemporalEdge> out;
+  SampleEdgesFromScores(scores, 10, 0, rng, &out);
+  EXPECT_EQ(out.size(), 10u);
+  for (const auto& e : out) EXPECT_NE(e.u, e.v);
+}
+
+TEST(NormalizedAdjacencyTest, RowsOfRegularGraphAreStochasticLike) {
+  // For a cycle (2-regular), D^{-1/2}(A+I)D^{-1/2} rows sum to 1.
+  nn::Tensor a(4, 4);
+  for (int i = 0; i < 4; ++i) {
+    a.at(i, (i + 1) % 4) = 1.0;
+    a.at((i + 1) % 4, i) = 1.0;
+  }
+  nn::Tensor norm = NormalizedAdjacency(a);
+  for (int r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < 4; ++c) sum += norm.at(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DenseAdjacencyTest, SymmetricBinaryNoDiagonal) {
+  std::vector<graphs::TemporalEdge> edges = {{0, 1, 0}, {1, 0, 0}, {2, 2, 0}};
+  nn::Tensor a = DenseAdjacency(3, edges);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace tgsim::baselines

@@ -1,0 +1,93 @@
+#include "graph/binning.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace tgsim::graphs {
+namespace {
+
+std::vector<RawEvent> BurstyStream() {
+  // 6 events at t=1000..1005 (burst), 2 events much later.
+  return {{0, 1, 1000}, {1, 2, 1001}, {2, 3, 1002}, {3, 0, 1003},
+          {0, 2, 1004}, {1, 3, 1005}, {2, 0, 9000}, {3, 1, 9500}};
+}
+
+TEST(BinningTest, UniformTimeCoversRangeAndKeepsAllEvents) {
+  BinnedGraph b = BinEvents(BurstyStream(), 4, 4);
+  EXPECT_EQ(b.graph.num_edges(), 8);
+  EXPECT_EQ(b.graph.num_timestamps(), 4);
+  EXPECT_EQ(b.boundaries.size(), 4u);
+  EXPECT_EQ(b.boundaries.front(), 1000);
+}
+
+TEST(BinningTest, UniformTimeBinsBurstTogether) {
+  BinnedGraph b = BinEvents(BurstyStream(), 4, 4);
+  // The burst (1000..1005) spans a tiny fraction of [1000, 9500]: all six
+  // burst events land in bin 0, the two late events in the last bin.
+  EXPECT_EQ(b.graph.EdgesAt(0).size(), 6u);
+  EXPECT_EQ(b.graph.EdgesAt(3).size(), 2u);
+}
+
+TEST(BinningTest, EqualFrequencySpreadsBurst) {
+  BinnedGraph b =
+      BinEvents(BurstyStream(), 4, 4, BinningStrategy::kEqualFrequency);
+  // 8 events over 4 bins: roughly 2 per bin.
+  for (Timestamp t = 0; t < 4; ++t) {
+    EXPECT_GE(b.graph.EdgesAt(t).size(), 1u) << "bin " << t;
+    EXPECT_LE(b.graph.EdgesAt(t).size(), 3u) << "bin " << t;
+  }
+}
+
+TEST(BinningTest, SingleBinTakesEverything) {
+  BinnedGraph b = BinEvents(BurstyStream(), 4, 1);
+  EXPECT_EQ(b.graph.EdgesAt(0).size(), 8u);
+}
+
+TEST(BinningTest, BoundariesAreNonDecreasing) {
+  Rng rng(3);
+  std::vector<RawEvent> events;
+  for (int i = 0; i < 200; ++i)
+    events.push_back({static_cast<NodeId>(rng.UniformInt(10)),
+                      static_cast<NodeId>(rng.UniformInt(10)),
+                      rng.UniformInt(50)});  // Many duplicate times.
+  for (BinningStrategy s :
+       {BinningStrategy::kUniformTime, BinningStrategy::kEqualFrequency}) {
+    BinnedGraph b = BinEvents(events, 10, 8, s);
+    for (size_t i = 1; i < b.boundaries.size(); ++i)
+      EXPECT_LE(b.boundaries[i - 1], b.boundaries[i]);
+    EXPECT_EQ(b.graph.num_edges(), 200);
+  }
+}
+
+TEST(BinningTest, TimestampOrderIsPreserved) {
+  // An event earlier in raw time can never land in a later bin than an
+  // event later in raw time.
+  Rng rng(4);
+  std::vector<RawEvent> events;
+  for (int i = 0; i < 100; ++i)
+    events.push_back({static_cast<NodeId>(rng.UniformInt(5)),
+                      static_cast<NodeId>(rng.UniformInt(5)),
+                      rng.UniformInt(100000)});
+  BinnedGraph b = BinEvents(events, 5, 10);
+  auto bin_of_time = [&](int64_t time) {
+    int bin = 0;
+    for (size_t i = 0; i < b.boundaries.size(); ++i)
+      if (b.boundaries[i] <= time) bin = static_cast<int>(i);
+    return bin;
+  };
+  for (size_t i = 0; i < events.size(); ++i)
+    for (size_t j = 0; j < events.size(); ++j)
+      if (events[i].time < events[j].time)
+        EXPECT_LE(bin_of_time(events[i].time), bin_of_time(events[j].time));
+}
+
+TEST(BinningDeathTest, EmptyInputAborts) {
+  EXPECT_DEATH(BinEvents({}, 4, 4), "CHECK failed");
+}
+
+TEST(BinningDeathTest, OutOfRangeNodeAborts) {
+  EXPECT_DEATH(BinEvents({{0, 9, 10}}, 4, 2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace tgsim::graphs

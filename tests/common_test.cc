@@ -1,0 +1,251 @@
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "gtest/gtest.h"
+
+namespace tgsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng.
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.UniformInt(1000) == b.UniformInt(1000)) ++same;
+  EXPECT_LT(same, 10);
+}
+
+TEST(RngTest, UniformIsInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(5);
+  std::vector<int> seen(4, 0);
+  for (int i = 0; i < 4000; ++i) ++seen[rng.UniformInt(4)];
+  for (int count : seen) EXPECT_GT(count, 800);  // ~1000 expected.
+}
+
+TEST(RngTest, NormalHasApproxUnitMoments) {
+  Rng rng(6);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedChoiceFollowsWeights) {
+  Rng rng(8);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> seen(3, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[rng.WeightedChoice(w)];
+  EXPECT_EQ(seen[1], 0);
+  EXPECT_NEAR(static_cast<double>(seen[2]) / seen[0], 3.0, 0.5);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int64_t> s = rng.SampleWithoutReplacement(20, 10);
+    EXPECT_EQ(s.size(), 10u);
+    std::sort(s.begin(), s.end());
+    EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+    EXPECT_GE(s.front(), 0);
+    EXPECT_LT(s.back(), 20);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(10);
+  std::vector<int64_t> s = rng.SampleWithoutReplacement(5, 5);
+  std::sort(s.begin(), s.end());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(s[static_cast<size_t>(i)], i);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ParetoIsAtLeastOne) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.Pareto(1.5), 1.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(13);
+  Rng child = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(13);
+  b.Fork();
+  EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  double c1 = child.Uniform();
+  double p1 = a.Uniform();
+  EXPECT_NE(c1, p1);
+}
+
+// ---------------------------------------------------------------------------
+// Status / Result.
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IoError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.ToString(), "IoError: disk on fire");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, WorksWithMoveOnlyValueAccess) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+// ---------------------------------------------------------------------------
+// MemoryTracker.
+// ---------------------------------------------------------------------------
+
+TEST(MemoryTrackerTest, TracksAllocateRelease) {
+  MemoryTracker t;
+  t.Allocate(100);
+  t.Allocate(50);
+  EXPECT_EQ(t.CurrentBytes(), 150);
+  t.Release(100);
+  EXPECT_EQ(t.CurrentBytes(), 50);
+  EXPECT_GE(t.PeakBytes(), 150);
+}
+
+TEST(MemoryTrackerTest, PeakResetsToCurrent) {
+  MemoryTracker t;
+  t.Allocate(100);
+  t.Release(100);
+  t.Allocate(10);
+  t.ResetPeak();
+  EXPECT_EQ(t.PeakBytes(), 10);
+  t.Allocate(5);
+  EXPECT_EQ(t.PeakBytes(), 15);
+}
+
+TEST(MemoryTrackerTest, ConcurrentUpdatesAreConsistent) {
+  MemoryTracker t;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&t]() {
+      for (int j = 0; j < 1000; ++j) {
+        t.Allocate(8);
+        t.Release(8);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.CurrentBytes(), 0);
+}
+
+TEST(MemoryUsageScopeTest, ObservesTensorAllocations) {
+  MemoryUsageScope scope;
+  EXPECT_GE(scope.PeakBytes(), 0);
+  EXPECT_GE(scope.PeakMiB(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Stopwatch & checks.
+// ---------------------------------------------------------------------------
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch w;
+  double t1 = w.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  EXPECT_GE(w.ElapsedSeconds(), t1);
+  w.Restart();
+  EXPECT_LT(w.ElapsedMillis(), 1000.0);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(TGSIM_CHECK(1 == 2), "CHECK failed");
+  EXPECT_DEATH(TGSIM_CHECK_EQ(3, 4), "CHECK failed");
+  EXPECT_DEATH(TGSIM_CHECK_LT(5, 5), "CHECK failed");
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  TGSIM_CHECK(true);
+  TGSIM_CHECK_EQ(1, 1);
+  TGSIM_CHECK_GE(2, 1);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tgsim

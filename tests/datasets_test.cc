@@ -1,0 +1,198 @@
+#include <cstdio>
+#include <string>
+
+#include "datasets/io.h"
+#include "datasets/synthetic.h"
+#include "gtest/gtest.h"
+#include "metrics/graph_stats.h"
+
+namespace tgsim::datasets {
+namespace {
+
+TEST(DatasetRegistryTest, TableIIHasSevenNetworks) {
+  EXPECT_EQ(TableIIDatasets().size(), 7u);
+}
+
+TEST(DatasetRegistryTest, SpecsMatchPaperTableII) {
+  const DatasetSpec* dblp = FindDataset("DBLP");
+  ASSERT_NE(dblp, nullptr);
+  EXPECT_EQ(dblp->num_nodes, 1909);
+  EXPECT_EQ(dblp->num_edges, 8237);
+  EXPECT_EQ(dblp->num_timestamps, 15);
+  const DatasetSpec* ubuntu = FindDataset("UBUNTU");
+  ASSERT_NE(ubuntu, nullptr);
+  EXPECT_EQ(ubuntu->num_nodes, 159316);
+  EXPECT_EQ(ubuntu->num_edges, 964437);
+  EXPECT_EQ(ubuntu->num_timestamps, 88);
+}
+
+TEST(DatasetRegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(FindDataset("NOPE"), nullptr);
+}
+
+TEST(MimicTest, ShapeMatchesScaledSpec) {
+  const DatasetSpec* spec = FindDataset("MSG");
+  ASSERT_NE(spec, nullptr);
+  MimicConfig cfg;
+  cfg.scale = 0.1;
+  graphs::TemporalGraph g = MakeMimic(*spec, cfg, 7);
+  EXPECT_EQ(g.num_nodes(), static_cast<int>(spec->num_nodes * 0.1));
+  EXPECT_EQ(g.num_edges(), static_cast<int64_t>(spec->num_edges * 0.1));
+  EXPECT_EQ(g.num_timestamps(), static_cast<int>(spec->num_timestamps * 0.1));
+}
+
+TEST(MimicTest, DeterministicForSeed) {
+  graphs::TemporalGraph a = MakeMimicByName("DBLP", 0.05, 5);
+  graphs::TemporalGraph b = MakeMimicByName("DBLP", 0.05, 5);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t i = 0; i < a.edges().size(); ++i)
+    EXPECT_TRUE(a.edges()[i] == b.edges()[i]);
+}
+
+TEST(MimicTest, DifferentSeedsDiffer) {
+  graphs::TemporalGraph a = MakeMimicByName("DBLP", 0.05, 5);
+  graphs::TemporalGraph b = MakeMimicByName("DBLP", 0.05, 6);
+  int diff = 0;
+  for (size_t i = 0; i < a.edges().size(); ++i)
+    diff += !(a.edges()[i] == b.edges()[i]);
+  EXPECT_GT(diff, 0);
+}
+
+TEST(MimicTest, HasHeavyTailedDegrees) {
+  graphs::TemporalGraph g = MakeMimicByName("DBLP", 0.2, 11);
+  graphs::StaticGraph snap = g.SnapshotUpTo(g.num_timestamps() - 1);
+  std::vector<int> degrees = snap.Degrees();
+  int max_deg = 0;
+  double mean = 0.0;
+  int active = 0;
+  for (int d : degrees) {
+    max_deg = std::max(max_deg, d);
+    if (d > 0) {
+      mean += d;
+      ++active;
+    }
+  }
+  mean /= active;
+  // Preferential attachment: the biggest hub is far above the mean.
+  EXPECT_GT(max_deg, 5 * mean);
+}
+
+TEST(MimicTest, ProducesTrianglesViaCommunities) {
+  graphs::TemporalGraph g = MakeMimicByName("DBLP", 0.2, 11);
+  graphs::StaticGraph snap = g.SnapshotUpTo(g.num_timestamps() - 1);
+  EXPECT_GT(metrics::TriangleCount(snap), 0);
+}
+
+TEST(MimicTest, EdgeCountsGrowOverTime) {
+  graphs::TemporalGraph g = MakeMimicByName("MSG", 0.1, 3);
+  std::vector<int64_t> counts = g.EdgesPerTimestamp();
+  // Densification schedule: the last timestamp emits more than the first.
+  EXPECT_GT(counts.back(), counts.front());
+}
+
+TEST(MimicTest, TimestampsFlooredAtEight) {
+  graphs::TemporalGraph g = MakeMimicByName("DBLP", 0.05, 3);
+  EXPECT_GE(g.num_timestamps(), 8);
+}
+
+TEST(ScalabilityTest, LabelFormat) {
+  ScalabilityConfig c{1000, 10, 0.01};
+  EXPECT_EQ(c.Label(), "1k*10*0.01");
+  ScalabilityConfig c2{2500, 20, 0.05};
+  EXPECT_EQ(c2.Label(), "2500*20*0.05");
+}
+
+TEST(ScalabilityTest, EdgeCountMatchesDensity) {
+  ScalabilityConfig c{200, 5, 0.01};
+  graphs::TemporalGraph g = MakeScalabilityGraph(c, 3);
+  EXPECT_EQ(g.num_nodes(), 200);
+  EXPECT_EQ(g.num_timestamps(), 5);
+  EXPECT_EQ(g.num_edges(), 5 * static_cast<int64_t>(0.01 * 200 * 200));
+}
+
+TEST(ScalabilityTest, NoSelfLoops) {
+  ScalabilityConfig c{50, 3, 0.02};
+  graphs::TemporalGraph g = MakeScalabilityGraph(c, 4);
+  for (const auto& e : g.edges()) EXPECT_NE(e.u, e.v);
+}
+
+// ---------------------------------------------------------------------------
+// Edge-list IO.
+// ---------------------------------------------------------------------------
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(IoTest, RoundTripsThroughDisk) {
+  graphs::TemporalGraph g = MakeMimicByName("DBLP", 0.03, 9);
+  std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  Result<graphs::TemporalGraph> loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.value().num_timestamps(), g.num_timestamps());
+  ASSERT_EQ(loaded.value().num_edges(), g.num_edges());
+  for (size_t i = 0; i < g.edges().size(); ++i)
+    EXPECT_TRUE(loaded.value().edges()[i] == g.edges()[i]);
+}
+
+TEST(IoTest, MissingFileIsIoError) {
+  Result<graphs::TemporalGraph> r = LoadEdgeList("/nonexistent/file.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, MalformedLineIsInvalidArgument) {
+  std::string path = TempPath("malformed.txt");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("0 1 0\nnot an edge\n", f);
+  fclose(f);
+  Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IoTest, EmptyFileIsInvalidArgument) {
+  std::string path = TempPath("empty.txt");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("% comment only\n", f);
+  fclose(f);
+  Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(IoTest, InfersShapeWithoutHeader) {
+  std::string path = TempPath("noheader.txt");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("0 1 5\n2 3 7\n", f);
+  fclose(f);
+  Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_nodes(), 4);
+  // Timestamps re-based: 5..7 -> 0..2.
+  EXPECT_EQ(r.value().num_timestamps(), 3);
+  EXPECT_EQ(r.value().edges()[0].t, 0);
+}
+
+TEST(IoTest, SkipsCommentLines) {
+  std::string path = TempPath("comments.txt");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("% comment\n# 4 2\n0 1 0\n\n2 3 1\n", f);
+  fclose(f);
+  Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_nodes(), 4);
+  EXPECT_EQ(r.value().num_edges(), 2);
+}
+
+TEST(IoTest, HeaderViolationIsError) {
+  std::string path = TempPath("badheader.txt");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("# 2 2\n0 5 0\n", f);
+  fclose(f);
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+}
+
+}  // namespace
+}  // namespace tgsim::datasets

@@ -1,0 +1,222 @@
+#include "graph/ego_sampler.h"
+
+#include <map>
+#include <set>
+
+#include "datasets/synthetic.h"
+#include "graph/bipartite.h"
+#include "gtest/gtest.h"
+
+namespace tgsim::graphs {
+namespace {
+
+TemporalGraph MakeDenseHub() {
+  // Node 0 is a hub at t=1 connected to 1..9; some periphery edges at t=0/2.
+  std::vector<TemporalEdge> edges;
+  for (NodeId v = 1; v <= 9; ++v) edges.push_back({0, v, 1});
+  edges.push_back({1, 2, 0});
+  edges.push_back({3, 4, 2});
+  edges.push_back({5, 6, 1});
+  return TemporalGraph::FromEdges(10, 3, std::move(edges));
+}
+
+TEST(EgoSamplerTest, CenterIsFirstNodeAtDepthZero) {
+  TemporalGraph g = MakeDenseHub();
+  EgoGraphSampler sampler(&g, {.radius = 2, .neighbor_threshold = 5,
+                               .time_window = 1});
+  Rng rng(1);
+  EgoGraph ego = sampler.Sample({0, 1}, rng);
+  EXPECT_EQ(ego.nodes[0].node, 0);
+  EXPECT_EQ(ego.nodes[0].t, 1);
+  EXPECT_EQ(ego.depth[0], 0);
+}
+
+TEST(EgoSamplerTest, DepthNeverExceedsRadius) {
+  TemporalGraph g = MakeDenseHub();
+  for (int radius : {1, 2, 3}) {
+    EgoGraphSampler sampler(&g, {.radius = radius, .neighbor_threshold = 4,
+                                 .time_window = 2});
+    Rng rng(2);
+    EgoGraph ego = sampler.Sample({0, 1}, rng);
+    for (int d : ego.depth) EXPECT_LE(d, radius);
+  }
+}
+
+TEST(EgoSamplerTest, TimeWindowBoundsAllNodes) {
+  TemporalGraph g = MakeDenseHub();
+  EgoGraphSampler sampler(&g, {.radius = 2, .neighbor_threshold = 0,
+                               .time_window = 1});
+  Rng rng(3);
+  EgoGraph ego = sampler.Sample({1, 0}, rng);
+  for (const TemporalNodeRef& node : ego.nodes)
+    EXPECT_LE(std::abs(node.t - ego.center.t), 1);
+}
+
+TEST(EgoSamplerTest, TruncationBoundsChildCount) {
+  TemporalGraph g = MakeDenseHub();
+  const int th = 3;
+  EgoGraphSampler sampler(&g, {.radius = 1, .neighbor_threshold = th,
+                               .time_window = 1});
+  Rng rng(4);
+  EgoGraph ego = sampler.Sample({0, 1}, rng);
+  // Hub has 9 same-time neighbors; with-replacement draws give <= th.
+  EXPECT_LE(ego.size(), th + 1);
+  EXPECT_GE(ego.size(), 2);
+}
+
+TEST(EgoSamplerTest, NoTruncationKeepsWholeNeighborhood) {
+  TemporalGraph g = MakeDenseHub();
+  EgoGraphSampler sampler(&g, {.radius = 1, .neighbor_threshold = 0,
+                               .time_window = 0});
+  Rng rng(5);
+  EgoGraph ego = sampler.Sample({0, 1}, rng);
+  EXPECT_EQ(ego.size(), 10);  // Hub + its 9 exact-time neighbors.
+}
+
+TEST(EgoSamplerTest, ThresholdOneYieldsChain) {
+  // The TGAE-g variant: every hop samples at most one neighbor.
+  TemporalGraph g = MakeDenseHub();
+  EgoGraphSampler sampler(&g, {.radius = 3, .neighbor_threshold = 1,
+                               .time_window = 2});
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    EgoGraph ego = sampler.Sample({0, 1}, rng);
+    std::map<int, int> per_depth;
+    for (int d : ego.depth) ++per_depth[d];
+    for (auto [depth, count] : per_depth) EXPECT_LE(count, 1);
+  }
+}
+
+TEST(EgoSamplerTest, EdgesConnectSampledNodes) {
+  TemporalGraph g = MakeDenseHub();
+  EgoGraphSampler sampler(&g, {.radius = 2, .neighbor_threshold = 4,
+                               .time_window = 2});
+  Rng rng(7);
+  EgoGraph ego = sampler.Sample({0, 1}, rng);
+  for (auto [p, c] : ego.edges) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, ego.size());
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, ego.size());
+    EXPECT_NE(p, c);
+  }
+}
+
+TEST(EgoSamplerTest, DeterministicGivenSeed) {
+  TemporalGraph g = MakeDenseHub();
+  EgoGraphSampler sampler(&g, {.radius = 2, .neighbor_threshold = 3,
+                               .time_window = 1});
+  Rng r1(42), r2(42);
+  EgoGraph a = sampler.Sample({0, 1}, r1);
+  EgoGraph b = sampler.Sample({0, 1}, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(a.nodes[static_cast<size_t>(i)] ==
+                b.nodes[static_cast<size_t>(i)]);
+}
+
+// ---------------------------------------------------------------------------
+// InitialNodeSampler.
+// ---------------------------------------------------------------------------
+
+TEST(InitialNodeSamplerTest, EnumeratesAllOccurrences) {
+  TemporalGraph g = MakeDenseHub();
+  InitialNodeSampler sampler(&g, /*time_window=*/1);
+  // Occurrences: 0@1, 1@{0,1}, 2@{0,1}, 3@{1,2}, 4@{1,2}, 5@1, 6@1, 7..9@1.
+  EXPECT_EQ(sampler.occurrences().size(), 14u);
+}
+
+TEST(InitialNodeSamplerTest, DegreeWeightedPrefersHub) {
+  TemporalGraph g = MakeDenseHub();
+  InitialNodeSampler sampler(&g, /*time_window=*/0);
+  Rng rng(8);
+  std::vector<TemporalNodeRef> draws = sampler.Sample(3000, rng);
+  int hub = 0;
+  for (const auto& d : draws) hub += d.node == 0;
+  // The hub holds 9 of 24 endpoint slots at exact-time degree weighting.
+  EXPECT_GT(hub, 3000 * 9 / 24 / 2);
+  EXPECT_LT(hub, 3000 * 9 / 24 * 2);
+}
+
+TEST(InitialNodeSamplerTest, UniformVariantIsFlat) {
+  TemporalGraph g = MakeDenseHub();
+  InitialNodeSampler sampler(&g, 0, /*uniform=*/true);
+  Rng rng(9);
+  std::vector<TemporalNodeRef> draws = sampler.Sample(7000, rng);
+  std::map<std::pair<int, int>, int> counts;
+  for (const auto& d : draws) ++counts[{d.node, d.t}];
+  // 14 occurrences -> ~500 each.
+  for (const auto& [key, c] : counts) {
+    EXPECT_GT(c, 250);
+    EXPECT_LT(c, 1000);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BipartiteStack.
+// ---------------------------------------------------------------------------
+
+class BipartiteStackTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BipartiteStackTest, InvariantsHoldOnMimic) {
+  const int radius = GetParam();
+  graphs::TemporalGraph g = tgsim::datasets::MakeMimicByName("DBLP", 0.05, 3);
+  EgoGraphSampler sampler(&g, {.radius = radius, .neighbor_threshold = 5,
+                               .time_window = 2});
+  InitialNodeSampler initial(&g, 2);
+  Rng rng(11);
+  std::vector<EgoGraph> egos;
+  for (const auto& c : initial.Sample(12, rng))
+    egos.push_back(sampler.Sample(c, rng));
+  BipartiteStack stack = BuildBipartiteStack(egos, radius);
+
+  ASSERT_EQ(stack.radius(), radius);
+  ASSERT_EQ(stack.layer_nodes.size(), static_cast<size_t>(radius) + 1);
+  // Centers appear in S_0.
+  ASSERT_EQ(stack.center_index.size(), egos.size());
+  for (size_t e = 0; e < egos.size(); ++e) {
+    EXPECT_TRUE(stack.layer_nodes[0][static_cast<size_t>(
+                    stack.center_index[e])] == egos[e].center);
+  }
+  // S_{l+1} contains every node of S_l (self-message paths).
+  for (int l = 0; l < radius; ++l) {
+    std::set<std::pair<int, int>> next;
+    for (const auto& node : stack.layer_nodes[static_cast<size_t>(l) + 1])
+      next.insert({node.node, node.t});
+    for (const auto& node : stack.layer_nodes[static_cast<size_t>(l)])
+      EXPECT_TRUE(next.count({node.node, node.t}));
+    // copy_in_next maps to the same temporal node.
+    const auto& copies = stack.copy_in_next[static_cast<size_t>(l)];
+    ASSERT_EQ(copies.size(), stack.layer_nodes[static_cast<size_t>(l)].size());
+    for (size_t i = 0; i < copies.size(); ++i) {
+      EXPECT_TRUE(stack.layer_nodes[static_cast<size_t>(l) + 1]
+                                   [static_cast<size_t>(copies[i])] ==
+                  stack.layer_nodes[static_cast<size_t>(l)][i]);
+    }
+  }
+  // Edge indices are in range; every target has at least one in-edge
+  // (its self-loop).
+  for (int l = 0; l < radius; ++l) {
+    const BipartiteLayer& layer = stack.layers[static_cast<size_t>(l)];
+    std::set<int> targets;
+    for (size_t i = 0; i < layer.num_edges(); ++i) {
+      EXPECT_GE(layer.src[i], 0);
+      EXPECT_LT(layer.src[i],
+                static_cast<int>(stack.layer_nodes[static_cast<size_t>(l) + 1]
+                                     .size()));
+      EXPECT_GE(layer.dst[i], 0);
+      EXPECT_LT(layer.dst[i],
+                static_cast<int>(
+                    stack.layer_nodes[static_cast<size_t>(l)].size()));
+      targets.insert(layer.dst[i]);
+    }
+    EXPECT_EQ(targets.size(),
+              stack.layer_nodes[static_cast<size_t>(l)].size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, BipartiteStackTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace tgsim::graphs

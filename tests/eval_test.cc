@@ -1,0 +1,165 @@
+#include <string>
+
+#include "datasets/synthetic.h"
+#include "eval/registry.h"
+#include "eval/runner.h"
+#include "eval/table_printer.h"
+#include "gtest/gtest.h"
+
+namespace tgsim::eval {
+namespace {
+
+TEST(RegistryTest, MethodListMatchesPaperColumns) {
+  const std::vector<std::string> expected = {
+      "TGAE",   "TIGGER", "DYMOND", "TGGAN",    "TagGen", "NetGAN",
+      "E-R",    "B-A",    "VGAE",   "Graphite", "SBMGNN"};
+  EXPECT_EQ(AllMethodNames(), expected);
+}
+
+TEST(RegistryTest, AblationListMatchesTableVII) {
+  const std::vector<std::string> expected = {"TGAE", "TGAE-g", "TGAE-t",
+                                             "TGAE-n", "TGAE-p"};
+  EXPECT_EQ(AblationMethodNames(), expected);
+}
+
+TEST(RegistryTest, EveryNameInstantiates) {
+  for (const std::string& name : AllMethodNames()) {
+    auto gen = MakeGenerator(name, Effort::kFast);
+    ASSERT_NE(gen, nullptr) << name;
+    EXPECT_EQ(gen->name(), name);
+  }
+  for (const std::string& name : AblationMethodNames()) {
+    auto gen = MakeGenerator(name, Effort::kFast);
+    ASSERT_NE(gen, nullptr) << name;
+    EXPECT_EQ(gen->name(), name);
+  }
+}
+
+TEST(RegistryDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(MakeGenerator("NoSuchMethod"), "CHECK failed");
+}
+
+// ---------------------------------------------------------------------------
+// OOM emulation against paper-scale shapes.
+// ---------------------------------------------------------------------------
+
+struct OomCase {
+  std::string method;
+  std::string dataset;
+  bool expect_oom;
+};
+
+class OomEmulationTest : public ::testing::TestWithParam<OomCase> {};
+
+TEST_P(OomEmulationTest, MatchesPaperPattern) {
+  const OomCase& c = GetParam();
+  const datasets::DatasetSpec* spec = datasets::FindDataset(c.dataset);
+  ASSERT_NE(spec, nullptr);
+  auto gen = MakeGenerator(c.method, Effort::kFast);
+  int64_t estimate = gen->EstimatePaperMemoryBytes(
+      spec->num_nodes, spec->num_edges, spec->num_timestamps);
+  bool ooms = estimate > 32LL * 1024 * 1024 * 1024;
+  EXPECT_EQ(ooms, c.expect_oom)
+      << c.method << " on " << c.dataset << " estimate=" << estimate;
+}
+
+// The paper's Tables IV/V/VI OOM pattern.
+INSTANTIATE_TEST_SUITE_P(
+    PaperPattern, OomEmulationTest,
+    ::testing::Values(
+        // TGAE runs everything, including UBUNTU.
+        OomCase{"TGAE", "DBLP", false}, OomCase{"TGAE", "MATH", false},
+        OomCase{"TGAE", "UBUNTU", false},
+        // TagGen/TGGAN: run DBLP and MSG, OOM beyond.
+        OomCase{"TagGen", "DBLP", false}, OomCase{"TagGen", "MSG", false},
+        OomCase{"TagGen", "EMAIL", true}, OomCase{"TagGen", "MATH", true},
+        OomCase{"TagGen", "UBUNTU", true}, OomCase{"TGGAN", "MSG", false},
+        OomCase{"TGGAN", "MATH", true},
+        // DYMOND: runs DBLP/MSG/EMAIL, OOMs MATH/BITCOIN/UBUNTU.
+        OomCase{"DYMOND", "EMAIL", false}, OomCase{"DYMOND", "MSG", false},
+        OomCase{"DYMOND", "MATH", true},
+        OomCase{"DYMOND", "BITCOIN-A", true},
+        // TIGGER: only UBUNTU is out of reach.
+        OomCase{"TIGGER", "MATH", false},
+        OomCase{"TIGGER", "BITCOIN-O", false},
+        OomCase{"TIGGER", "UBUNTU", true},
+        // NetGAN: OOMs BITCOIN-* (T^2 blowup) and UBUNTU (n^2), runs MATH.
+        OomCase{"NetGAN", "MATH", false}, OomCase{"NetGAN", "EMAIL", false},
+        OomCase{"NetGAN", "BITCOIN-A", true},
+        OomCase{"NetGAN", "UBUNTU", true},
+        // VGAE family: dense n^2 — only UBUNTU exceeds 32 GB.
+        OomCase{"VGAE", "MATH", false}, OomCase{"VGAE", "BITCOIN-O", false},
+        OomCase{"VGAE", "UBUNTU", true},
+        OomCase{"Graphite", "UBUNTU", true},
+        OomCase{"SBMGNN", "UBUNTU", true},
+        // Model-based methods never OOM.
+        OomCase{"E-R", "UBUNTU", false}, OomCase{"B-A", "UBUNTU", false}),
+    [](const ::testing::TestParamInfo<OomCase>& info) {
+      std::string name = info.param.method + "_" + info.param.dataset;
+      for (char& c : name)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// RunMethod.
+// ---------------------------------------------------------------------------
+
+TEST(RunMethodTest, ScoresFastMethodEndToEnd) {
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.04, 3);
+  RunOptions opt;
+  opt.effort = Effort::kFast;
+  opt.compute_motif_mmd = true;
+  opt.motif_max_triples = 50000;
+  RunResult r = RunMethod("E-R", g, opt);
+  EXPECT_FALSE(r.oom);
+  EXPECT_EQ(r.scores.size(), 7u);
+  EXPECT_GE(r.generate_seconds, 0.0);
+  EXPECT_GE(r.motif_mmd, 0.0);
+}
+
+TEST(RunMethodTest, OomSkipsExecution) {
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.04, 3);
+  RunOptions opt;
+  opt.effort = Effort::kFast;
+  opt.paper_scale = *datasets::FindDataset("UBUNTU");
+  RunResult r = RunMethod("TagGen", g, opt);
+  EXPECT_TRUE(r.oom);
+  EXPECT_TRUE(r.scores.empty());
+}
+
+TEST(RunMethodTest, PaperScaleWithinBudgetStillRuns) {
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.04, 3);
+  RunOptions opt;
+  opt.effort = Effort::kFast;
+  opt.paper_scale = *datasets::FindDataset("DBLP");
+  RunResult r = RunMethod("B-A", g, opt);
+  EXPECT_FALSE(r.oom);
+  EXPECT_EQ(r.scores.size(), 7u);
+}
+
+TEST(FormatCellTest, ScientificNotationAndOom) {
+  EXPECT_EQ(FormatCell(0.00241, false), "2.41E-03");
+  EXPECT_EQ(FormatCell(123.0, false), "1.23E+02");
+  EXPECT_EQ(FormatCell(0.5, true), "OOM");
+}
+
+TEST(TablePrinterTest, RejectsMismatchedRow) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "CHECK failed");
+}
+
+TEST(TablePrinterTest, PrintsAllCells) {
+  TablePrinter t({"Method", "Value"});
+  t.AddRow({"TGAE", "1.0"});
+  t.AddRow({"E-R", "2.0"});
+  ::testing::internal::CaptureStdout();
+  t.Print();
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("Method"), std::string::npos);
+  EXPECT_NE(out.find("TGAE"), std::string::npos);
+  EXPECT_NE(out.find("2.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tgsim::eval

@@ -1,0 +1,198 @@
+#include <algorithm>
+#include <vector>
+
+#include "graph/static_graph.h"
+#include "graph/temporal_graph.h"
+#include "gtest/gtest.h"
+
+namespace tgsim::graphs {
+namespace {
+
+TemporalGraph MakeToyGraph() {
+  // 5 nodes, 3 timestamps:
+  // t=0: 0->1, 1->2
+  // t=1: 0->2, 3->4
+  // t=2: 2->0, 0->1 (repeat pair)
+  return TemporalGraph::FromEdges(
+      5, 3,
+      {{0, 1, 0}, {1, 2, 0}, {0, 2, 1}, {3, 4, 1}, {2, 0, 2}, {0, 1, 2}});
+}
+
+TEST(TemporalGraphTest, BasicCounts) {
+  TemporalGraph g = MakeToyGraph();
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_timestamps(), 3);
+  EXPECT_EQ(g.num_edges(), 6);
+}
+
+TEST(TemporalGraphTest, EdgesAreSortedAfterFinalize) {
+  TemporalGraph g(3, 2);
+  g.AddEdge(2, 1, 1);
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(1, 2, 0);
+  g.Finalize();
+  const auto& e = g.edges();
+  EXPECT_TRUE(std::is_sorted(e.begin(), e.end()));
+}
+
+TEST(TemporalGraphTest, EdgesAtSlicesByTimestamp) {
+  TemporalGraph g = MakeToyGraph();
+  EXPECT_EQ(g.EdgesAt(0).size(), 2u);
+  EXPECT_EQ(g.EdgesAt(1).size(), 2u);
+  EXPECT_EQ(g.EdgesAt(2).size(), 2u);
+  EXPECT_EQ(g.EdgesAt(0)[0].u, 0);
+  // Within a timestamp, edges are sorted by (u, v): (0,1,2) then (2,0,2).
+  EXPECT_EQ(g.EdgesAt(2)[0].u, 0);
+  EXPECT_EQ(g.EdgesAt(2)[1].u, 2);
+}
+
+TEST(TemporalGraphTest, EdgesPerTimestamp) {
+  TemporalGraph g = MakeToyGraph();
+  std::vector<int64_t> counts = g.EdgesPerTimestamp();
+  EXPECT_EQ(counts, (std::vector<int64_t>{2, 2, 2}));
+}
+
+TEST(TemporalGraphTest, NeighborsAreBidirectionalAndTimeSorted) {
+  TemporalGraph g = MakeToyGraph();
+  auto nbrs = g.Neighbors(0);
+  // Node 0 touches: (1,0) out, (2,1) out, (2,2) in, (1,2) out.
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (size_t i = 1; i < nbrs.size(); ++i)
+    EXPECT_LE(nbrs[i - 1].t, nbrs[i].t);
+}
+
+TEST(TemporalGraphTest, OutNeighborsAreDirected) {
+  TemporalGraph g = MakeToyGraph();
+  auto out0 = g.OutNeighbors(0);
+  EXPECT_EQ(out0.size(), 3u);  // (1,0), (2,1), (1,2).
+  auto out4 = g.OutNeighbors(4);
+  EXPECT_EQ(out4.size(), 0u);  // Node 4 only receives.
+}
+
+TEST(TemporalGraphTest, OutNeighborhoodWindow) {
+  TemporalGraph g = MakeToyGraph();
+  auto w0 = g.OutNeighborhood(0, 0, 0);
+  ASSERT_EQ(w0.size(), 1u);
+  EXPECT_EQ(w0[0].node, 1);
+  auto w2 = g.OutNeighborhood(0, 1, 1);
+  EXPECT_EQ(w2.size(), 3u);  // All of node 0's out-edges are within +-1 of 1.
+}
+
+TEST(TemporalGraphTest, TemporalNeighborhoodRespectsWindow) {
+  TemporalGraph g = MakeToyGraph();
+  EXPECT_EQ(g.TemporalNeighborhood(0, 0, 0).size(), 1u);
+  EXPECT_EQ(g.TemporalNeighborhood(0, 0, 1).size(), 2u);
+  EXPECT_EQ(g.TemporalNeighborhood(0, 0, 2).size(), 4u);
+  EXPECT_EQ(g.TemporalNeighborhood(3, 1, 0).size(), 1u);
+  EXPECT_EQ(g.TemporalNeighborhood(3, 0, 0).size(), 0u);
+}
+
+TEST(TemporalGraphTest, TemporalDegreeMatchesNeighborhoodSize) {
+  TemporalGraph g = MakeToyGraph();
+  for (NodeId u = 0; u < 5; ++u)
+    for (Timestamp t = 0; t < 3; ++t)
+      for (int w = 0; w <= 2; ++w)
+        EXPECT_EQ(g.TemporalDegree(u, t, w),
+                  static_cast<int64_t>(g.TemporalNeighborhood(u, t, w).size()));
+}
+
+TEST(TemporalGraphTest, NumTemporalNodesCountsDistinctOccurrences) {
+  TemporalGraph g = MakeToyGraph();
+  // Occurrences: 0@{0,1,2}, 1@{0,2}, 2@{0,1,2}, 3@{1}, 4@{1} = 10.
+  EXPECT_EQ(g.NumTemporalNodes(), 10);
+}
+
+TEST(TemporalGraphTest, SnapshotUpToAccumulates) {
+  TemporalGraph g = MakeToyGraph();
+  StaticGraph s0 = g.SnapshotUpTo(0);
+  EXPECT_EQ(s0.num_edges(), 2);
+  StaticGraph s2 = g.SnapshotUpTo(2);
+  // {0,1},{1,2},{0,2},{3,4},{0,2}dup,{0,1}dup -> 4 simple edges.
+  EXPECT_EQ(s2.num_edges(), 4);
+}
+
+TEST(TemporalGraphTest, SnapshotAtIsSingleTimestamp) {
+  TemporalGraph g = MakeToyGraph();
+  EXPECT_EQ(g.SnapshotAt(1).num_edges(), 2);
+}
+
+TEST(TemporalGraphTest, SelfLoopCountedOnceInAdjacency) {
+  TemporalGraph g = TemporalGraph::FromEdges(2, 1, {{0, 0, 0}, {0, 1, 0}});
+  EXPECT_EQ(g.Neighbors(0).size(), 2u);  // Self-loop once + neighbor 1.
+}
+
+TEST(TemporalGraphDeathTest, QueriesRequireFinalize) {
+  TemporalGraph g(2, 2);
+  g.AddEdge(0, 1, 0);
+  EXPECT_DEATH(g.EdgesAt(0), "CHECK failed");
+}
+
+TEST(TemporalGraphDeathTest, AddAfterFinalizeAborts) {
+  TemporalGraph g(2, 2);
+  g.Finalize();
+  EXPECT_DEATH(g.AddEdge(0, 1, 0), "CHECK failed");
+}
+
+TEST(TemporalGraphDeathTest, OutOfRangeEdgeAborts) {
+  EXPECT_DEATH(TemporalGraph::FromEdges(2, 2, {{0, 5, 0}}), "CHECK failed");
+  EXPECT_DEATH(TemporalGraph::FromEdges(2, 2, {{0, 1, 7}}), "CHECK failed");
+}
+
+// ---------------------------------------------------------------------------
+// StaticGraph.
+// ---------------------------------------------------------------------------
+
+TEST(StaticGraphTest, DedupsAndDropsSelfLoops) {
+  StaticGraph g = StaticGraph::FromEdgeList(
+      4, {{0, 1}, {1, 0}, {2, 2}, {1, 2}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_EQ(g.Degree(2), 1);
+  EXPECT_EQ(g.Degree(3), 0);
+}
+
+TEST(StaticGraphTest, NeighborsAreSorted) {
+  StaticGraph g =
+      StaticGraph::FromEdgeList(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  auto nbrs = g.Neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(StaticGraphTest, HasEdgeIsSymmetric) {
+  StaticGraph g = StaticGraph::FromEdgeList(3, {{0, 1}});
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(StaticGraphTest, ConnectedComponents) {
+  StaticGraph g =
+      StaticGraph::FromEdgeList(6, {{0, 1}, {1, 2}, {3, 4}});
+  int count = 0;
+  std::vector<int> comp = g.ConnectedComponents(&count);
+  EXPECT_EQ(count, 3);  // {0,1,2}, {3,4}, {5}.
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[0], comp[5]);
+}
+
+TEST(StaticGraphTest, EmptyGraph) {
+  StaticGraph g = StaticGraph::FromEdgeList(3, {});
+  EXPECT_EQ(g.num_edges(), 0);
+  int count = 0;
+  g.ConnectedComponents(&count);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(StaticGraphTest, DegreesMatchAccessor) {
+  StaticGraph g = StaticGraph::FromEdgeList(4, {{0, 1}, {0, 2}, {0, 3}});
+  std::vector<int> d = g.Degrees();
+  EXPECT_EQ(d, (std::vector<int>{3, 1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace tgsim::graphs

@@ -1,0 +1,186 @@
+#include <cmath>
+
+#include "graph/static_graph.h"
+#include "graph/temporal_graph.h"
+#include "gtest/gtest.h"
+#include "metrics/graph_stats.h"
+#include "metrics/temporal_scores.h"
+
+namespace tgsim::metrics {
+namespace {
+
+graphs::StaticGraph Clique(int n) {
+  std::vector<std::pair<graphs::NodeId, graphs::NodeId>> edges;
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  return graphs::StaticGraph::FromEdgeList(n, edges);
+}
+
+graphs::StaticGraph Star(int leaves) {
+  std::vector<std::pair<graphs::NodeId, graphs::NodeId>> edges;
+  for (int v = 1; v <= leaves; ++v) edges.emplace_back(0, v);
+  return graphs::StaticGraph::FromEdgeList(leaves + 1, edges);
+}
+
+graphs::StaticGraph Path(int n) {
+  std::vector<std::pair<graphs::NodeId, graphs::NodeId>> edges;
+  for (int v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return graphs::StaticGraph::FromEdgeList(n, edges);
+}
+
+TEST(GraphStatsTest, TriangleCountOnClosedForms) {
+  EXPECT_EQ(TriangleCount(Clique(3)), 1);
+  EXPECT_EQ(TriangleCount(Clique(4)), 4);
+  EXPECT_EQ(TriangleCount(Clique(5)), 10);  // C(5,3).
+  EXPECT_EQ(TriangleCount(Star(6)), 0);
+  EXPECT_EQ(TriangleCount(Path(10)), 0);
+}
+
+TEST(GraphStatsTest, WedgeCountOnClosedForms) {
+  // Star with k leaves: C(k,2) wedges at the hub.
+  GraphStats s = ComputeAllStats(Star(5));
+  EXPECT_DOUBLE_EQ(s.wedge_count, 10.0);
+  // Path of n nodes: n-2 wedges.
+  EXPECT_DOUBLE_EQ(ComputeAllStats(Path(7)).wedge_count, 5.0);
+  // K4: 4 * C(3,2) = 12.
+  EXPECT_DOUBLE_EQ(ComputeAllStats(Clique(4)).wedge_count, 12.0);
+}
+
+TEST(GraphStatsTest, ClawCountOnClosedForms) {
+  EXPECT_DOUBLE_EQ(ComputeAllStats(Star(5)).claw_count, 10.0);  // C(5,3).
+  EXPECT_DOUBLE_EQ(ComputeAllStats(Path(5)).claw_count, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeAllStats(Clique(4)).claw_count, 4.0);
+}
+
+TEST(GraphStatsTest, MeanDegreeSkipsInactiveNodes) {
+  // Two connected nodes + two isolated: mean over active nodes = 1.
+  graphs::StaticGraph g = graphs::StaticGraph::FromEdgeList(4, {{0, 1}});
+  EXPECT_DOUBLE_EQ(ComputeAllStats(g).mean_degree, 1.0);
+}
+
+TEST(GraphStatsTest, LccAndComponents) {
+  graphs::StaticGraph g = graphs::StaticGraph::FromEdgeList(
+      8, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {5, 6}});
+  GraphStats s = ComputeAllStats(g);
+  EXPECT_DOUBLE_EQ(s.lcc, 3.0);
+  EXPECT_DOUBLE_EQ(s.n_components, 3.0);  // Node 7 is inactive.
+}
+
+TEST(GraphStatsTest, PleOnRegularGraphIsDegenerate) {
+  // All degrees equal -> estimator collapses to its guard value.
+  EXPECT_DOUBLE_EQ(PowerLawExponent(Clique(5)), 1.0);
+}
+
+TEST(GraphStatsTest, PleIsFiniteAndAboveOneOnSkewedDegrees) {
+  // A star has one huge hub among unit-degree leaves: the Hill estimator
+  // must stay finite and above its lower bound of 1.
+  double ple = PowerLawExponent(Star(50));
+  EXPECT_GT(ple, 1.0);
+  EXPECT_TRUE(std::isfinite(ple));
+  // A flatter degree profile gives a smaller exponent than a spikier one.
+  double spiky = PowerLawExponent(Star(500));
+  EXPECT_GT(spiky, PowerLawExponent(Clique(6)));
+}
+
+TEST(GraphStatsTest, EmptyGraphIsAllZeros) {
+  graphs::StaticGraph g = graphs::StaticGraph::FromEdgeList(4, {});
+  GraphStats s = ComputeAllStats(g);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 0.0);
+  EXPECT_DOUBLE_EQ(s.wedge_count, 0.0);
+  EXPECT_DOUBLE_EQ(s.triangle_count, 0.0);
+  EXPECT_DOUBLE_EQ(s.lcc, 0.0);
+  EXPECT_DOUBLE_EQ(s.n_components, 0.0);
+}
+
+TEST(GraphStatsTest, GetMatchesComputeMetric) {
+  graphs::StaticGraph g = Clique(5);
+  GraphStats s = ComputeAllStats(g);
+  for (GraphMetric m : AllGraphMetrics())
+    EXPECT_DOUBLE_EQ(s.Get(m), ComputeMetric(g, m));
+}
+
+TEST(GraphStatsTest, MetricNamesMatchPaperRows) {
+  EXPECT_EQ(MetricName(GraphMetric::kMeanDegree), "Mean Degree");
+  EXPECT_EQ(MetricName(GraphMetric::kLcc), "LCC");
+  EXPECT_EQ(MetricName(GraphMetric::kWedgeCount), "Wedge Count");
+  EXPECT_EQ(MetricName(GraphMetric::kClawCount), "Claw Count");
+  EXPECT_EQ(MetricName(GraphMetric::kTriangleCount), "Triangle Count");
+  EXPECT_EQ(MetricName(GraphMetric::kPle), "PLE");
+  EXPECT_EQ(MetricName(GraphMetric::kNComponents), "N-Components");
+  EXPECT_EQ(AllGraphMetrics().size(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Temporal scores (Eq. 10).
+// ---------------------------------------------------------------------------
+
+TEST(TemporalScoresTest, RelativeErrorBasics) {
+  EXPECT_DOUBLE_EQ(RelativeError(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(10.0, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeError(10.0, 15.0), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 3.0), 1.0);
+}
+
+graphs::TemporalGraph SmallTemporal(int seed_shift = 0) {
+  std::vector<graphs::TemporalEdge> edges = {
+      {0, 1, 0}, {1, 2, 0}, {2, 3, 1}, {3, 0, 1},
+      {0, 2, 2}, {1, 3, 2}, {0, 3, 3}, {2, 1, 3}};
+  if (seed_shift != 0) std::swap(edges[0].u, edges[0].v);
+  return graphs::TemporalGraph::FromEdges(4, 4, std::move(edges));
+}
+
+TEST(TemporalScoresTest, IdenticalGraphsScoreZero) {
+  graphs::TemporalGraph g = SmallTemporal();
+  for (TemporalScore s : ScoreAllMetrics(g, g)) {
+    EXPECT_DOUBLE_EQ(s.avg, 0.0);
+    EXPECT_DOUBLE_EQ(s.med, 0.0);
+  }
+}
+
+TEST(TemporalScoresTest, MedianIsAtMostMaxError) {
+  graphs::TemporalGraph a = SmallTemporal();
+  graphs::TemporalGraph b = SmallTemporal(1);
+  std::vector<TemporalScore> scores = ScoreAllMetrics(a, b);
+  for (const TemporalScore& s : scores) {
+    EXPECT_GE(s.avg, 0.0);
+    EXPECT_GE(s.med, 0.0);
+  }
+}
+
+TEST(TemporalScoresTest, MetricOverTimeLengthMatchesTimestamps) {
+  graphs::TemporalGraph g = SmallTemporal();
+  EXPECT_EQ(MetricOverTime(g, GraphMetric::kMeanDegree).size(), 4u);
+  EXPECT_EQ(StatsOverTime(g).size(), 4u);
+}
+
+TEST(TemporalScoresTest, StrideSubsamplesButKeepsFinalTimestamp) {
+  graphs::TemporalGraph g = SmallTemporal();
+  std::vector<double> strided = MetricOverTime(g, GraphMetric::kLcc, 3);
+  // t = 0, 3.
+  EXPECT_EQ(strided.size(), 2u);
+  std::vector<double> full = MetricOverTime(g, GraphMetric::kLcc, 1);
+  EXPECT_DOUBLE_EQ(strided.back(), full.back());
+}
+
+TEST(TemporalScoresTest, ScoreMetricAgreesWithScoreAll) {
+  graphs::TemporalGraph a = SmallTemporal();
+  graphs::TemporalGraph b = SmallTemporal(1);
+  std::vector<TemporalScore> all = ScoreAllMetrics(a, b);
+  const auto& metrics_list = AllGraphMetrics();
+  for (size_t i = 0; i < metrics_list.size(); ++i) {
+    TemporalScore single = ScoreMetric(a, b, metrics_list[i]);
+    EXPECT_DOUBLE_EQ(single.avg, all[i].avg);
+    EXPECT_DOUBLE_EQ(single.med, all[i].med);
+  }
+}
+
+TEST(TemporalScoresTest, AccumulatedMetricsAreMonotoneForCounts) {
+  graphs::TemporalGraph g = SmallTemporal();
+  std::vector<double> wedges = MetricOverTime(g, GraphMetric::kWedgeCount);
+  for (size_t i = 1; i < wedges.size(); ++i)
+    EXPECT_GE(wedges[i], wedges[i - 1]);
+}
+
+}  // namespace
+}  // namespace tgsim::metrics

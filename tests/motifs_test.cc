@@ -1,0 +1,181 @@
+#include "metrics/motifs.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace tgsim::metrics {
+namespace {
+
+TEST(MotifEncodingTest, EncodeIsInjectiveOnLabels) {
+  EXPECT_NE(EncodeMotif(0, 1, 0, 1, 0, 1), EncodeMotif(0, 1, 1, 0, 0, 1));
+  EXPECT_NE(EncodeMotif(0, 1, 0, 2, 0, 1), EncodeMotif(0, 1, 0, 2, 0, 2));
+  EXPECT_EQ(EncodeMotif(0, 1, 1, 2, 2, 0), EncodeMotif(0, 1, 1, 2, 2, 0));
+}
+
+TEST(MotifCensusTest, SingleTriangleYieldsOneMotif) {
+  // Time-ordered triangle 0->1, 1->2, 2->0 within delta.
+  graphs::TemporalGraph g = graphs::TemporalGraph::FromEdges(
+      3, 3, {{0, 1, 0}, {1, 2, 1}, {2, 0, 2}});
+  MotifCensus c = CountTemporalMotifs(g, /*delta=*/2);
+  EXPECT_EQ(c.total, 1);
+  ASSERT_EQ(c.counts.size(), 1u);
+  EXPECT_EQ(c.counts.begin()->first, EncodeMotif(0, 1, 1, 2, 2, 0));
+}
+
+TEST(MotifCensusTest, DeltaWindowExcludesSlowMotifs) {
+  graphs::TemporalGraph g = graphs::TemporalGraph::FromEdges(
+      3, 10, {{0, 1, 0}, {1, 2, 4}, {2, 0, 9}});
+  EXPECT_EQ(CountTemporalMotifs(g, 8).total, 0);
+  EXPECT_EQ(CountTemporalMotifs(g, 9).total, 1);
+}
+
+TEST(MotifCensusTest, TwoNodeBounceIsCounted) {
+  // 0->1, 1->0, 0->1: a 2-node 3-edge motif.
+  graphs::TemporalGraph g = graphs::TemporalGraph::FromEdges(
+      2, 3, {{0, 1, 0}, {1, 0, 1}, {0, 1, 2}});
+  MotifCensus c = CountTemporalMotifs(g, 2);
+  EXPECT_EQ(c.total, 1);
+  EXPECT_EQ(c.counts.begin()->first, EncodeMotif(0, 1, 1, 0, 0, 1));
+}
+
+TEST(MotifCensusTest, FourNodeSpansAreExcluded) {
+  graphs::TemporalGraph g = graphs::TemporalGraph::FromEdges(
+      6, 3, {{0, 1, 0}, {2, 3, 1}, {4, 5, 2}});
+  EXPECT_EQ(CountTemporalMotifs(g, 3).total, 0);
+}
+
+TEST(MotifCensusTest, ThreeLeafStarSpansFourNodesAndIsExcluded) {
+  // Hub firing at three distinct leaves spans 4 nodes — not a {2,3}-node
+  // motif (Paranjape et al. count only <= 3-node patterns).
+  graphs::TemporalGraph g = graphs::TemporalGraph::FromEdges(
+      4, 3, {{0, 1, 0}, {0, 2, 1}, {0, 3, 2}});
+  EXPECT_EQ(CountTemporalMotifs(g, 2).total, 0);
+}
+
+TEST(MotifCensusTest, WedgeWithRepeatIsCounted) {
+  // Hub 0 fires at 1, then 2, then 1 again: 3 nodes -> one wedge motif.
+  graphs::TemporalGraph g = graphs::TemporalGraph::FromEdges(
+      3, 3, {{0, 1, 0}, {0, 2, 1}, {0, 1, 2}});
+  MotifCensus c = CountTemporalMotifs(g, 2);
+  EXPECT_EQ(c.total, 1);
+  EXPECT_EQ(c.counts.begin()->first, EncodeMotif(0, 1, 0, 2, 0, 1));
+}
+
+TEST(MotifCensusTest, MaxTriplesCapStopsEarly) {
+  Rng rng(1);
+  std::vector<graphs::TemporalEdge> edges;
+  for (int i = 0; i < 60; ++i)
+    edges.push_back({static_cast<graphs::NodeId>(rng.UniformInt(5)),
+                     static_cast<graphs::NodeId>(rng.UniformInt(5)),
+                     static_cast<graphs::Timestamp>(rng.UniformInt(4))});
+  graphs::TemporalGraph g =
+      graphs::TemporalGraph::FromEdges(5, 4, std::move(edges));
+  MotifCensus capped = CountTemporalMotifs(g, 4, /*max_triples=*/10);
+  EXPECT_EQ(capped.total, 10);
+}
+
+// Property: the windowed enumerator matches brute force on random graphs.
+class MotifCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MotifCrossCheckTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int n = 6, t_count = 5;
+  std::vector<graphs::TemporalEdge> edges;
+  int m = 10 + GetParam() * 3;
+  for (int i = 0; i < m; ++i) {
+    auto u = static_cast<graphs::NodeId>(rng.UniformInt(n));
+    auto v = static_cast<graphs::NodeId>(rng.UniformInt(n));
+    if (u == v) v = static_cast<graphs::NodeId>((v + 1) % n);
+    edges.push_back({u, v, static_cast<graphs::Timestamp>(
+                               rng.UniformInt(t_count))});
+  }
+  graphs::TemporalGraph g =
+      graphs::TemporalGraph::FromEdges(n, t_count, std::move(edges));
+  for (int delta : {1, 2, 4}) {
+    MotifCensus fast = CountTemporalMotifs(g, delta);
+    MotifCensus slow = CountTemporalMotifsBruteForce(g, delta);
+    EXPECT_EQ(fast.total, slow.total) << "delta=" << delta;
+    EXPECT_EQ(fast.counts, slow.counts) << "delta=" << delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MotifCrossCheckTest,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Distributions / MMD.
+// ---------------------------------------------------------------------------
+
+TEST(MotifDistributionTest, NormalizesOverClassUnion) {
+  graphs::TemporalGraph g = graphs::TemporalGraph::FromEdges(
+      3, 3, {{0, 1, 0}, {1, 2, 1}, {2, 0, 2}});
+  MotifCensus c = CountTemporalMotifs(g, 2);
+  std::vector<MotifCode> classes = UnionClasses({&c});
+  std::vector<double> dist = MotifDistribution(c, classes);
+  double sum = 0.0;
+  for (double p : dist) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MotifDistributionTest, EmptyCensusIsZeroVector) {
+  MotifCensus empty;
+  std::vector<double> dist = MotifDistribution(empty, {1, 2, 3});
+  for (double p : dist) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(TotalVariationTest, BasicProperties) {
+  std::vector<double> p = {0.5, 0.5, 0.0};
+  std::vector<double> q = {0.0, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(TotalVariation(p, p), 0.0);
+  EXPECT_DOUBLE_EQ(TotalVariation(p, q), 0.5);
+  EXPECT_DOUBLE_EQ(TotalVariation(p, q), TotalVariation(q, p));
+  // Disjoint distributions have TV 1.
+  EXPECT_DOUBLE_EQ(
+      TotalVariation({1.0, 0.0}, {0.0, 1.0}), 1.0);
+}
+
+TEST(GaussianTvKernelTest, RangeAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(GaussianTvKernel(0.0, 1.0), 1.0);
+  EXPECT_GT(GaussianTvKernel(0.3, 1.0), GaussianTvKernel(0.6, 1.0));
+  EXPECT_GT(GaussianTvKernel(0.5, 2.0), GaussianTvKernel(0.5, 1.0));
+}
+
+TEST(MmdTest, IdenticalSetsGiveZero) {
+  std::vector<std::vector<double>> p = {{0.2, 0.8}, {0.5, 0.5}};
+  EXPECT_NEAR(MmdSquared(p, p, 1.0), 0.0, 1e-12);
+}
+
+TEST(MmdTest, SingletonFormula) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.0, 1.0};
+  double mmd = MmdSquared({p}, {q}, 1.0);
+  double expected = 2.0 - 2.0 * GaussianTvKernel(1.0, 1.0);
+  EXPECT_NEAR(mmd, expected, 1e-12);
+}
+
+TEST(MmdTest, FartherDistributionsScoreHigher) {
+  std::vector<double> base = {1.0, 0.0, 0.0};
+  std::vector<double> near = {0.9, 0.1, 0.0};
+  std::vector<double> far = {0.0, 0.0, 1.0};
+  EXPECT_LT(MmdSquared({base}, {near}, 1.0), MmdSquared({base}, {far}, 1.0));
+}
+
+TEST(MotifMmdTest, SelfComparisonIsZero) {
+  graphs::TemporalGraph g = graphs::TemporalGraph::FromEdges(
+      4, 4, {{0, 1, 0}, {1, 2, 1}, {2, 0, 2}, {2, 3, 3}});
+  EXPECT_NEAR(MotifMmd(g, g, 3), 0.0, 1e-12);
+}
+
+TEST(MotifMmdTest, DetectsStructuralDifference) {
+  // Triangle-heavy vs. star-like temporal graphs.
+  graphs::TemporalGraph tri = graphs::TemporalGraph::FromEdges(
+      3, 3, {{0, 1, 0}, {1, 2, 1}, {2, 0, 2}});
+  graphs::TemporalGraph star = graphs::TemporalGraph::FromEdges(
+      4, 3, {{0, 1, 0}, {0, 2, 1}, {0, 3, 2}});
+  EXPECT_GT(MotifMmd(tri, star, 2), 0.01);
+}
+
+}  // namespace
+}  // namespace tgsim::metrics

@@ -1,0 +1,131 @@
+#include "core/serialization.h"
+
+#include <string>
+
+#include "core/tgae.h"
+#include "datasets/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace tgsim::core {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializationTest, RoundTripsRawParameters) {
+  Rng rng(1);
+  std::vector<nn::Var> params = {
+      nn::Var::Param(nn::Tensor::Randn(rng, 3, 4)),
+      nn::Var::Param(nn::Tensor::Randn(rng, 1, 7)),
+  };
+  std::string path = TempPath("params.ckpt");
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+
+  Rng rng2(2);
+  std::vector<nn::Var> fresh = {
+      nn::Var::Param(nn::Tensor::Randn(rng2, 3, 4)),
+      nn::Var::Param(nn::Tensor::Randn(rng2, 1, 7)),
+  };
+  ASSERT_TRUE(LoadParameters(fresh, path).ok());
+  for (size_t i = 0; i < params.size(); ++i)
+    EXPECT_DOUBLE_EQ(
+        (params[i].value() - fresh[i].value()).MaxAbs(), 0.0);
+}
+
+TEST(SerializationTest, RejectsCountMismatch) {
+  Rng rng(3);
+  std::vector<nn::Var> params = {nn::Var::Param(nn::Tensor::Randn(rng, 2, 2))};
+  std::string path = TempPath("count.ckpt");
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+  std::vector<nn::Var> two = {
+      nn::Var::Param(nn::Tensor::Randn(rng, 2, 2)),
+      nn::Var::Param(nn::Tensor::Randn(rng, 2, 2))};
+  Status s = LoadParameters(two, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, RejectsShapeMismatch) {
+  Rng rng(4);
+  std::vector<nn::Var> params = {nn::Var::Param(nn::Tensor::Randn(rng, 2, 3))};
+  std::string path = TempPath("shape.ckpt");
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+  std::vector<nn::Var> other = {
+      nn::Var::Param(nn::Tensor::Randn(rng, 3, 2))};
+  EXPECT_EQ(LoadParameters(other, path).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, RejectsGarbageFile) {
+  std::string path = TempPath("garbage.ckpt");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("not a checkpoint at all\n", f);
+  fclose(f);
+  Rng rng(5);
+  std::vector<nn::Var> params = {nn::Var::Param(nn::Tensor::Randn(rng, 1, 1))};
+  EXPECT_EQ(LoadParameters(params, path).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(LoadParameters(params, "/nonexistent.ckpt").code(),
+            StatusCode::kIoError);
+}
+
+TEST(TgaeCheckpointTest, TrainedModelRoundTripsThroughDisk) {
+  graphs::TemporalGraph observed =
+      datasets::MakeMimicByName("DBLP", 0.05, 77);
+  TgaeConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_centers = 8;
+
+  // Train model A and checkpoint it.
+  TgaeGenerator a(cfg);
+  Rng rng_a(10);
+  a.Fit(observed, rng_a);
+  std::string path = TempPath("tgae.ckpt");
+  ASSERT_TRUE(a.SaveCheckpoint(path).ok());
+
+  // Build model B with a *different* initialization, then load A's weights:
+  // generation with the same sampling seed must now match exactly.
+  TgaeGenerator b(cfg);
+  Rng rng_b(999);
+  b.Fit(observed, rng_b);
+  ASSERT_TRUE(b.LoadCheckpoint(path).ok());
+
+  Rng g1(5), g2(5);
+  graphs::TemporalGraph out_a = a.Generate(g1);
+  graphs::TemporalGraph out_b = b.Generate(g2);
+  ASSERT_EQ(out_a.num_edges(), out_b.num_edges());
+  for (size_t i = 0; i < out_a.edges().size(); ++i)
+    EXPECT_TRUE(out_a.edges()[i] == out_b.edges()[i]);
+}
+
+TEST(TgaeCheckpointTest, SaveBeforeFitIsAnError) {
+  TgaeGenerator gen;
+  EXPECT_EQ(gen.SaveCheckpoint(TempPath("x.ckpt")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(gen.LoadCheckpoint(TempPath("x.ckpt")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TgaeCheckpointTest, MismatchedConfigIsRejected) {
+  graphs::TemporalGraph observed =
+      datasets::MakeMimicByName("DBLP", 0.05, 77);
+  TgaeConfig small;
+  small.epochs = 1;
+  small.batch_centers = 4;
+  TgaeGenerator a(small);
+  Rng rng(1);
+  a.Fit(observed, rng);
+  std::string path = TempPath("small.ckpt");
+  ASSERT_TRUE(a.SaveCheckpoint(path).ok());
+
+  TgaeConfig big = small;
+  big.embedding_dim = 16;
+  big.hidden_dim = 16;
+  TgaeGenerator b(big);
+  Rng rng2(2);
+  b.Fit(observed, rng2);
+  EXPECT_FALSE(b.LoadCheckpoint(path).ok());
+}
+
+}  // namespace
+}  // namespace tgsim::core

@@ -1,0 +1,186 @@
+#include "core/tgae.h"
+
+#include <cmath>
+
+#include "datasets/synthetic.h"
+#include "eval/registry.h"
+#include "gtest/gtest.h"
+#include "metrics/motifs.h"
+#include "metrics/temporal_scores.h"
+
+namespace tgsim::core {
+namespace {
+
+graphs::TemporalGraph Observed() {
+  static const graphs::TemporalGraph* kGraph = new graphs::TemporalGraph(
+      datasets::MakeMimicByName("DBLP", 0.06, 31));
+  return *kGraph;
+}
+
+TgaeConfig FastConfig() {
+  TgaeConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_centers = 12;
+  return cfg;
+}
+
+TEST(TgaeConfigTest, VariantsMatchPaperTableVII) {
+  EXPECT_EQ(TgaeConfig::ForVariant(TgaeVariant::kFull).display_name, "TGAE");
+  TgaeConfig g = TgaeConfig::ForVariant(TgaeVariant::kRandomWalk);
+  EXPECT_EQ(g.display_name, "TGAE-g");
+  EXPECT_EQ(g.neighbor_threshold, 1);
+  TgaeConfig t = TgaeConfig::ForVariant(TgaeVariant::kNoTruncation);
+  EXPECT_EQ(t.display_name, "TGAE-t");
+  EXPECT_EQ(t.neighbor_threshold, 0);
+  TgaeConfig n = TgaeConfig::ForVariant(TgaeVariant::kUniformSampling);
+  EXPECT_EQ(n.display_name, "TGAE-n");
+  EXPECT_FALSE(n.degree_weighted_sampling);
+  TgaeConfig p = TgaeConfig::ForVariant(TgaeVariant::kNonProbabilistic);
+  EXPECT_EQ(p.display_name, "TGAE-p");
+  EXPECT_FALSE(p.probabilistic);
+}
+
+TEST(TgaeTest, GenerateMatchesObservedShape) {
+  graphs::TemporalGraph observed = Observed();
+  TgaeGenerator gen(FastConfig());
+  Rng rng(1);
+  gen.Fit(observed, rng);
+  graphs::TemporalGraph out = gen.Generate(rng);
+  EXPECT_EQ(out.num_nodes(), observed.num_nodes());
+  EXPECT_EQ(out.num_timestamps(), observed.num_timestamps());
+  EXPECT_EQ(out.num_edges(), observed.num_edges());
+}
+
+TEST(TgaeTest, PerTimestampEdgeCountsAreExact) {
+  // Generation allocates each temporal node's observed out-degree, so the
+  // per-snapshot edge counts must match exactly (Section IV-G).
+  graphs::TemporalGraph observed = Observed();
+  TgaeGenerator gen(FastConfig());
+  Rng rng(2);
+  gen.Fit(observed, rng);
+  graphs::TemporalGraph out = gen.Generate(rng);
+  EXPECT_EQ(out.EdgesPerTimestamp(), observed.EdgesPerTimestamp());
+}
+
+TEST(TgaeTest, TrainingLossDecreasesWithEpochs) {
+  graphs::TemporalGraph observed = Observed();
+  TgaeConfig one = FastConfig();
+  one.epochs = 1;
+  TgaeGenerator short_run(one);
+  Rng r1(3);
+  short_run.Fit(observed, r1);
+
+  TgaeConfig many = FastConfig();
+  many.epochs = 40;
+  TgaeGenerator long_run(many);
+  Rng r2(3);
+  long_run.Fit(observed, r2);
+  EXPECT_LT(long_run.last_epoch_loss(), short_run.last_epoch_loss());
+}
+
+TEST(TgaeTest, LossIsFiniteForAllVariants) {
+  graphs::TemporalGraph observed = Observed();
+  for (TgaeVariant v :
+       {TgaeVariant::kFull, TgaeVariant::kRandomWalk,
+        TgaeVariant::kNoTruncation, TgaeVariant::kUniformSampling,
+        TgaeVariant::kNonProbabilistic}) {
+    TgaeConfig cfg = TgaeConfig::ForVariant(v);
+    cfg.epochs = 3;
+    cfg.batch_centers = 8;
+    TgaeGenerator gen(cfg);
+    Rng rng(4);
+    gen.Fit(observed, rng);
+    EXPECT_TRUE(std::isfinite(gen.last_epoch_loss()))
+        << cfg.display_name;
+    graphs::TemporalGraph out = gen.Generate(rng);
+    EXPECT_EQ(out.num_edges(), observed.num_edges()) << cfg.display_name;
+  }
+}
+
+TEST(TgaeTest, UntiedDecoderAlsoTrains) {
+  graphs::TemporalGraph observed = Observed();
+  TgaeConfig cfg = FastConfig();
+  cfg.tie_decoder = false;
+  TgaeGenerator gen(cfg);
+  Rng rng(5);
+  gen.Fit(observed, rng);
+  EXPECT_TRUE(std::isfinite(gen.last_epoch_loss()));
+  EXPECT_EQ(gen.Generate(rng).num_edges(), observed.num_edges());
+}
+
+TEST(TgaeTest, TiedDecoderRequiresMatchingDims) {
+  TgaeConfig cfg = FastConfig();
+  cfg.hidden_dim = 16;
+  cfg.embedding_dim = 32;
+  cfg.tie_decoder = true;
+  TgaeGenerator gen(cfg);
+  graphs::TemporalGraph observed = Observed();
+  Rng rng(6);
+  EXPECT_DEATH(gen.Fit(observed, rng), "CHECK failed");
+}
+
+TEST(TgaeTest, DeterministicForSeed) {
+  graphs::TemporalGraph observed = Observed();
+  auto run = [&](uint64_t seed) {
+    TgaeGenerator gen(FastConfig());
+    Rng rng(seed);
+    gen.Fit(observed, rng);
+    return gen.Generate(rng);
+  };
+  graphs::TemporalGraph a = run(9);
+  graphs::TemporalGraph b = run(9);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t i = 0; i < a.edges().size(); ++i)
+    EXPECT_TRUE(a.edges()[i] == b.edges()[i]);
+}
+
+TEST(TgaeTest, GeneratedEdgesPreferObservedSupport) {
+  // With the neighborhood-restricted categorical (Section IV-G), most
+  // generated edges connect pairs that interact within the window in the
+  // observed graph.
+  graphs::TemporalGraph observed = Observed();
+  TgaeGenerator gen(FastConfig());
+  Rng rng(10);
+  gen.Fit(observed, rng);
+  graphs::TemporalGraph out = gen.Generate(rng);
+  int64_t in_support = 0;
+  for (const auto& e : out.edges()) {
+    for (const auto& nb : observed.OutNeighborhood(
+             e.u, e.t, gen.config().generation_time_window)) {
+      if (nb.node == e.v) {
+        ++in_support;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(in_support, out.num_edges() * 9 / 10);
+}
+
+TEST(TgaeIntegrationTest, BeatsErdosRenyiOnStructureAndMotifs) {
+  graphs::TemporalGraph observed = Observed();
+  TgaeConfig cfg;
+  cfg.epochs = 25;
+  TgaeGenerator tgae(cfg);
+  Rng r1(11);
+  tgae.Fit(observed, r1);
+  graphs::TemporalGraph tgae_out = tgae.Generate(r1);
+
+  auto er = eval::MakeGenerator("E-R");
+  Rng r2(11);
+  er->Fit(observed, r2);
+  graphs::TemporalGraph er_out = er->Generate(r2);
+
+  auto tgae_scores = metrics::ScoreAllMetrics(observed, tgae_out);
+  auto er_scores = metrics::ScoreAllMetrics(observed, er_out);
+  int tgae_wins = 0;
+  for (size_t i = 0; i < tgae_scores.size(); ++i)
+    tgae_wins += tgae_scores[i].med <= er_scores[i].med;
+  EXPECT_GE(tgae_wins, 5) << "TGAE should beat E-R on most metrics";
+
+  double tgae_mmd = metrics::MotifMmd(observed, tgae_out, 4, 1.0, 500000);
+  double er_mmd = metrics::MotifMmd(observed, er_out, 4, 1.0, 500000);
+  EXPECT_LT(tgae_mmd, er_mmd);
+}
+
+}  // namespace
+}  // namespace tgsim::core

@@ -1,0 +1,130 @@
+#include "core/tgat_encoder.h"
+
+#include "datasets/synthetic.h"
+#include "graph/bipartite.h"
+#include "gtest/gtest.h"
+#include "metrics/degree_mmd.h"
+#include "nn/gradcheck.h"
+
+namespace tgsim::core {
+namespace {
+
+/// Builds a small bipartite stack from a DBLP-like mimic.
+graphs::BipartiteStack MakeStack(int radius, int batch,
+                                 const graphs::TemporalGraph& g, Rng& rng) {
+  graphs::EgoGraphSampler sampler(
+      &g, {.radius = radius, .neighbor_threshold = 5, .time_window = 2});
+  graphs::InitialNodeSampler initial(&g, 2);
+  std::vector<graphs::EgoGraph> egos;
+  for (const auto& c : initial.Sample(batch, rng))
+    egos.push_back(sampler.Sample(c, rng));
+  return graphs::BuildBipartiteStack(egos, radius);
+}
+
+TEST(TgatLayerTest, OutputShapeMatchesTargets) {
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.05, 13);
+  Rng rng(1);
+  graphs::BipartiteStack stack = MakeStack(2, 8, g, rng);
+  TgatLayer layer(rng, 16, 24, 3);
+  nn::Var src = nn::Var::Constant(nn::Tensor::Randn(
+      rng, static_cast<int>(stack.layer_nodes[2].size()), 16));
+  nn::Var out = layer.Forward(src, stack.layers[1], stack.copy_in_next[1]);
+  EXPECT_EQ(out.rows(), static_cast<int>(stack.layer_nodes[1].size()));
+  EXPECT_EQ(out.cols(), 24);
+}
+
+TEST(TgatLayerTest, GradCheckThroughAttention) {
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.04, 13);
+  Rng rng(2);
+  graphs::BipartiteStack stack = MakeStack(1, 4, g, rng);
+  TgatLayer layer(rng, 6, 6, 2);
+  nn::Tensor src = nn::Tensor::Randn(
+      rng, static_cast<int>(stack.layer_nodes[1].size()), 6, 0.5);
+  nn::GradCheckResult res = nn::CheckGradients(layer.params(), [&]() {
+    return nn::Sum(nn::Square(layer.Forward(
+        nn::Var::Constant(src), stack.layers[0], stack.copy_in_next[0])));
+  });
+  EXPECT_TRUE(res.ok) << res.max_rel_error;
+}
+
+TEST(TgatEncoderTest, ProducesCenterFeatures) {
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.05, 13);
+  Rng rng(3);
+  for (int radius : {1, 2, 3}) {
+    graphs::BipartiteStack stack = MakeStack(radius, 6, g, rng);
+    TgatEncoder encoder(rng, 12, 20, 2, radius);
+    nn::Var feats = nn::Var::Constant(nn::Tensor::Randn(
+        rng,
+        static_cast<int>(
+            stack.layer_nodes[static_cast<size_t>(radius)].size()),
+        12));
+    nn::Var h = encoder.Forward(stack, feats);
+    EXPECT_EQ(h.rows(), static_cast<int>(stack.layer_nodes[0].size()));
+    EXPECT_EQ(h.cols(), 20);
+    EXPECT_TRUE(std::isfinite(h.value().MaxAbs()));
+  }
+}
+
+TEST(TgatEncoderTest, CenterFeatureDependsOnPeriphery) {
+  // Zero the periphery features of one ego: its center representation must
+  // change (messages flow inward).
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.05, 13);
+  Rng rng(4);
+  graphs::BipartiteStack stack = MakeStack(2, 6, g, rng);
+  TgatEncoder encoder(rng, 8, 8, 2, 2);
+  int n_src = static_cast<int>(stack.layer_nodes[2].size());
+  nn::Tensor base = nn::Tensor::Randn(rng, n_src, 8);
+  nn::Var h1 = encoder.Forward(stack, nn::Var::Constant(base));
+  nn::Tensor perturbed = base;
+  for (int c = 0; c < 8; ++c) perturbed.at(n_src - 1, c) += 3.0;
+  nn::Var h2 = encoder.Forward(stack, nn::Var::Constant(perturbed));
+  EXPECT_GT((h1.value() - h2.value()).MaxAbs(), 1e-9);
+}
+
+TEST(TgatEncoderTest, ParamCountScalesWithRadius) {
+  Rng rng(5);
+  TgatEncoder e1(rng, 8, 8, 2, 1);
+  TgatEncoder e2(rng, 8, 8, 2, 2);
+  EXPECT_GT(e2.NumParams(), e1.NumParams());
+  EXPECT_EQ(e1.radius(), 1);
+  EXPECT_EQ(e2.radius(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Degree-distribution MMD (extension metric).
+// ---------------------------------------------------------------------------
+
+TEST(DegreeMmdTest, HistogramSumsToOne) {
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.05, 13);
+  std::vector<double> h = metrics::DegreeHistogram(
+      g.SnapshotUpTo(g.num_timestamps() - 1), 32);
+  double sum = 0.0;
+  for (double x : h) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DegreeMmdTest, TailFoldsIntoLastBucket) {
+  // A star hub of degree 50 with max_degree 8: hub mass lands in bucket 8.
+  std::vector<std::pair<graphs::NodeId, graphs::NodeId>> edges;
+  for (int v = 1; v <= 50; ++v) edges.emplace_back(0, v);
+  graphs::StaticGraph star = graphs::StaticGraph::FromEdgeList(51, edges);
+  std::vector<double> h = metrics::DegreeHistogram(star, 8);
+  EXPECT_NEAR(h[8], 1.0 / 51.0, 1e-9);
+  EXPECT_NEAR(h[1], 50.0 / 51.0, 1e-9);
+}
+
+TEST(DegreeMmdTest, SelfComparisonIsZero) {
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.05, 13);
+  EXPECT_NEAR(metrics::DegreeMmd(g, g), 0.0, 1e-12);
+}
+
+TEST(DegreeMmdTest, DetectsDegreeShift) {
+  graphs::TemporalGraph a = datasets::MakeMimicByName("DBLP", 0.05, 13);
+  // A uniform random graph with the same shape has a flatter profile.
+  datasets::ScalabilityConfig cfg{a.num_nodes(), a.num_timestamps(), 0.005};
+  graphs::TemporalGraph b = datasets::MakeScalabilityGraph(cfg, 5);
+  EXPECT_GT(metrics::DegreeMmd(a, b), 1e-4);
+}
+
+}  // namespace
+}  // namespace tgsim::core
