@@ -38,6 +38,10 @@ int main(int argc, char** argv) {
               observed.num_nodes(),
               static_cast<long long>(observed.num_edges()),
               observed.num_timestamps());
+  if (observed.num_edges() == 0) {
+    std::fprintf(stderr, "the observed graph has no edges; nothing to fit\n");
+    return 1;
+  }
 
   // 2. Fit the temporal graph autoencoder.
   core::TgaeConfig config;  // Paper defaults; see core/tgae.h for knobs.

@@ -6,7 +6,7 @@
 
 namespace tgsim::baselines {
 
-void DymondGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+void DymondGenerator::Fit(const graphs::TemporalGraph& observed, Rng& /*rng*/) {
   shape_.CaptureFrom(observed);
   mix_.assign(static_cast<size_t>(shape_.num_timestamps), {});
 

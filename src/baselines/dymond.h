@@ -23,8 +23,8 @@ class DymondGenerator : public TemporalGraphGenerator {
   /// The original parameterizes node triples: ~n^3 motif-rate entries.
   /// Coefficient calibrated so the paper's OOM pattern on a 32 GB device
   /// is reproduced (runs DBLP/MSG/EMAIL, OOMs MATH/BITCOIN-*/UBUNTU).
-  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t m,
-                                   int64_t t) const override {
+  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
+                                   int64_t /*t*/) const override {
     return 2 * n * n * n;
   }
 

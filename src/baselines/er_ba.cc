@@ -3,7 +3,7 @@
 namespace tgsim::baselines {
 
 void ErdosRenyiGenerator::Fit(const graphs::TemporalGraph& observed,
-                              Rng& rng) {
+                              Rng& /*rng*/) {
   shape_.CaptureFrom(observed);
 }
 
@@ -26,7 +26,7 @@ graphs::TemporalGraph ErdosRenyiGenerator::Generate(Rng& rng) {
 }
 
 void BarabasiAlbertGenerator::Fit(const graphs::TemporalGraph& observed,
-                                  Rng& rng) {
+                                  Rng& /*rng*/) {
   shape_.CaptureFrom(observed);
 }
 

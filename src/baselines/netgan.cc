@@ -10,7 +10,7 @@ namespace tgsim::baselines {
 
 NetGanGenerator::NetGanGenerator(NetGanConfig config) : config_(config) {}
 
-void NetGanGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+void NetGanGenerator::Fit(const graphs::TemporalGraph& observed, Rng& /*rng*/) {
   observed_ = &observed;
   shape_.CaptureFrom(observed);
 }

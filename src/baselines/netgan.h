@@ -33,7 +33,7 @@ class NetGanGenerator : public TemporalGraphGenerator {
   /// Dense n x n score matrix per trained snapshot + per-timestamp walk
   /// buffers; reproduces the paper's OOM pattern (BITCOIN-* and UBUNTU out,
   /// MATH/EMAIL in).
-  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t m,
+  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
                                    int64_t t) const override {
     return 8 * n * n + 8 * n * t * t;
   }

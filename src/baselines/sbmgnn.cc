@@ -11,7 +11,7 @@ namespace tgsim::baselines {
 
 SbmGnnGenerator::SbmGnnGenerator(SbmGnnConfig config) : config_(config) {}
 
-void SbmGnnGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+void SbmGnnGenerator::Fit(const graphs::TemporalGraph& observed, Rng& /*rng*/) {
   observed_ = &observed;
   shape_.CaptureFrom(observed);
 }

@@ -29,8 +29,8 @@ class SbmGnnGenerator : public TemporalGraphGenerator {
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
 
-  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t m,
-                                   int64_t t) const override {
+  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
+                                   int64_t /*t*/) const override {
     return 8 * n * n;  // Dense reconstruction, like VGAE.
   }
 

@@ -44,7 +44,7 @@ class TagGenGenerator : public TemporalGraphGenerator {
   /// Transition structures over (node x time)^2 pairs; coefficient
   /// calibrated to the paper's 32 GB OOM pattern (runs DBLP and MSG, OOMs
   /// EMAIL/MATH/BITCOIN-*/UBUNTU).
-  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t m,
+  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
                                    int64_t t) const override {
     double nt = static_cast<double>(n) * static_cast<double>(t);
     return static_cast<int64_t>(0.15 * nt * nt);

@@ -42,7 +42,7 @@ class TgganGenerator : public TemporalGraphGenerator {
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
 
-  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t m,
+  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
                                    int64_t t) const override {
     double nt = static_cast<double>(n) * static_cast<double>(t);
     return static_cast<int64_t>(0.15 * nt * nt);

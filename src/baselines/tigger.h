@@ -37,7 +37,7 @@ class TiggerGenerator : public TemporalGraphGenerator {
   graphs::TemporalGraph Generate(Rng& rng) override;
 
   int64_t EstimatePaperMemoryBytes(int64_t n, int64_t m,
-                                   int64_t t) const override {
+                                   int64_t /*t*/) const override {
     return n * m;  // Node-embedding x walk-corpus working set.
   }
 

@@ -23,7 +23,7 @@ nn::Tensor SigmoidTensor(const nn::Tensor& x) {
 
 VgaeGenerator::VgaeGenerator(VgaeConfig config) : config_(config) {}
 
-void VgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+void VgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& /*rng*/) {
   observed_ = &observed;
   shape_.CaptureFrom(observed);
 }

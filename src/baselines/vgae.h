@@ -32,8 +32,8 @@ class VgaeGenerator : public TemporalGraphGenerator {
 
   /// Dense n x n adjacency + reconstruction per snapshot: the classic
   /// VGAE memory wall (only UBUNTU exceeds 32 GB at paper scale).
-  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t m,
-                                   int64_t t) const override {
+  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
+                                   int64_t /*t*/) const override {
     return 8 * n * n;
   }
 

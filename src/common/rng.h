@@ -78,6 +78,16 @@ class Rng {
   /// deterministic streams to parallel components.
   Rng Fork() { return Rng(engine_()); }
 
+  /// Splits off `n` child Rngs in one call. Children are deterministic
+  /// given the parent's state and mutually independent (each consumes its
+  /// own seed draw from the parent).
+  std::vector<Rng> Split(size_t n) {
+    std::vector<Rng> children;
+    children.reserve(n);
+    for (size_t i = 0; i < n; ++i) children.push_back(Fork());
+    return children;
+  }
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

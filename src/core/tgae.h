@@ -94,7 +94,7 @@ class TgaeGenerator : public baselines::TemporalGraphGenerator {
 
   /// Paper Section IV-D: training space is O(n (T + n_s)); TGAE never hits
   /// the 32 GB budget on the paper's datasets.
-  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t m,
+  int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
                                    int64_t t) const override {
     return 8 * n * (t + 256);
   }

@@ -27,7 +27,13 @@ Result<graphs::TemporalGraph> LoadEdgeList(const std::string& path) {
     if (line.empty() || line[0] == '%') continue;
     if (line[0] == '#') {
       std::istringstream hs(line.substr(1));
-      hs >> header_nodes >> header_timestamps;
+      if (!(hs >> header_nodes >> header_timestamps) || header_nodes <= 0 ||
+          header_timestamps <= 0 ||
+          header_nodes > std::numeric_limits<int>::max() ||
+          header_timestamps > std::numeric_limits<int>::max())
+        return Status::InvalidArgument("malformed header at line " +
+                                       std::to_string(line_no) + " of " +
+                                       path);
       continue;
     }
     std::istringstream ls(line);
@@ -45,21 +51,33 @@ Result<graphs::TemporalGraph> LoadEdgeList(const std::string& path) {
     min_t = std::min(min_t, t);
     max_t = std::max(max_t, t);
   }
-  if (edges.empty())
-    return Status::InvalidArgument("edge list is empty: " + path);
+  const bool has_header = header_nodes > 0;  // Header parse is all-or-error.
+  if (edges.empty()) {
+    // An empty graph is only well-defined when the header supplies the
+    // node/timestamp counts; otherwise there is nothing to infer from.
+    if (!has_header)
+      return Status::InvalidArgument("edge list is empty: " + path);
+    return graphs::TemporalGraph::FromEdges(static_cast<int>(header_nodes),
+                                            static_cast<int>(header_timestamps),
+                                            {});
+  }
 
-  // Re-base timestamps at zero.
-  for (auto& e : edges)
-    e.t = static_cast<graphs::Timestamp>(e.t - min_t);
+  // Header files store timestamps as-is (SaveEdgeList output round-trips
+  // exactly); headerless external files are re-based to start at zero.
+  if (!has_header) {
+    for (auto& e : edges)
+      e.t = static_cast<graphs::Timestamp>(e.t - min_t);
+  } else if (min_t < 0) {
+    return Status::InvalidArgument("negative timestamp with header");
+  }
 
-  int num_nodes = header_nodes > 0 ? static_cast<int>(header_nodes)
-                                   : static_cast<int>(max_node + 1);
-  int num_ts = header_timestamps > 0
-                   ? static_cast<int>(header_timestamps)
-                   : static_cast<int>(max_t - min_t + 1);
+  int num_nodes = has_header ? static_cast<int>(header_nodes)
+                             : static_cast<int>(max_node + 1);
+  int num_ts = has_header ? static_cast<int>(header_timestamps)
+                          : static_cast<int>(max_t - min_t + 1);
   if (max_node >= num_nodes)
     return Status::InvalidArgument("node id exceeds header count");
-  if (max_t - min_t >= num_ts)
+  if ((has_header ? max_t : max_t - min_t) >= num_ts)
     return Status::InvalidArgument("timestamp exceeds header count");
   return graphs::TemporalGraph::FromEdges(num_nodes, num_ts,
                                           std::move(edges));

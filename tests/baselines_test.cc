@@ -101,7 +101,9 @@ TEST(ErdosRenyiTest, NoSelfLoops) {
   ErdosRenyiGenerator gen;
   Rng rng(4);
   gen.Fit(observed, rng);
-  for (const auto& e : gen.Generate(rng).edges()) EXPECT_NE(e.u, e.v);
+  // Bind the generated graph: iterating edges() of a temporary dangles.
+  graphs::TemporalGraph out = gen.Generate(rng);
+  for (const auto& e : out.edges()) EXPECT_NE(e.u, e.v);
 }
 
 TEST(BarabasiAlbertTest, ProducesHeavierTailThanErdosRenyi) {

@@ -75,10 +75,13 @@ TEST(BinningTest, TimestampOrderIsPreserved) {
       if (b.boundaries[i] <= time) bin = static_cast<int>(i);
     return bin;
   };
-  for (size_t i = 0; i < events.size(); ++i)
-    for (size_t j = 0; j < events.size(); ++j)
-      if (events[i].time < events[j].time)
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = 0; j < events.size(); ++j) {
+      if (events[i].time < events[j].time) {
         EXPECT_LE(bin_of_time(events[i].time), bin_of_time(events[j].time));
+      }
+    }
+  }
 }
 
 TEST(BinningDeathTest, EmptyInputAborts) {

@@ -116,6 +116,60 @@ TEST(RngTest, ParetoIsAtLeastOne) {
   for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.Pareto(1.5), 1.0);
 }
 
+TEST(RngTest, SameSeedSameStreamAcrossAllHelpers) {
+  // Determinism must hold for every sampling helper, not just Uniform():
+  // interleaving draws exercises the shared engine state.
+  Rng a(77), b(77);
+  std::vector<double> w = {0.5, 1.5, 2.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+    EXPECT_DOUBLE_EQ(a.Uniform(-3.0, 3.0), b.Uniform(-3.0, 3.0));
+    EXPECT_EQ(a.UniformInt(1000), b.UniformInt(1000));
+    EXPECT_EQ(a.UniformInt(-5, 5), b.UniformInt(-5, 5));
+    EXPECT_DOUBLE_EQ(a.Normal(), b.Normal());
+    EXPECT_DOUBLE_EQ(a.Normal(2.0, 0.5), b.Normal(2.0, 0.5));
+    EXPECT_EQ(a.Bernoulli(0.4), b.Bernoulli(0.4));
+    EXPECT_DOUBLE_EQ(a.Pareto(2.5), b.Pareto(2.5));
+    EXPECT_EQ(a.WeightedChoice(w), b.WeightedChoice(w));
+    EXPECT_EQ(a.SampleWithoutReplacement(30, 7),
+              b.SampleWithoutReplacement(30, 7));
+  }
+  std::vector<int> va = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> vb = va;
+  a.Shuffle(va);
+  b.Shuffle(vb);
+  EXPECT_EQ(va, vb);
+}
+
+TEST(RngTest, SplitIsDeterministicGivenParentSeed) {
+  Rng a(21), b(21);
+  std::vector<Rng> ca = a.Split(4);
+  std::vector<Rng> cb = b.Split(4);
+  ASSERT_EQ(ca.size(), 4u);
+  for (size_t i = 0; i < ca.size(); ++i)
+    for (int d = 0; d < 50; ++d)
+      EXPECT_DOUBLE_EQ(ca[i].Uniform(), cb[i].Uniform());
+}
+
+TEST(RngTest, SplitChildrenAreMutuallyIndependent) {
+  Rng parent(22);
+  std::vector<Rng> kids = parent.Split(3);
+  // No pair of child streams (nor the parent's continued stream) may be
+  // replays of each other.
+  std::vector<std::vector<int64_t>> streams;
+  for (Rng& k : kids) {
+    std::vector<int64_t> s;
+    for (int d = 0; d < 50; ++d) s.push_back(k.UniformInt(1 << 30));
+    streams.push_back(std::move(s));
+  }
+  std::vector<int64_t> ps;
+  for (int d = 0; d < 50; ++d) ps.push_back(parent.UniformInt(1 << 30));
+  streams.push_back(std::move(ps));
+  for (size_t i = 0; i < streams.size(); ++i)
+    for (size_t j = i + 1; j < streams.size(); ++j)
+      EXPECT_NE(streams[i], streams[j]);
+}
+
 TEST(RngTest, ForkProducesIndependentStream) {
   Rng a(13);
   Rng child = a.Fork();
@@ -228,7 +282,7 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   double t1 = w.ElapsedSeconds();
   EXPECT_GE(t1, 0.0);
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
   EXPECT_GE(w.ElapsedSeconds(), t1);
   w.Restart();
   EXPECT_LT(w.ElapsedMillis(), 1000.0);
@@ -239,6 +293,38 @@ TEST(CheckDeathTest, FailedCheckAborts) {
   EXPECT_DEATH(TGSIM_CHECK_EQ(3, 4), "CHECK failed");
   EXPECT_DEATH(TGSIM_CHECK_LT(5, 5), "CHECK failed");
 }
+
+TEST(CheckDeathTest, EveryComparisonMacroAborts) {
+  EXPECT_DEATH(TGSIM_CHECK_NE(7, 7), "CHECK failed");
+  EXPECT_DEATH(TGSIM_CHECK_LE(6, 5), "CHECK failed");
+  EXPECT_DEATH(TGSIM_CHECK_GT(5, 5), "CHECK failed");
+  EXPECT_DEATH(TGSIM_CHECK_GE(4, 5), "CHECK failed");
+}
+
+TEST(CheckDeathTest, DiagnosticNamesFileAndExpression) {
+  // The failure path must identify where and what failed, or debugging a
+  // production abort is hopeless.
+  EXPECT_DEATH(TGSIM_CHECK(2 + 2 == 5), "common_test");
+  EXPECT_DEATH(TGSIM_CHECK(2 + 2 == 5), "2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, RngPreconditionsUseCheckPath) {
+  // Library preconditions route through the same failure path.
+  Rng rng(1);
+  EXPECT_DEATH(rng.UniformInt(0), "CHECK failed");
+  EXPECT_DEATH(rng.UniformInt(3, 2), "CHECK failed");
+}
+
+#ifdef NDEBUG
+TEST(CheckTest, DcheckIsCompiledOutInReleaseBuilds) {
+  TGSIM_DCHECK(false);  // Must not abort when NDEBUG is defined.
+  SUCCEED();
+}
+#else
+TEST(CheckDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(TGSIM_DCHECK(false), "CHECK failed");
+}
+#endif
 
 TEST(CheckTest, PassingChecksAreSilent) {
   TGSIM_CHECK(true);

@@ -162,6 +162,32 @@ TEST(IoTest, EmptyFileIsInvalidArgument) {
   ASSERT_FALSE(r.ok());
 }
 
+TEST(IoTest, MalformedHeaderIsInvalidArgument) {
+  // Partial, non-numeric, non-positive, or int-overflowing headers must be
+  // rejected outright — silently ignoring them would load the graph over
+  // the wrong node universe.
+  for (const char* header :
+       {"# 100\n", "# abc 3\n", "# 0 3\n", "# 4 -1\n", "# 3000000000 1\n"}) {
+    std::string path = TempPath("badhdr.txt");
+    FILE* f = fopen(path.c_str(), "w");
+    fputs(header, f);
+    fputs("0 1 0\n", f);
+    fclose(f);
+    Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+    ASSERT_FALSE(r.ok()) << "header accepted: " << header;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(IoTest, EmptyGraphRequiresWellFormedHeader) {
+  std::string path = TempPath("emptyhdr.txt");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("# 3000000000 1\n", f);
+  fclose(f);
+  // An edge-free file with an overflowing header must error, not abort.
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+}
+
 TEST(IoTest, InfersShapeWithoutHeader) {
   std::string path = TempPath("noheader.txt");
   FILE* f = fopen(path.c_str(), "w");

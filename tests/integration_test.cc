@@ -61,7 +61,7 @@ TEST(PipelineTest, TgaeIsTopTierOnMotifMmd) {
   graphs::TemporalGraph observed = datasets::MakeMimicByName("DBLP", 0.1, 41);
   double tgae_mmd = 0.0;
   double best_baseline = 1e9;
-  for (const std::string& method :
+  for (const std::string method :
        {"TGAE", "TIGGER", "TagGen", "E-R", "B-A"}) {
     auto gen = eval::MakeGenerator(
         method, method == "TGAE" ? eval::Effort::kPaper : eval::Effort::kFast);
@@ -69,7 +69,7 @@ TEST(PipelineTest, TgaeIsTopTierOnMotifMmd) {
     gen->Fit(observed, rng);
     graphs::TemporalGraph out = gen->Generate(rng);
     double mmd = metrics::MotifMmd(observed, out, 4, 1.0, 500000);
-    if (method == std::string("TGAE")) {
+    if (method == "TGAE") {
       tgae_mmd = mmd;
     } else {
       best_baseline = std::min(best_baseline, mmd);

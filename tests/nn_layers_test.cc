@@ -1,6 +1,10 @@
 #include "nn/layers.h"
 
 #include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "nn/gradcheck.h"
@@ -129,6 +133,112 @@ TEST(GruCellTest, RemembersInputs) {
   Var b = gru.Forward(Var::Constant(Tensor::Full(1, 2, -1.0)), h0);
   EXPECT_GT((a.value() - b.value()).MaxAbs(), 1e-6);
 }
+
+// ---------------------------------------------------------------------------
+// Gradcheck regression sweep: every layer in layers.h, tight tolerances.
+// ---------------------------------------------------------------------------
+
+struct LayerGradCase {
+  std::string name;
+  std::function<GradCheckResult()> run;
+};
+
+// Tighter than the gradcheck defaults (tolerance 1e-4): central differences
+// in double precision should agree to ~1e-8, so 1e-6 catches genuine
+// backward-pass regressions without flaking on rounding noise.
+constexpr Scalar kTightEps = 1e-6;
+constexpr Scalar kTightTol = 1e-6;
+
+GradCheckResult TightCheck(std::vector<Var> params,
+                           const std::function<Var()>& loss_fn) {
+  return CheckGradients(std::move(params), loss_fn, kTightEps, kTightTol);
+}
+
+std::vector<LayerGradCase> AllLayerGradCases() {
+  std::vector<LayerGradCase> cases;
+  cases.push_back({"Linear_WithBias", [] {
+    Rng rng(101);
+    auto layer = std::make_shared<Linear>(rng, 3, 2);
+    Tensor x = Tensor::Randn(rng, 4, 3);
+    return TightCheck(layer->params(), [layer, x] {
+      return Sum(Square(layer->Forward(Var::Constant(x))));
+    });
+  }});
+  cases.push_back({"Linear_NoBias", [] {
+    Rng rng(102);
+    auto layer = std::make_shared<Linear>(rng, 4, 3, /*bias=*/false);
+    Tensor x = Tensor::Randn(rng, 2, 4);
+    return TightCheck(layer->params(), [layer, x] {
+      return Mean(Square(layer->Forward(Var::Constant(x))));
+    });
+  }});
+  const struct {
+    const char* name;
+    Activation act;
+  } kActs[] = {{"Relu", Activation::kRelu},
+               {"Tanh", Activation::kTanh},
+               {"Sigmoid", Activation::kSigmoid},
+               {"LeakyRelu", Activation::kLeakyRelu},
+               {"Identity", Activation::kIdentity}};
+  for (const auto& a : kActs) {
+    Activation act = a.act;
+    cases.push_back({std::string("Mlp_") + a.name, [act] {
+      Rng rng(103);
+      auto mlp = std::make_shared<Mlp>(rng, std::vector<int>{3, 5, 2}, act);
+      Tensor x = Tensor::Randn(rng, 3, 3);
+      return TightCheck(mlp->params(), [mlp, x] {
+        return Mean(Square(mlp->Forward(Var::Constant(x))));
+      });
+    }});
+  }
+  cases.push_back({"Mlp_FinalActivation", [] {
+    Rng rng(104);
+    auto mlp = std::make_shared<Mlp>(rng, std::vector<int>{2, 4, 2},
+                                     Activation::kSigmoid,
+                                     /*final_activation=*/true);
+    Tensor x = Tensor::Randn(rng, 3, 2);
+    return TightCheck(mlp->params(), [mlp, x] {
+      return Sum(Square(mlp->Forward(Var::Constant(x))));
+    });
+  }});
+  cases.push_back({"Embedding_RepeatedIndices", [] {
+    Rng rng(105);
+    auto emb = std::make_shared<Embedding>(rng, 6, 3);
+    // Repeats force gradient accumulation into the same table row.
+    std::vector<int> idx = {0, 2, 2, 5};
+    return TightCheck(emb->params(), [emb, idx] {
+      return Sum(Square(emb->Forward(idx)));
+    });
+  }});
+  cases.push_back({"GruCell_TwoSteps", [] {
+    Rng rng(106);
+    auto gru = std::make_shared<GruCell>(rng, 3, 4);
+    Tensor x1 = Tensor::Randn(rng, 2, 3);
+    Tensor x2 = Tensor::Randn(rng, 2, 3);
+    return TightCheck(gru->params(), [gru, x1, x2] {
+      Var state = gru->InitialState(2);
+      state = gru->Forward(Var::Constant(x1), state);
+      state = gru->Forward(Var::Constant(x2), state);
+      return Mean(Square(state));
+    });
+  }});
+  return cases;
+}
+
+class LayerGradCheckTest : public ::testing::TestWithParam<LayerGradCase> {};
+
+TEST_P(LayerGradCheckTest, AnalyticMatchesNumerical) {
+  GradCheckResult res = GetParam().run();
+  EXPECT_TRUE(res.ok) << GetParam().name
+                      << ": max_abs_error=" << res.max_abs_error
+                      << " max_rel_error=" << res.max_rel_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayers, LayerGradCheckTest, ::testing::ValuesIn(AllLayerGradCases()),
+    [](const ::testing::TestParamInfo<LayerGradCase>& info) {
+      return info.param.name;
+    });
 
 // ---------------------------------------------------------------------------
 // Optimizers: convergence on closed-form problems.

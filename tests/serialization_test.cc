@@ -1,25 +1,52 @@
 #include "core/serialization.h"
 
+#include <filesystem>
 #include <string>
 
 #include "core/tgae.h"
+#include "datasets/io.h"
 #include "datasets/synthetic.h"
 #include "gtest/gtest.h"
 
 namespace tgsim::core {
 namespace {
 
-std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
-}
+/// Gives each test its own scratch directory under the gtest temp root and
+/// removes it afterwards, so round-trip tests never observe each other's
+/// files (or stale ones from a previous run).
+class TempDirFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           (std::string("tgsim_") + info->test_suite_name() + "_" +
+            info->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
 
-TEST(SerializationTest, RoundTripsRawParameters) {
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+class SerializationTest : public TempDirFixture {};
+class TemporalGraphIoTest : public TempDirFixture {};
+class TgaeCheckpointTest : public TempDirFixture {};
+
+TEST_F(SerializationTest, RoundTripsRawParameters) {
   Rng rng(1);
   std::vector<nn::Var> params = {
       nn::Var::Param(nn::Tensor::Randn(rng, 3, 4)),
       nn::Var::Param(nn::Tensor::Randn(rng, 1, 7)),
   };
-  std::string path = TempPath("params.ckpt");
+  std::string path = Path("params.ckpt");
   ASSERT_TRUE(SaveParameters(params, path).ok());
 
   Rng rng2(2);
@@ -33,10 +60,10 @@ TEST(SerializationTest, RoundTripsRawParameters) {
         (params[i].value() - fresh[i].value()).MaxAbs(), 0.0);
 }
 
-TEST(SerializationTest, RejectsCountMismatch) {
+TEST_F(SerializationTest, RejectsCountMismatch) {
   Rng rng(3);
   std::vector<nn::Var> params = {nn::Var::Param(nn::Tensor::Randn(rng, 2, 2))};
-  std::string path = TempPath("count.ckpt");
+  std::string path = Path("count.ckpt");
   ASSERT_TRUE(SaveParameters(params, path).ok());
   std::vector<nn::Var> two = {
       nn::Var::Param(nn::Tensor::Randn(rng, 2, 2)),
@@ -45,10 +72,10 @@ TEST(SerializationTest, RejectsCountMismatch) {
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
 }
 
-TEST(SerializationTest, RejectsShapeMismatch) {
+TEST_F(SerializationTest, RejectsShapeMismatch) {
   Rng rng(4);
   std::vector<nn::Var> params = {nn::Var::Param(nn::Tensor::Randn(rng, 2, 3))};
-  std::string path = TempPath("shape.ckpt");
+  std::string path = Path("shape.ckpt");
   ASSERT_TRUE(SaveParameters(params, path).ok());
   std::vector<nn::Var> other = {
       nn::Var::Param(nn::Tensor::Randn(rng, 3, 2))};
@@ -56,8 +83,8 @@ TEST(SerializationTest, RejectsShapeMismatch) {
             StatusCode::kInvalidArgument);
 }
 
-TEST(SerializationTest, RejectsGarbageFile) {
-  std::string path = TempPath("garbage.ckpt");
+TEST_F(SerializationTest, RejectsGarbageFile) {
+  std::string path = Path("garbage.ckpt");
   FILE* f = fopen(path.c_str(), "w");
   fputs("not a checkpoint at all\n", f);
   fclose(f);
@@ -69,7 +96,71 @@ TEST(SerializationTest, RejectsGarbageFile) {
             StatusCode::kIoError);
 }
 
-TEST(TgaeCheckpointTest, TrainedModelRoundTripsThroughDisk) {
+// ---------------------------------------------------------------------------
+// TemporalGraph save/load round trips (datasets::SaveEdgeList/LoadEdgeList).
+// ---------------------------------------------------------------------------
+
+void ExpectGraphsEqual(const graphs::TemporalGraph& a,
+                       const graphs::TemporalGraph& b) {
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_timestamps(), b.num_timestamps());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t i = 0; i < a.edges().size(); ++i)
+    EXPECT_TRUE(a.edges()[i] == b.edges()[i]);
+}
+
+TEST_F(TemporalGraphIoTest, RoundTripsEmptyGraph) {
+  graphs::TemporalGraph g(5, 3);
+  g.Finalize();
+  std::string path = Path("empty.txt");
+  ASSERT_TRUE(datasets::SaveEdgeList(g, path).ok());
+  Result<graphs::TemporalGraph> r = datasets::LoadEdgeList(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectGraphsEqual(g, r.value());
+  EXPECT_EQ(r.value().num_edges(), 0);
+}
+
+TEST_F(TemporalGraphIoTest, RoundTripsSingleEdge) {
+  graphs::TemporalGraph g(4, 6);
+  // A lone edge at t > 0 pins down that header files are NOT re-based.
+  g.AddEdge(1, 2, 3);
+  g.Finalize();
+  std::string path = Path("single.txt");
+  ASSERT_TRUE(datasets::SaveEdgeList(g, path).ok());
+  Result<graphs::TemporalGraph> r = datasets::LoadEdgeList(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectGraphsEqual(g, r.value());
+  EXPECT_EQ(r.value().edges()[0].t, 3);
+}
+
+TEST_F(TemporalGraphIoTest, RoundTripsDenseGraph) {
+  graphs::TemporalGraph g =
+      datasets::MakeMimicByName("DBLP", 0.05, 123);
+  std::string path = Path("dense.txt");
+  ASSERT_TRUE(datasets::SaveEdgeList(g, path).ok());
+  Result<graphs::TemporalGraph> r = datasets::LoadEdgeList(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectGraphsEqual(g, r.value());
+}
+
+TEST_F(TemporalGraphIoTest, EmptyGraphSurvivesTwoTrips) {
+  graphs::TemporalGraph g(2, 1);
+  g.Finalize();
+  std::string p1 = Path("trip1.txt"), p2 = Path("trip2.txt");
+  ASSERT_TRUE(datasets::SaveEdgeList(g, p1).ok());
+  Result<graphs::TemporalGraph> r1 = datasets::LoadEdgeList(p1);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(datasets::SaveEdgeList(r1.value(), p2).ok());
+  Result<graphs::TemporalGraph> r2 = datasets::LoadEdgeList(p2);
+  ASSERT_TRUE(r2.ok());
+  ExpectGraphsEqual(r1.value(), r2.value());
+}
+
+// ---------------------------------------------------------------------------
+// TGAE checkpoints.
+// ---------------------------------------------------------------------------
+
+TEST_F(TgaeCheckpointTest, TrainedModelRoundTripsThroughDisk) {
   graphs::TemporalGraph observed =
       datasets::MakeMimicByName("DBLP", 0.05, 77);
   TgaeConfig cfg;
@@ -80,7 +171,7 @@ TEST(TgaeCheckpointTest, TrainedModelRoundTripsThroughDisk) {
   TgaeGenerator a(cfg);
   Rng rng_a(10);
   a.Fit(observed, rng_a);
-  std::string path = TempPath("tgae.ckpt");
+  std::string path = Path("tgae.ckpt");
   ASSERT_TRUE(a.SaveCheckpoint(path).ok());
 
   // Build model B with a *different* initialization, then load A's weights:
@@ -98,15 +189,15 @@ TEST(TgaeCheckpointTest, TrainedModelRoundTripsThroughDisk) {
     EXPECT_TRUE(out_a.edges()[i] == out_b.edges()[i]);
 }
 
-TEST(TgaeCheckpointTest, SaveBeforeFitIsAnError) {
+TEST_F(TgaeCheckpointTest, SaveBeforeFitIsAnError) {
   TgaeGenerator gen;
-  EXPECT_EQ(gen.SaveCheckpoint(TempPath("x.ckpt")).code(),
+  EXPECT_EQ(gen.SaveCheckpoint(Path("x.ckpt")).code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(gen.LoadCheckpoint(TempPath("x.ckpt")).code(),
+  EXPECT_EQ(gen.LoadCheckpoint(Path("x.ckpt")).code(),
             StatusCode::kInvalidArgument);
 }
 
-TEST(TgaeCheckpointTest, MismatchedConfigIsRejected) {
+TEST_F(TgaeCheckpointTest, MismatchedConfigIsRejected) {
   graphs::TemporalGraph observed =
       datasets::MakeMimicByName("DBLP", 0.05, 77);
   TgaeConfig small;
@@ -115,7 +206,7 @@ TEST(TgaeCheckpointTest, MismatchedConfigIsRejected) {
   TgaeGenerator a(small);
   Rng rng(1);
   a.Fit(observed, rng);
-  std::string path = TempPath("small.ckpt");
+  std::string path = Path("small.ckpt");
   ASSERT_TRUE(a.SaveCheckpoint(path).ok());
 
   TgaeConfig big = small;
