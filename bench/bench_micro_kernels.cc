@@ -13,6 +13,8 @@
 #include "metrics/graph_stats.h"
 #include "metrics/motifs.h"
 #include "nn/autograd.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
 
 namespace {
 
@@ -25,8 +27,63 @@ void BM_MatMul(benchmark::State& state) {
   nn::Tensor b = nn::Tensor::Randn(rng, n, n);
   for (auto _ : state) benchmark::DoNotOptimize(a.MatMul(b));
   state.SetComplexityN(n);
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * n * n * n, benchmark::Counter::kIsIterationInvariantRate);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+BENCHMARK(BM_MatMul)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Complexity();
+
+/// MatMul speedup curve: Args are {n, threads}. The 512x512 row at 8
+/// threads vs 1 thread is the ISSUE acceptance measurement.
+void BM_MatMulThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  parallel::ThreadPool::SetGlobalThreads(threads);
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::Randn(rng, n, n);
+  nn::Tensor b = nn::Tensor::Randn(rng, n, n);
+  for (auto _ : state) benchmark::DoNotOptimize(a.MatMul(b));
+  parallel::ThreadPool::SetGlobalThreads(
+      parallel::ThreadPool::DefaultNumThreads());
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * n * n * n, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({512, 8})
+    ->Args({1024, 8})
+    ->UseRealTime();
+
+/// Dispatch overhead of an almost-empty ParallelFor region: how small a
+/// loop can be before pool dispatch stops paying for itself.
+void BM_ParallelForOverhead(benchmark::State& state) {
+  const int64_t items = state.range(0);
+  const int64_t grain = state.range(1);
+  std::vector<double> out(static_cast<size_t>(items), 0.0);
+  for (auto _ : state) {
+    parallel::ParallelFor(0, items, grain, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i)
+        out[static_cast<size_t>(i)] = static_cast<double>(i) * 1.0000001;
+    });
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_ParallelForOverhead)
+    ->Args({1 << 10, 1 << 15})  // Single chunk: inline, no dispatch.
+    ->Args({1 << 15, 1 << 12})
+    ->Args({1 << 18, 1 << 15})
+    ->Args({1 << 21, 1 << 15})
+    ->UseRealTime();
 
 void BM_SegmentSoftmax(benchmark::State& state) {
   const int edges = static_cast<int>(state.range(0));

@@ -35,14 +35,23 @@ inline void RunTable45(bool median) {
                 static_cast<long long>(observed.num_edges()),
                 observed.num_timestamps(), BenchScale(dataset));
 
-    std::map<std::string, eval::RunResult> results;
+    // All methods for one dataset run as one concurrent cell batch; each
+    // cell consumes its own Rng::Split stream, so the table is identical
+    // to the serial loop for any TGSIM_NUM_THREADS.
+    std::vector<eval::RunCell> cells;
     for (const std::string& method : methods) {
-      eval::RunOptions opt;
-      opt.seed = BenchSeed(dataset) ^ 0x5eedull;
-      opt.paper_scale = *datasets::FindDataset(dataset);
-      opt.compute_graph_scores = true;
-      results[method] = eval::RunMethod(method, observed, opt);
+      eval::RunCell cell;
+      cell.method = method;
+      cell.observed = &observed;
+      cell.options.paper_scale = *datasets::FindDataset(dataset);
+      cell.options.compute_graph_scores = true;
+      cells.push_back(std::move(cell));
     }
+    std::vector<eval::RunResult> cell_results =
+        eval::RunCells(cells, BenchSeed(dataset) ^ 0x5eedull);
+    std::map<std::string, eval::RunResult> results;
+    for (size_t i = 0; i < methods.size(); ++i)
+      results[methods[i]] = std::move(cell_results[i]);
 
     std::vector<std::string> header = {"Metric"};
     header.insert(header.end(), methods.begin(), methods.end());

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the micro-kernel benchmarks and writes BENCH_kernels.json — the
+# machine-readable perf artifact CI uploads on every run, so the kernel
+# performance trajectory is tracked over time.
+#
+# Usage: bench/run_bench.sh [build-dir] [output.json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_kernels.json}"
+BIN="${BUILD_DIR}/bench/bench_micro_kernels"
+
+if [[ ! -x "${BIN}" ]]; then
+  echo "error: ${BIN} not found or not executable." >&2
+  echo "Configure with Google Benchmark installed (libbenchmark-dev) and" >&2
+  echo "build first:  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+"${BIN}" \
+  --benchmark_out="${OUT}" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo "Wrote ${OUT}"

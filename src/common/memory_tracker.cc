@@ -1,6 +1,24 @@
 #include "common/memory_tracker.h"
 
+#include <algorithm>
+
 namespace tgsim {
+
+namespace {
+
+/// Per-thread mirror of the tracker counters; plain ints, no atomics
+/// needed. Only Allocate/Release on the global tracker update these.
+struct ThreadStats {
+  int64_t current = 0;
+  int64_t peak = 0;
+};
+
+ThreadStats& LocalStats() {
+  thread_local ThreadStats stats;
+  return stats;
+}
+
+}  // namespace
 
 MemoryTracker& MemoryTracker::Global() {
   static MemoryTracker* tracker = new MemoryTracker();
@@ -13,12 +31,25 @@ void MemoryTracker::Allocate(size_t bytes) {
   int64_t prev_peak = peak_.load();
   while (now > prev_peak && !peak_.compare_exchange_weak(prev_peak, now)) {
   }
+  ThreadStats& local = LocalStats();
+  local.current += static_cast<int64_t>(bytes);
+  local.peak = std::max(local.peak, local.current);
 }
 
 void MemoryTracker::Release(size_t bytes) {
   current_.fetch_sub(static_cast<int64_t>(bytes));
+  LocalStats().current -= static_cast<int64_t>(bytes);
 }
 
 void MemoryTracker::ResetPeak() { peak_.store(current_.load()); }
+
+int64_t MemoryTracker::ThreadCurrentBytes() { return LocalStats().current; }
+
+int64_t MemoryTracker::ThreadPeakBytes() { return LocalStats().peak; }
+
+void MemoryTracker::ResetThreadPeak() {
+  ThreadStats& local = LocalStats();
+  local.peak = local.current;
+}
 
 }  // namespace tgsim

@@ -13,6 +13,12 @@ namespace tgsim {
 /// the same quantity on the host: every nn::Tensor registers its buffer here,
 /// and benches snapshot the peak between Reset() and PeakBytes(). The counter
 /// is atomic so tracked code may run on multiple threads.
+///
+/// In addition to the process-wide counters, every Allocate/Release is
+/// mirrored into thread-local counters. MemoryUsageScope measures against
+/// the thread-local view, so concurrent eval cells (eval::RunCells) each
+/// observe only their own allocations — keeping per-cell peaks identical to
+/// a serial run.
 class MemoryTracker {
  public:
   /// Global tracker instance used by nn::Tensor.
@@ -33,24 +39,43 @@ class MemoryTracker {
   /// Resets the peak watermark to the current live byte count.
   void ResetPeak();
 
+  /// Live bytes allocated by the calling thread (net of its releases).
+  static int64_t ThreadCurrentBytes();
+
+  /// Calling thread's highest watermark since ResetThreadPeak().
+  static int64_t ThreadPeakBytes();
+
+  /// Resets the calling thread's peak watermark to its current live count.
+  static void ResetThreadPeak();
+
  private:
   std::atomic<int64_t> current_{0};
   std::atomic<int64_t> peak_{0};
 };
 
-/// RAII scope that resets the global peak on entry and exposes the peak
-/// observed during its lifetime.
+/// RAII scope measuring the *calling thread's* peak allocation growth over
+/// its lifetime. The peak is reported relative to the live bytes at scope
+/// entry, so work that stays on one thread (each eval::RunCells cell does)
+/// gets the same measurement whether it runs serially on a loaded caller
+/// thread or concurrently on a fresh pool worker.
 class MemoryUsageScope {
  public:
-  MemoryUsageScope() { MemoryTracker::Global().ResetPeak(); }
+  MemoryUsageScope() : baseline_(MemoryTracker::ThreadCurrentBytes()) {
+    MemoryTracker::ResetThreadPeak();
+  }
 
-  /// Peak tracked bytes since this scope began.
-  int64_t PeakBytes() const { return MemoryTracker::Global().PeakBytes(); }
+  /// Peak tracked bytes this thread gained since this scope began.
+  int64_t PeakBytes() const {
+    return MemoryTracker::ThreadPeakBytes() - baseline_;
+  }
 
   /// Peak in MiB (the unit of the paper's Figure 6).
   double PeakMiB() const {
     return static_cast<double>(PeakBytes()) / (1024.0 * 1024.0);
   }
+
+ private:
+  int64_t baseline_;
 };
 
 }  // namespace tgsim

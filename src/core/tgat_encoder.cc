@@ -21,10 +21,22 @@ nn::Var TgatLayer::Forward(const nn::Var& src_feats,
                            const std::vector<int>& dst_copy_in_src) const {
   const int n_dst = static_cast<int>(dst_copy_in_src.size());
   TGSIM_CHECK(!edges.src.empty());
+  // All head projections in one blocked matmul against the concatenated
+  // head weights; per-head views are column slices. Column j of the batched
+  // product is the same dot products in the same order as the per-head
+  // matmul, so head outputs are bit-identical to the unbatched form. The
+  // concat node is rebuilt per forward pass so its grad buffer is fresh.
+  nn::Var proj_all =
+      num_heads_ == 1
+          ? nn::MatMul(src_feats, w_head_[0])
+          : nn::MatMul(src_feats, nn::ConcatCols(w_head_));
   std::vector<nn::Var> heads;
   heads.reserve(static_cast<size_t>(num_heads_));
   for (int h = 0; h < num_heads_; ++h) {
-    nn::Var proj = nn::MatMul(src_feats, w_head_[static_cast<size_t>(h)]);
+    nn::Var proj = num_heads_ == 1
+                       ? proj_all
+                       : nn::SliceCols(proj_all, h * head_dim_,
+                                       (h + 1) * head_dim_);
     // Queries: the target node's own projection (its copy in the source
     // layer — the paper's self-loops).
     nn::Var q_dst = nn::GatherRows(proj, dst_copy_in_src);

@@ -5,12 +5,20 @@
 #include "common/memory_tracker.h"
 #include "common/stopwatch.h"
 #include "metrics/motifs.h"
+#include "parallel/parallel_for.h"
 
 namespace tgsim::eval {
 
 RunResult RunMethod(const std::string& method,
                     const graphs::TemporalGraph& observed,
                     const RunOptions& options) {
+  Rng rng(options.seed);
+  return RunMethod(method, observed, options, rng);
+}
+
+RunResult RunMethod(const std::string& method,
+                    const graphs::TemporalGraph& observed,
+                    const RunOptions& options, Rng& rng) {
   RunResult result;
   result.method = method;
 
@@ -27,7 +35,6 @@ RunResult RunMethod(const std::string& method,
     }
   }
 
-  Rng rng(options.seed);
   MemoryUsageScope mem_scope;
 
   Stopwatch fit_watch;
@@ -49,6 +56,27 @@ RunResult RunMethod(const std::string& method,
                           options.mmd_sigma, options.motif_max_triples);
   }
   return result;
+}
+
+std::vector<RunResult> RunCells(const std::vector<RunCell>& cells,
+                                uint64_t master_seed) {
+  const int64_t n = static_cast<int64_t>(cells.size());
+  std::vector<RunResult> results(cells.size());
+  if (n == 0) return results;
+  // Split the master stream up front (serial, order-fixed), then run cells
+  // concurrently with grain 1: cell i always consumes stream i and writes
+  // slot i, so the result vector is bit-identical to the serial loop.
+  std::vector<Rng> rngs = Rng(master_seed).Split(cells.size());
+  parallel::ParallelFor(0, n, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      const RunCell& cell = cells[static_cast<size_t>(i)];
+      TGSIM_CHECK(cell.observed != nullptr);
+      results[static_cast<size_t>(i)] =
+          RunMethod(cell.method, *cell.observed, cell.options,
+                    rngs[static_cast<size_t>(i)]);
+    }
+  });
+  return results;
 }
 
 std::string FormatCell(double value, bool oom) {

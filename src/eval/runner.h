@@ -48,10 +48,35 @@ struct RunResult {
 /// Fits `method` on `observed`, generates one graph, and scores it.
 /// If `options.paper_scale` is set and the method's analytic paper-scale
 /// memory model exceeds the budget, the run is skipped and marked OOM
-/// (matching the paper's table presentation).
+/// (matching the paper's table presentation). Seeds a fresh Rng from
+/// `options.seed`.
 RunResult RunMethod(const std::string& method,
                     const graphs::TemporalGraph& observed,
                     const RunOptions& options);
+
+/// Same, but consumes the caller-provided Rng stream instead of seeding
+/// one — the building block RunCells uses to hand each cell an independent
+/// Rng::Split child.
+RunResult RunMethod(const std::string& method,
+                    const graphs::TemporalGraph& observed,
+                    const RunOptions& options, Rng& rng);
+
+/// One (method, dataset) cell of an evaluation matrix. `observed` must
+/// outlive the RunCells call.
+struct RunCell {
+  std::string method;
+  const graphs::TemporalGraph* observed = nullptr;
+  RunOptions options;
+};
+
+/// Runs every cell, concurrently on the global thread pool when it has
+/// more than one thread. Cell i consumes the i-th child of
+/// Rng(master_seed).Split(cells.size()), so scores, motif MMDs, OOM flags
+/// and per-cell peak memory are bit-identical to the serial run for any
+/// thread count (wall-clock timings, as always, are not). Per-cell
+/// `options.seed` is ignored in favor of the split stream.
+std::vector<RunResult> RunCells(const std::vector<RunCell>& cells,
+                                uint64_t master_seed);
 
 /// Formats a score the way the paper's tables do (e.g. "2.41E-3"), or
 /// "OOM".

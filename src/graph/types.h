@@ -40,10 +40,22 @@ struct TemporalNodeRef {
 };
 
 /// Hash functor for TemporalNodeRef (for flat hash sets/maps).
+///
+/// Packs (node, t) into one 64-bit word and applies the splitmix64
+/// finalizer. The finalizer is a bijection on 64-bit words, so distinct
+/// temporal nodes never collide on the full hash, and its avalanche keeps
+/// the low bits (the ones power-of-two hash tables actually use) well
+/// mixed even for the dense node x time grids the ego sampler produces.
 struct TemporalNodeRefHash {
   size_t operator()(const TemporalNodeRef& k) const {
-    return static_cast<size_t>(k.node) * 1000003u +
-           static_cast<size_t>(k.t) * 0x9e3779b97f4a7c15ull;
+    uint64_t x =
+        (static_cast<uint64_t>(static_cast<uint32_t>(k.node)) << 32) |
+        static_cast<uint64_t>(static_cast<uint32_t>(k.t));
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
   }
 };
 

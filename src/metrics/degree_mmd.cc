@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "metrics/motifs.h"
+#include "parallel/parallel_for.h"
 
 namespace tgsim::metrics {
 
@@ -28,12 +29,23 @@ double DegreeMmd(const graphs::TemporalGraph& real,
                  int max_degree, int stride) {
   TGSIM_CHECK_EQ(real.num_timestamps(), generated.num_timestamps());
   TGSIM_CHECK_GE(stride, 1);
-  std::vector<std::vector<double>> set_real, set_gen;
-  for (graphs::Timestamp t = 0; t < real.num_timestamps(); t += stride) {
-    set_real.push_back(DegreeHistogram(real.SnapshotUpTo(t), max_degree));
-    set_gen.push_back(
-        DegreeHistogram(generated.SnapshotUpTo(t), max_degree));
-  }
+  std::vector<graphs::Timestamp> ts;
+  for (graphs::Timestamp t = 0; t < real.num_timestamps(); t += stride)
+    ts.push_back(t);
+  // Each evaluated timestamp builds two independent snapshot histograms
+  // into its own preassigned slot — embarrassingly parallel and
+  // bit-identical for any thread count.
+  std::vector<std::vector<double>> set_real(ts.size()), set_gen(ts.size());
+  parallel::ParallelFor(
+      0, static_cast<int64_t>(ts.size()), 1, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          const graphs::Timestamp t = ts[static_cast<size_t>(i)];
+          set_real[static_cast<size_t>(i)] =
+              DegreeHistogram(real.SnapshotUpTo(t), max_degree);
+          set_gen[static_cast<size_t>(i)] =
+              DegreeHistogram(generated.SnapshotUpTo(t), max_degree);
+        }
+      });
   return MmdSquared(set_real, set_gen, sigma);
 }
 

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "parallel/parallel_for.h"
 
 namespace tgsim::metrics {
 
@@ -56,23 +57,17 @@ int DistinctNodes(graphs::NodeId a1, graphs::NodeId b1, graphs::NodeId a2,
   return distinct;
 }
 
-}  // namespace
-
-MotifCode EncodeMotif(int u1, int v1, int u2, int v2, int u3, int v3) {
-  return static_cast<MotifCode>(u1) | (static_cast<MotifCode>(v1) << 2) |
-         (static_cast<MotifCode>(u2) << 4) |
-         (static_cast<MotifCode>(v2) << 6) |
-         (static_cast<MotifCode>(u3) << 8) |
-         (static_cast<MotifCode>(v3) << 10);
-}
-
-MotifCensus CountTemporalMotifs(const graphs::TemporalGraph& g, int delta,
-                                int64_t max_triples) {
+/// Counts triples whose *anchor* (earliest) edge index lies in
+/// [i_begin, i_end); the second/third edges range over the whole stream,
+/// exactly like the serial enumeration restricted to those anchors.
+/// `cap` <= 0 means unlimited; otherwise counting stops after `cap`
+/// triples, in enumeration order.
+MotifCensus CountAnchorRange(const std::vector<graphs::TemporalEdge>& edges,
+                             int64_t i_begin, int64_t i_end, int delta,
+                             int64_t cap) {
   MotifCensus census;
-  const auto& edges = g.edges();  // Sorted by (t,u,v).
   const int64_t m = static_cast<int64_t>(edges.size());
-  int64_t examined = 0;
-  for (int64_t i = 0; i < m; ++i) {
+  for (int64_t i = i_begin; i < i_end; ++i) {
     const auto& e1 = edges[static_cast<size_t>(i)];
     for (int64_t j = i + 1; j < m; ++j) {
       const auto& e2 = edges[static_cast<size_t>(j)];
@@ -86,7 +81,82 @@ MotifCensus CountTemporalMotifs(const graphs::TemporalGraph& g, int delta,
         if (DistinctNodes(e1.u, e1.v, e2.u, e2.v, e3.u, e3.v) > 3) continue;
         ++census.counts[Canonicalize(e1.u, e1.v, e2.u, e2.v, e3.u, e3.v)];
         ++census.total;
-        if (max_triples > 0 && ++examined >= max_triples) return census;
+        if (cap > 0 && census.total >= cap) return census;
+      }
+    }
+  }
+  return census;
+}
+
+/// Merges `from` into `to` (count maps add, totals add).
+void MergeCensus(MotifCensus& to, const MotifCensus& from) {
+  for (const auto& [code, count] : from.counts) to.counts[code] += count;
+  to.total += from.total;
+}
+
+/// Anchor edges per parallel census chunk. Fixed so the chunk decomposition
+/// (and therefore the capped prefix semantics) never depends on the thread
+/// count.
+constexpr int64_t kCensusGrain = 256;
+
+}  // namespace
+
+MotifCode EncodeMotif(int u1, int v1, int u2, int v2, int u3, int v3) {
+  return static_cast<MotifCode>(u1) | (static_cast<MotifCode>(v1) << 2) |
+         (static_cast<MotifCode>(u2) << 4) |
+         (static_cast<MotifCode>(v2) << 6) |
+         (static_cast<MotifCode>(u3) << 8) |
+         (static_cast<MotifCode>(v3) << 10);
+}
+
+MotifCensus CountTemporalMotifs(const graphs::TemporalGraph& g, int delta,
+                                int64_t max_triples) {
+  const auto& edges = g.edges();  // Sorted by (t,u,v).
+  const int64_t m = static_cast<int64_t>(edges.size());
+  if (m == 0) return {};
+  // Chunk over anchor-edge ranges; each chunk counts independently (capped
+  // at max_triples, the most it could ever contribute), then chunks merge
+  // in anchor order against the global budget. A chunk that would
+  // overshoot the remaining budget is recounted with that exact budget, so
+  // the result matches the serial capped prefix bit for bit — for any
+  // thread count. Chunks are scheduled in pool-sized waves so an
+  // early-binding cap stops the scan after at most one surplus wave
+  // instead of eagerly counting every chunk in the stream; wave size
+  // affects only how much speculative work runs, never the merged result.
+  const int64_t chunks = parallel::NumChunks(0, m, kCensusGrain);
+  const int64_t wave =
+      max_triples > 0
+          ? std::max<int64_t>(1, 4 * parallel::ThreadPool::GlobalThreads())
+          : chunks;
+  MotifCensus census;
+  for (int64_t c0 = 0; c0 < chunks; c0 += wave) {
+    const int64_t c1 = std::min(chunks, c0 + wave);
+    std::vector<MotifCensus> parts(static_cast<size_t>(c1 - c0));
+    parallel::ParallelFor(c0, c1, 1, [&](int64_t cb, int64_t ce) {
+      for (int64_t c = cb; c < ce; ++c) {
+        const int64_t b = c * kCensusGrain;
+        parts[static_cast<size_t>(c - c0)] = CountAnchorRange(
+            edges, b, std::min(m, b + kCensusGrain), delta, max_triples);
+      }
+    });
+    for (int64_t c = c0; c < c1; ++c) {
+      const MotifCensus& part = parts[static_cast<size_t>(c - c0)];
+      if (max_triples <= 0) {
+        MergeCensus(census, part);
+        continue;
+      }
+      const int64_t remaining = max_triples - census.total;
+      if (part.total < remaining) {
+        MergeCensus(census, part);
+      } else if (part.total == remaining) {
+        MergeCensus(census, part);
+        return census;  // Exhausted exactly where the serial scan stops.
+      } else {
+        const int64_t b = c * kCensusGrain;
+        MotifCensus tail = CountAnchorRange(
+            edges, b, std::min(m, b + kCensusGrain), delta, remaining);
+        MergeCensus(census, tail);
+        return census;
       }
     }
   }
@@ -151,13 +221,27 @@ double MmdSquared(const std::vector<std::vector<double>>& set_p,
                   double sigma) {
   TGSIM_CHECK(!set_p.empty());
   TGSIM_CHECK(!set_q.empty());
+  // Kernel-matrix accumulation over the flattened pair grid. Fixed-grain
+  // chunks with in-order combination keep the floating-point association —
+  // and therefore the score — identical for any thread count.
+  constexpr int64_t kPairGrain = 16;
   auto mean_kernel = [sigma](const std::vector<std::vector<double>>& a,
                              const std::vector<std::vector<double>>& b) {
-    double acc = 0.0;
-    for (const auto& x : a)
-      for (const auto& y : b)
-        acc += GaussianTvKernel(TotalVariation(x, y), sigma);
-    return acc / (static_cast<double>(a.size()) * b.size());
+    const int64_t nb = static_cast<int64_t>(b.size());
+    const int64_t pairs = static_cast<int64_t>(a.size()) * nb;
+    double acc = parallel::ParallelReduce<double>(
+        0, pairs, kPairGrain, 0.0,
+        [&](int64_t p0, int64_t p1) {
+          double s = 0.0;
+          for (int64_t p = p0; p < p1; ++p) {
+            const auto& x = a[static_cast<size_t>(p / nb)];
+            const auto& y = b[static_cast<size_t>(p % nb)];
+            s += GaussianTvKernel(TotalVariation(x, y), sigma);
+          }
+          return s;
+        },
+        [](double lhs, double rhs) { return lhs + rhs; });
+    return acc / (static_cast<double>(a.size()) * static_cast<double>(nb));
   };
   double mmd2 = mean_kernel(set_p, set_p) + mean_kernel(set_q, set_q) -
                 2.0 * mean_kernel(set_p, set_q);

@@ -5,7 +5,53 @@
 #include <unordered_set>
 #include <utility>
 
+#include "parallel/parallel_for.h"
+
 namespace tgsim::nn {
+
+namespace {
+
+using parallel::kElementwiseGrain;
+using parallel::RowGrain;
+
+/// Segment-id -> ascending member indices, in CSR form. Per-segment entry
+/// order equals the global entry order, so any per-segment accumulation
+/// done over `Members(s)` reproduces the serial loop bit for bit.
+class SegmentIndex {
+ public:
+  SegmentIndex(const std::vector<int>& seg, int num_segments)
+      : offsets_(static_cast<size_t>(num_segments) + 1, 0),
+        items_(seg.size()) {
+    for (int s : seg) {
+      TGSIM_DCHECK(s >= 0 && s < num_segments);
+      ++offsets_[static_cast<size_t>(s) + 1];
+    }
+    for (size_t s = 1; s < offsets_.size(); ++s)
+      offsets_[s] += offsets_[s - 1];
+    std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (size_t i = 0; i < seg.size(); ++i)
+      items_[static_cast<size_t>(
+          cursor[static_cast<size_t>(seg[i])]++)] = static_cast<int>(i);
+  }
+
+  int num_segments() const { return static_cast<int>(offsets_.size()) - 1; }
+  const int* begin(int s) const {
+    return items_.data() + offsets_[static_cast<size_t>(s)];
+  }
+  const int* end(int s) const {
+    return items_.data() + offsets_[static_cast<size_t>(s) + 1];
+  }
+
+ private:
+  std::vector<int64_t> offsets_;
+  std::vector<int> items_;
+};
+
+/// Grain for loops over segments; segments are cheap individually, so pack
+/// many per chunk.
+constexpr int64_t kSegmentGrain = 256;
+
+}  // namespace
 
 Var::Var(Tensor value, bool requires_grad) {
   node_ = std::make_shared<Node>();
@@ -172,29 +218,42 @@ Var MulColBroadcast(const Var& a, const Var& w) {
   TGSIM_CHECK_EQ(w.cols(), 1);
   TGSIM_CHECK_EQ(w.rows(), a.rows());
   Tensor out = a.value();
-  for (int r = 0; r < out.rows(); ++r) {
-    Scalar s = w.value().at(r, 0);
-    for (int c = 0; c < out.cols(); ++c) out.at(r, c) *= s;
-  }
+  parallel::ParallelFor(
+      0, out.rows(), RowGrain(out.cols()), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          Scalar s = w.value().at(static_cast<int>(r), 0);
+          for (int c = 0; c < out.cols(); ++c)
+            out.at(static_cast<int>(r), c) *= s;
+        }
+      });
   return MakeOp(std::move(out), {a, w}, [](Node& self) {
     auto& pa = self.parents[0];
     auto& pw = self.parents[1];
+    const int64_t grain = RowGrain(self.grad.cols());
     if (NeedsGrad(pa)) {
       pa->EnsureGrad();
-      for (int r = 0; r < self.grad.rows(); ++r) {
-        Scalar s = pw->value.at(r, 0);
-        for (int c = 0; c < self.grad.cols(); ++c)
-          pa->grad.at(r, c) += self.grad.at(r, c) * s;
-      }
+      parallel::ParallelFor(
+          0, self.grad.rows(), grain, [&](int64_t r0, int64_t r1) {
+            for (int64_t ri = r0; ri < r1; ++ri) {
+              const int r = static_cast<int>(ri);
+              Scalar s = pw->value.at(r, 0);
+              for (int c = 0; c < self.grad.cols(); ++c)
+                pa->grad.at(r, c) += self.grad.at(r, c) * s;
+            }
+          });
     }
     if (NeedsGrad(pw)) {
       pw->EnsureGrad();
-      for (int r = 0; r < self.grad.rows(); ++r) {
-        Scalar acc = 0.0;
-        for (int c = 0; c < self.grad.cols(); ++c)
-          acc += self.grad.at(r, c) * pa->value.at(r, c);
-        pw->grad.at(r, 0) += acc;
-      }
+      parallel::ParallelFor(
+          0, self.grad.rows(), grain, [&](int64_t r0, int64_t r1) {
+            for (int64_t ri = r0; ri < r1; ++ri) {
+              const int r = static_cast<int>(ri);
+              Scalar acc = 0.0;
+              for (int c = 0; c < self.grad.cols(); ++c)
+                acc += self.grad.at(r, c) * pa->value.at(r, c);
+              pw->grad.at(r, 0) += acc;
+            }
+          });
     }
   });
 }
@@ -232,17 +291,25 @@ namespace {
 Var ElementwiseOp(const Var& a, const std::function<Scalar(Scalar)>& fwd,
                   std::function<Scalar(Scalar x, Scalar y)> dydx) {
   Tensor out = a.value();
-  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = fwd(out.data()[i]);
+  parallel::ParallelFor(0, out.size(), kElementwiseGrain,
+                        [&](int64_t b, int64_t e) {
+                          for (int64_t i = b; i < e; ++i)
+                            out.data()[i] = fwd(out.data()[i]);
+                        });
   return MakeOp(std::move(out), {a},
                 [dydx = std::move(dydx)](Node& self) {
                   auto& pa = self.parents[0];
                   if (!NeedsGrad(pa)) return;
                   pa->EnsureGrad();
-                  for (int64_t i = 0; i < self.grad.size(); ++i) {
-                    pa->grad.data()[i] +=
-                        self.grad.data()[i] *
-                        dydx(pa->value.data()[i], self.value.data()[i]);
-                  }
+                  parallel::ParallelFor(
+                      0, self.grad.size(), kElementwiseGrain,
+                      [&](int64_t b, int64_t e) {
+                        for (int64_t i = b; i < e; ++i) {
+                          pa->grad.data()[i] +=
+                              self.grad.data()[i] *
+                              dydx(pa->value.data()[i], self.value.data()[i]);
+                        }
+                      });
                 });
 }
 
@@ -297,42 +364,57 @@ Var SoftmaxRows(const Var& a) {
     if (!NeedsGrad(pa)) return;
     pa->EnsureGrad();
     // dL/dx = y * (g - <g, y>) per row.
-    for (int r = 0; r < self.value.rows(); ++r) {
-      Scalar dot = 0.0;
-      for (int c = 0; c < self.value.cols(); ++c)
-        dot += self.grad.at(r, c) * self.value.at(r, c);
-      for (int c = 0; c < self.value.cols(); ++c)
-        pa->grad.at(r, c) +=
-            self.value.at(r, c) * (self.grad.at(r, c) - dot);
-    }
+    parallel::ParallelFor(
+        0, self.value.rows(), RowGrain(self.value.cols()),
+        [&](int64_t r0, int64_t r1) {
+          for (int64_t ri = r0; ri < r1; ++ri) {
+            const int r = static_cast<int>(ri);
+            Scalar dot = 0.0;
+            for (int c = 0; c < self.value.cols(); ++c)
+              dot += self.grad.at(r, c) * self.value.at(r, c);
+            for (int c = 0; c < self.value.cols(); ++c)
+              pa->grad.at(r, c) +=
+                  self.value.at(r, c) * (self.grad.at(r, c) - dot);
+          }
+        });
   });
 }
 
 Var LogSoftmaxRows(const Var& a) {
   const Tensor& x = a.value();
   Tensor out(x.rows(), x.cols());
-  for (int r = 0; r < x.rows(); ++r) {
-    Scalar m = x.at(r, 0);
-    for (int c = 1; c < x.cols(); ++c) m = std::max(m, x.at(r, c));
-    Scalar z = 0.0;
-    for (int c = 0; c < x.cols(); ++c) z += std::exp(x.at(r, c) - m);
-    Scalar log_z = m + std::log(z);
-    for (int c = 0; c < x.cols(); ++c) out.at(r, c) = x.at(r, c) - log_z;
-  }
+  parallel::ParallelFor(
+      0, x.rows(), RowGrain(x.cols()), [&](int64_t r0, int64_t r1) {
+        for (int64_t ri = r0; ri < r1; ++ri) {
+          const int r = static_cast<int>(ri);
+          Scalar m = x.at(r, 0);
+          for (int c = 1; c < x.cols(); ++c) m = std::max(m, x.at(r, c));
+          Scalar z = 0.0;
+          for (int c = 0; c < x.cols(); ++c) z += std::exp(x.at(r, c) - m);
+          Scalar log_z = m + std::log(z);
+          for (int c = 0; c < x.cols(); ++c)
+            out.at(r, c) = x.at(r, c) - log_z;
+        }
+      });
   return MakeOp(std::move(out), {a}, [](Node& self) {
     auto& pa = self.parents[0];
     if (!NeedsGrad(pa)) return;
     pa->EnsureGrad();
     // dL/dx = g - softmax(x) * sum(g) per row.
-    for (int r = 0; r < self.value.rows(); ++r) {
-      Scalar gsum = 0.0;
-      for (int c = 0; c < self.value.cols(); ++c)
-        gsum += self.grad.at(r, c);
-      for (int c = 0; c < self.value.cols(); ++c) {
-        Scalar p = std::exp(self.value.at(r, c));
-        pa->grad.at(r, c) += self.grad.at(r, c) - p * gsum;
-      }
-    }
+    parallel::ParallelFor(
+        0, self.value.rows(), RowGrain(self.value.cols()),
+        [&](int64_t r0, int64_t r1) {
+          for (int64_t ri = r0; ri < r1; ++ri) {
+            const int r = static_cast<int>(ri);
+            Scalar gsum = 0.0;
+            for (int c = 0; c < self.value.cols(); ++c)
+              gsum += self.grad.at(r, c);
+            for (int c = 0; c < self.value.cols(); ++c) {
+              Scalar p = std::exp(self.value.at(r, c));
+              pa->grad.at(r, c) += self.grad.at(r, c) - p * gsum;
+            }
+          }
+        });
   });
 }
 
@@ -420,6 +502,32 @@ Var ConcatRows(const std::vector<Var>& vs) {
   });
 }
 
+Var SliceCols(const Var& a, int begin, int end) {
+  TGSIM_CHECK(0 <= begin && begin <= end && end <= a.cols());
+  const int rows = a.rows();
+  const int width = end - begin;
+  Tensor out(rows, width);
+  parallel::ParallelFor(
+      0, rows, RowGrain(width), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r)
+          for (int c = 0; c < width; ++c)
+            out.at(static_cast<int>(r), c) =
+                a.value().at(static_cast<int>(r), begin + c);
+      });
+  return MakeOp(std::move(out), {a}, [begin, width](Node& self) {
+    auto& pa = self.parents[0];
+    if (!NeedsGrad(pa)) return;
+    pa->EnsureGrad();
+    parallel::ParallelFor(
+        0, self.grad.rows(), RowGrain(width), [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r)
+            for (int c = 0; c < width; ++c)
+              pa->grad.at(static_cast<int>(r), begin + c) +=
+                  self.grad.at(static_cast<int>(r), c);
+        });
+  });
+}
+
 Var GatherRows(const Var& a, std::vector<int> idx) {
   Tensor out = a.value().GatherRows(idx);
   return MakeOp(std::move(out), {a}, [idx = std::move(idx)](Node& self) {
@@ -434,20 +542,37 @@ Var GatherRows(const Var& a, std::vector<int> idx) {
 
 Var SegmentSum(const Var& a, std::vector<int> seg, int num_segments) {
   TGSIM_CHECK_EQ(static_cast<int>(seg.size()), a.rows());
+  // Each segment owns one output row; per-segment member order (ascending
+  // entry index, via SegmentIndex) matches the serial accumulation order,
+  // so the sums are bit-identical for any thread count.
+  SegmentIndex index(seg, num_segments);
   Tensor out(num_segments, a.cols());
-  for (size_t i = 0; i < seg.size(); ++i) {
-    TGSIM_DCHECK(seg[i] >= 0 && seg[i] < num_segments);
-    for (int c = 0; c < a.cols(); ++c)
-      out.at(seg[i], c) += a.value().at(static_cast<int>(i), c);
-  }
-  return MakeOp(std::move(out), {a}, [seg = std::move(seg)](Node& self) {
-    auto& pa = self.parents[0];
-    if (!NeedsGrad(pa)) return;
-    pa->EnsureGrad();
-    for (size_t i = 0; i < seg.size(); ++i)
-      for (int c = 0; c < pa->grad.cols(); ++c)
-        pa->grad.at(static_cast<int>(i), c) += self.grad.at(seg[i], c);
-  });
+  parallel::ParallelFor(
+      0, num_segments, kSegmentGrain, [&](int64_t s0, int64_t s1) {
+        for (int64_t s = s0; s < s1; ++s) {
+          Scalar* dst = out.row(static_cast<int>(s));
+          for (const int* it = index.begin(static_cast<int>(s));
+               it != index.end(static_cast<int>(s)); ++it)
+            for (int c = 0; c < a.cols(); ++c)
+              dst[c] += a.value().at(*it, c);
+        }
+      });
+  return MakeOp(std::move(out), {a},
+                [seg = std::move(seg)](Node& self) {
+                  auto& pa = self.parents[0];
+                  if (!NeedsGrad(pa)) return;
+                  pa->EnsureGrad();
+                  // Backward is a gather: entry i reads row seg[i] — rows
+                  // of pa->grad are disjoint per entry chunk.
+                  parallel::ParallelFor(
+                      0, static_cast<int64_t>(seg.size()),
+                      RowGrain(pa->grad.cols()), [&](int64_t b, int64_t e) {
+                        for (int64_t i = b; i < e; ++i)
+                          for (int c = 0; c < pa->grad.cols(); ++c)
+                            pa->grad.at(static_cast<int>(i), c) +=
+                                self.grad.at(seg[static_cast<size_t>(i)], c);
+                      });
+                });
 }
 
 Var SegmentSoftmax(const Var& scores, std::vector<int> seg,
@@ -455,33 +580,52 @@ Var SegmentSoftmax(const Var& scores, std::vector<int> seg,
   TGSIM_CHECK_EQ(scores.cols(), 1);
   TGSIM_CHECK_EQ(static_cast<int>(seg.size()), scores.rows());
   const Tensor& x = scores.value();
-  int n = x.rows();
-  // Stabilize per segment: subtract the segment max before exponentiating.
-  std::vector<Scalar> seg_max(static_cast<size_t>(num_segments),
-                              -1e300);
-  for (int i = 0; i < n; ++i)
-    seg_max[seg[i]] = std::max(seg_max[seg[i]], x.at(i, 0));
+  const int n = x.rows();
+  // Parallel over target segments: each segment stabilizes (max), sums and
+  // normalizes its own entries, touching only its own output slots. Member
+  // order inside a segment is ascending entry index, so the per-segment
+  // max/sum order matches the serial sweep bit for bit.
+  auto index = std::make_shared<SegmentIndex>(seg, num_segments);
   Tensor out(n, 1);
-  std::vector<Scalar> seg_z(static_cast<size_t>(num_segments), 0.0);
-  for (int i = 0; i < n; ++i) {
-    out.at(i, 0) = std::exp(x.at(i, 0) - seg_max[seg[i]]);
-    seg_z[seg[i]] += out.at(i, 0);
-  }
-  for (int i = 0; i < n; ++i) out.at(i, 0) /= seg_z[seg[i]];
+  parallel::ParallelFor(
+      0, num_segments, kSegmentGrain, [&](int64_t s0, int64_t s1) {
+        for (int64_t s = s0; s < s1; ++s) {
+          const int si = static_cast<int>(s);
+          Scalar m = -1e300;
+          for (const int* it = index->begin(si); it != index->end(si); ++it)
+            m = std::max(m, x.at(*it, 0));
+          Scalar z = 0.0;
+          for (const int* it = index->begin(si); it != index->end(si);
+               ++it) {
+            out.at(*it, 0) = std::exp(x.at(*it, 0) - m);
+            z += out.at(*it, 0);
+          }
+          for (const int* it = index->begin(si); it != index->end(si); ++it)
+            out.at(*it, 0) /= z;
+        }
+      });
   return MakeOp(
       std::move(out), {scores},
-      [seg = std::move(seg), num_segments](Node& self) {
+      [index = std::move(index)](Node& self) {
         auto& pa = self.parents[0];
         if (!NeedsGrad(pa)) return;
         pa->EnsureGrad();
         // Per segment: dx_i = y_i * (g_i - sum_j g_j y_j).
-        std::vector<Scalar> seg_dot(static_cast<size_t>(num_segments), 0.0);
-        int n = self.value.rows();
-        for (int i = 0; i < n; ++i)
-          seg_dot[seg[i]] += self.grad.at(i, 0) * self.value.at(i, 0);
-        for (int i = 0; i < n; ++i)
-          pa->grad.at(i, 0) += self.value.at(i, 0) *
-                               (self.grad.at(i, 0) - seg_dot[seg[i]]);
+        parallel::ParallelFor(
+            0, index->num_segments(), kSegmentGrain,
+            [&](int64_t s0, int64_t s1) {
+              for (int64_t s = s0; s < s1; ++s) {
+                const int si = static_cast<int>(s);
+                Scalar dot = 0.0;
+                for (const int* it = index->begin(si); it != index->end(si);
+                     ++it)
+                  dot += self.grad.at(*it, 0) * self.value.at(*it, 0);
+                for (const int* it = index->begin(si); it != index->end(si);
+                     ++it)
+                  pa->grad.at(*it, 0) +=
+                      self.value.at(*it, 0) * (self.grad.at(*it, 0) - dot);
+              }
+            });
       });
 }
 

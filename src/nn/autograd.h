@@ -112,6 +112,9 @@ Var Mean(const Var& a);
 Var ConcatCols(const std::vector<Var>& vs);
 /// Row-wise concatenation; all inputs share cols.
 Var ConcatRows(const std::vector<Var>& vs);
+/// Columns [begin, end) of a; backward scatter-adds into the slice. Used to
+/// split per-head views out of a batched multi-head projection.
+Var SliceCols(const Var& a, int begin, int end);
 /// out.row(i) = a.row(idx[i]); backward scatter-adds.
 Var GatherRows(const Var& a, std::vector<int> idx);
 /// out.row(seg[i]) += a.row(i); `num_segments` rows in the output.

@@ -6,8 +6,23 @@
 #include <sstream>
 
 #include "common/memory_tracker.h"
+#include "parallel/parallel_for.h"
 
 namespace tgsim::nn {
+
+namespace {
+
+using parallel::kElementwiseGrain;
+using parallel::RowGrain;
+
+/// Rows per MatMul task, sized so one task stays around L2 while leaving
+/// enough tasks to fill the pool on paper-sized (512-1024) operands.
+constexpr int kMatMulRowPanel = 32;
+
+/// Cache block over the shared dimension of MatMul.
+constexpr int kMatMulKBlock = 64;
+
+}  // namespace
 
 void Tensor::Allocate(int rows, int cols) {
   TGSIM_CHECK_GE(rows, 0);
@@ -117,25 +132,39 @@ void Tensor::Fill(Scalar v) { std::fill(data_, data_ + size(), v); }
 
 void Tensor::AddInPlace(const Tensor& other) {
   TGSIM_CHECK(SameShape(other));
-  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  parallel::ParallelFor(0, size(), kElementwiseGrain,
+                        [&](int64_t b, int64_t e) {
+                          for (int64_t i = b; i < e; ++i)
+                            data_[i] += other.data_[i];
+                        });
 }
 
 void Tensor::Axpy(Scalar alpha, const Tensor& other) {
   TGSIM_CHECK(SameShape(other));
-  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * other.data_[i];
+  parallel::ParallelFor(0, size(), kElementwiseGrain,
+                        [&](int64_t b, int64_t e) {
+                          for (int64_t i = b; i < e; ++i)
+                            data_[i] += alpha * other.data_[i];
+                        });
 }
 
 void Tensor::ScaleInPlace(Scalar alpha) {
-  for (int64_t i = 0; i < size(); ++i) data_[i] *= alpha;
+  parallel::ParallelFor(0, size(), kElementwiseGrain,
+                        [&](int64_t b, int64_t e) {
+                          for (int64_t i = b; i < e; ++i) data_[i] *= alpha;
+                        });
 }
 
 void Tensor::AddRowVectorInPlace(const Tensor& vec) {
   TGSIM_CHECK_EQ(vec.rows(), 1);
   TGSIM_CHECK_EQ(vec.cols(), cols_);
-  for (int r = 0; r < rows_; ++r) {
-    Scalar* dst = row(r);
-    for (int c = 0; c < cols_; ++c) dst[c] += vec.data_[c];
-  }
+  const int64_t row_grain = RowGrain(cols_);
+  parallel::ParallelFor(0, rows_, row_grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      Scalar* dst = row(static_cast<int>(r));
+      for (int c = 0; c < cols_; ++c) dst[c] += vec.data_[c];
+    }
+  });
 }
 
 Tensor Tensor::operator+(const Tensor& other) const {
@@ -147,14 +176,22 @@ Tensor Tensor::operator+(const Tensor& other) const {
 Tensor Tensor::operator-(const Tensor& other) const {
   TGSIM_CHECK(SameShape(other));
   Tensor out(*this);
-  for (int64_t i = 0; i < size(); ++i) out.data_[i] -= other.data_[i];
+  parallel::ParallelFor(0, size(), kElementwiseGrain,
+                        [&](int64_t b, int64_t e) {
+                          for (int64_t i = b; i < e; ++i)
+                            out.data_[i] -= other.data_[i];
+                        });
   return out;
 }
 
 Tensor Tensor::CwiseMul(const Tensor& other) const {
   TGSIM_CHECK(SameShape(other));
   Tensor out(*this);
-  for (int64_t i = 0; i < size(); ++i) out.data_[i] *= other.data_[i];
+  parallel::ParallelFor(0, size(), kElementwiseGrain,
+                        [&](int64_t b, int64_t e) {
+                          for (int64_t i = b; i < e; ++i)
+                            out.data_[i] *= other.data_[i];
+                        });
   return out;
 }
 
@@ -167,37 +204,62 @@ Tensor Tensor::operator*(Scalar s) const {
 Tensor Tensor::MatMul(const Tensor& other) const {
   TGSIM_CHECK_EQ(cols_, other.rows_);
   Tensor out(rows_, other.cols_);
-  // ikj loop order: streams through `other` row-wise for cache locality.
-  for (int i = 0; i < rows_; ++i) {
-    const Scalar* a_row = row(i);
-    Scalar* o_row = out.row(i);
-    for (int k = 0; k < cols_; ++k) {
-      Scalar a = a_row[k];
-      if (a == 0.0) continue;
-      const Scalar* b_row = other.row(k);
-      for (int j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
-    }
-  }
+  const int n = other.cols_;
+  // Cache-blocked ikj kernel parallelized over row panels. Each output row
+  // is owned by exactly one panel, and within a row the k accumulation
+  // order is ascending regardless of blocking — so the result is
+  // bit-identical for any thread count (and to the unblocked serial loop).
+  parallel::ParallelFor(
+      0, rows_, kMatMulRowPanel, [&](int64_t i0, int64_t i1) {
+        for (int k0 = 0; k0 < cols_; k0 += kMatMulKBlock) {
+          const int k1 = std::min(cols_, k0 + kMatMulKBlock);
+          for (int64_t i = i0; i < i1; ++i) {
+            const Scalar* a_row = row(static_cast<int>(i));
+            Scalar* o_row = out.row(static_cast<int>(i));
+            for (int k = k0; k < k1; ++k) {
+              const Scalar a = a_row[k];
+              const Scalar* b_row = other.row(k);
+              for (int j = 0; j < n; ++j) o_row[j] += a * b_row[j];
+            }
+          }
+        }
+      });
   return out;
 }
 
 Tensor Tensor::Transpose() const {
   Tensor out(cols_, rows_);
-  for (int r = 0; r < rows_; ++r)
-    for (int c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  // Chunk over output rows (= input columns): each chunk owns a disjoint
+  // band of the output.
+  const int64_t row_grain = RowGrain(rows_);
+  parallel::ParallelFor(0, cols_, row_grain, [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c)
+      for (int r = 0; r < rows_; ++r)
+        out.at(static_cast<int>(c), r) = at(r, static_cast<int>(c));
+  });
   return out;
 }
 
 Tensor Tensor::GatherRows(const std::vector<int>& map) const {
   Tensor out(static_cast<int>(map.size()), cols_);
-  for (size_t i = 0; i < map.size(); ++i) {
-    TGSIM_DCHECK(map[i] >= 0 && map[i] < rows_);
-    std::memcpy(out.row(static_cast<int>(i)), row(map[i]),
-                static_cast<size_t>(cols_) * sizeof(Scalar));
-  }
+  const int64_t row_grain = RowGrain(cols_);
+  parallel::ParallelFor(
+      0, static_cast<int64_t>(map.size()), row_grain,
+      [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          TGSIM_DCHECK(map[static_cast<size_t>(i)] >= 0 &&
+                       map[static_cast<size_t>(i)] < rows_);
+          std::memcpy(out.row(static_cast<int>(i)),
+                      row(map[static_cast<size_t>(i)]),
+                      static_cast<size_t>(cols_) * sizeof(Scalar));
+        }
+      });
   return out;
 }
 
+// Scalar reductions (Sum/Dot/MaxAbs) stay serial: chunked accumulation
+// would change the floating-point association relative to the established
+// serial semantics, and at O(n) memory-bound cost there is little to win.
 Scalar Tensor::Sum() const {
   Scalar s = 0.0;
   for (int64_t i = 0; i < size(); ++i) s += data_[i];
@@ -227,18 +289,22 @@ Scalar Tensor::Dot(const Tensor& other) const {
 
 Tensor Tensor::SoftmaxRows() const {
   Tensor out(rows_, cols_);
-  for (int r = 0; r < rows_; ++r) {
-    const Scalar* src = row(r);
-    Scalar* dst = out.row(r);
-    Scalar m = src[0];
-    for (int c = 1; c < cols_; ++c) m = std::max(m, src[c]);
-    Scalar z = 0.0;
-    for (int c = 0; c < cols_; ++c) {
-      dst[c] = std::exp(src[c] - m);
-      z += dst[c];
+  const int64_t row_grain = RowGrain(cols_);
+  parallel::ParallelFor(0, rows_, row_grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t ri = r0; ri < r1; ++ri) {
+      const int r = static_cast<int>(ri);
+      const Scalar* src = row(r);
+      Scalar* dst = out.row(r);
+      Scalar m = src[0];
+      for (int c = 1; c < cols_; ++c) m = std::max(m, src[c]);
+      Scalar z = 0.0;
+      for (int c = 0; c < cols_; ++c) {
+        dst[c] = std::exp(src[c] - m);
+        z += dst[c];
+      }
+      for (int c = 0; c < cols_; ++c) dst[c] /= z;
     }
-    for (int c = 0; c < cols_; ++c) dst[c] /= z;
-  }
+  });
   return out;
 }
 

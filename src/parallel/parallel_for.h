@@ -1,0 +1,79 @@
+#ifndef TGSIM_PARALLEL_PARALLEL_FOR_H_
+#define TGSIM_PARALLEL_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace tgsim::parallel {
+
+/// Default grain for flat elementwise loops: below this many scalars a
+/// region collapses to one inline chunk with zero pool overhead. Shared by
+/// every kernel call site (tensor.cc, autograd.cc) so their chunk shapes —
+/// and therefore which results are float-comparable — stay in sync.
+inline constexpr int64_t kElementwiseGrain = int64_t{1} << 15;
+
+/// Grain for loops over matrix rows, normalized by the row width so one
+/// chunk still covers ~kElementwiseGrain scalars.
+inline int64_t RowGrain(int cols) {
+  return std::max<int64_t>(1, kElementwiseGrain / std::max(cols, 1));
+}
+
+/// Number of grain-sized chunks covering [begin, end). Depends only on the
+/// range and the grain — never on the thread count — which is what makes
+/// every parallel result below reproducible across pool sizes.
+inline int64_t NumChunks(int64_t begin, int64_t end, int64_t grain) {
+  if (end <= begin) return 0;
+  grain = std::max<int64_t>(1, grain);
+  return (end - begin + grain - 1) / grain;
+}
+
+/// Runs fn(chunk_begin, chunk_end) over grain-sized slices of [begin, end)
+/// on the global thread pool. fn must only write state disjoint per chunk
+/// (e.g. distinct output rows); under that contract the result is
+/// bit-identical for any thread count. A single-chunk range runs inline
+/// with zero pool overhead.
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  const int64_t chunks = NumChunks(begin, end, grain);
+  if (chunks == 0) return;
+  grain = std::max<int64_t>(1, grain);
+  if (chunks == 1) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool::Global().RunChunks(chunks, [&](int64_t c) {
+    const int64_t b = begin + c * grain;
+    fn(b, std::min(end, b + grain));
+  });
+}
+
+/// Deterministic chunked reduction: map(chunk_begin, chunk_end) -> T per
+/// grain-sized chunk, then combine(acc, partial) folded in ascending chunk
+/// order. Chunk boundaries and combine order are fixed by (range, grain),
+/// so the result — including its floating-point rounding — is identical
+/// for every thread count. T must be default- and move-constructible.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T init,
+                 MapFn&& map, CombineFn&& combine) {
+  const int64_t chunks = NumChunks(begin, end, grain);
+  if (chunks == 0) return init;
+  grain = std::max<int64_t>(1, grain);
+  if (chunks == 1) return combine(std::move(init), map(begin, end));
+  std::vector<T> partial(static_cast<size_t>(chunks));
+  ThreadPool::Global().RunChunks(chunks, [&](int64_t c) {
+    const int64_t b = begin + c * grain;
+    partial[static_cast<size_t>(c)] = map(b, std::min(end, b + grain));
+  });
+  T acc = std::move(init);
+  for (int64_t c = 0; c < chunks; ++c)
+    acc = combine(std::move(acc), std::move(partial[static_cast<size_t>(c)]));
+  return acc;
+}
+
+}  // namespace tgsim::parallel
+
+#endif  // TGSIM_PARALLEL_PARALLEL_FOR_H_

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <set>
 #include <vector>
 
 #include "graph/static_graph.h"
@@ -192,6 +193,35 @@ TEST(StaticGraphTest, DegreesMatchAccessor) {
   StaticGraph g = StaticGraph::FromEdgeList(4, {{0, 1}, {0, 2}, {0, 3}});
   std::vector<int> d = g.Degrees();
   EXPECT_EQ(d, (std::vector<int>{3, 1, 1, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// TemporalNodeRefHash: collision smoke over a dense node x time grid.
+// ---------------------------------------------------------------------------
+
+TEST(TemporalNodeRefHashTest, NoCollisionsOnDenseGrid) {
+  // The splitmix64 finalizer is a bijection on the packed (node, t) word,
+  // so every full 64-bit hash over the grid must be distinct.
+  constexpr int kNodes = 200, kTimes = 200;
+  TemporalNodeRefHash hash;
+  std::set<size_t> seen;
+  for (NodeId u = 0; u < kNodes; ++u)
+    for (Timestamp t = 0; t < kTimes; ++t)
+      seen.insert(hash(TemporalNodeRef{u, t}));
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kNodes) * kTimes);
+}
+
+TEST(TemporalNodeRefHashTest, LowBitsSpreadAcrossBuckets) {
+  // Power-of-two hash tables use the low bits; a dense grid must fill
+  // every small bucket space. The pre-splitmix multiply-based hash failed
+  // exactly this: consecutive t at fixed node stepped buckets linearly.
+  constexpr int kNodes = 64, kTimes = 64, kBuckets = 256;
+  TemporalNodeRefHash hash;
+  std::set<size_t> buckets;
+  for (NodeId u = 0; u < kNodes; ++u)
+    for (Timestamp t = 0; t < kTimes; ++t)
+      buckets.insert(hash(TemporalNodeRef{u, t}) % kBuckets);
+  EXPECT_EQ(buckets.size(), static_cast<size_t>(kBuckets));
 }
 
 }  // namespace

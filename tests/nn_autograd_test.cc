@@ -166,6 +166,11 @@ std::vector<OpCase> AllOpCases() {
                      return Sum(Square(GatherRows(p[0], {2, 0, 2, 1})));
                    },
                    {{3, 3}}});
+  cases.push_back({"slice_cols",
+                   [](const std::vector<Var>& p) {
+                     return Sum(Square(SliceCols(p[0], 1, 4)));
+                   },
+                   {{3, 5}}});
   cases.push_back({"segment_sum",
                    [](const std::vector<Var>& p) {
                      return Sum(Square(SegmentSum(p[0], {0, 1, 0, 2}, 3)));
@@ -258,6 +263,28 @@ TEST(OpValueTest, SegmentSoftmaxIsStableForLargeScores) {
   Var y = SegmentSoftmax(Var::Constant(big), {0, 0, 0}, 1);
   EXPECT_TRUE(std::isfinite(y.value().at(0, 0)));
   EXPECT_GT(y.value().at(1, 0), y.value().at(0, 0));
+}
+
+TEST(OpValueTest, SliceColsExtractsColumnRange) {
+  Tensor x(2, 4, std::vector<Scalar>{1, 2, 3, 4, 5, 6, 7, 8});
+  Var s = SliceCols(Var::Constant(x), 1, 3);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.cols(), 2);
+  EXPECT_DOUBLE_EQ(s.value().at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s.value().at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(s.value().at(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(s.value().at(1, 1), 7.0);
+  // Full-width slice is the identity on values.
+  Var full = SliceCols(Var::Constant(x), 0, 4);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 4; ++c)
+      EXPECT_DOUBLE_EQ(full.value().at(r, c), x.at(r, c));
+}
+
+TEST(OpDeathTest, SliceColsRejectsBadRange) {
+  Tensor x(2, 4);
+  EXPECT_DEATH(SliceCols(Var::Constant(x), 3, 2), "CHECK failed");
+  EXPECT_DEATH(SliceCols(Var::Constant(x), 0, 5), "CHECK failed");
 }
 
 TEST(OpValueTest, MatMulMatchesManual) {
