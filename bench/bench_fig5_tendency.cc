@@ -31,7 +31,7 @@ int main() {
   // Generate once per method, then tabulate all metric curves.
   std::vector<std::pair<std::string, graphs::TemporalGraph>> generated;
   for (const std::string& method : methods) {
-    auto gen = eval::MakeGenerator(method);
+    auto gen = std::move(eval::MakeGenerator(method)).value();
     Rng rng(bench::BenchSeed("DBLP") ^ 0xf15ull);
     gen->Fit(observed, rng);
     generated.emplace_back(method, gen->Generate(rng));

@@ -17,6 +17,7 @@
 #include "bench/bench_common.h"
 #include "common/memory_tracker.h"
 #include "common/stopwatch.h"
+#include "config/param_map.h"
 #include "eval/registry.h"
 #include "eval/table_printer.h"
 
@@ -77,7 +78,9 @@ int main() {
         }
         graphs::TemporalGraph g =
             datasets::MakeScalabilityGraph(config, 99);
-        auto gen = eval::MakeGenerator(method, eval::Effort::kFast);
+        config::ParamMap fast;
+        fast.Override("preset", "fast");
+        auto gen = std::move(eval::MakeGenerator(method, fast)).value();
         Rng rng(41);
         MemoryUsageScope mem;
         Stopwatch fit_watch;

@@ -6,12 +6,14 @@
 // the n_s and th parameters control (Sections IV-B/IV-E).
 
 #include <cstdio>
-#include <functional>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/check.h"
 #include "common/stopwatch.h"
-#include "core/tgae.h"
+#include "config/param_map.h"
+#include "eval/registry.h"
 #include "eval/runner.h"
 #include "eval/table_printer.h"
 #include "metrics/motifs.h"
@@ -21,27 +23,30 @@ namespace {
 
 using namespace tgsim;
 
-void SweepParameter(
-    const char* name, const std::vector<double>& values,
-    const std::function<void(core::TgaeConfig&, double)>& apply,
-    const graphs::TemporalGraph& observed) {
+/// One sweep point is a registry parameter assignment, so the bench goes
+/// through the same `--param key=value` surface the tgsim CLI exposes.
+void SweepParameter(const char* name,
+                    const std::vector<std::vector<std::string>>& points,
+                    const graphs::TemporalGraph& observed) {
   std::printf("\n--- sensitivity: %s ---\n", name);
   eval::TablePrinter table(
       {"value", "DegErr(med)", "WedgeErr(med)", "MotifMMD", "Fit(s)"});
-  for (double v : values) {
-    core::TgaeConfig cfg;
-    apply(cfg, v);
-    core::TgaeGenerator gen(cfg);
+  for (const std::vector<std::string>& tokens : points) {
+    Result<config::ParamMap> params = config::ParamMap::FromTokens(tokens);
+    TGSIM_CHECK(params.ok());
+    auto gen = std::move(eval::MakeGenerator("TGAE", params.value())).value();
     Rng rng(bench::BenchSeed("DBLP") ^ 0x5e45ull);
     Stopwatch fit_watch;
-    gen.Fit(observed, rng);
+    gen->Fit(observed, rng);
     double fit_s = fit_watch.ElapsedSeconds();
-    graphs::TemporalGraph out = gen.Generate(rng);
+    graphs::TemporalGraph out = gen->Generate(rng);
     auto scores = metrics::ScoreAllMetrics(observed, out);
     double mmd = metrics::MotifMmd(observed, out, 4, 1.0, 2000000);
-    char value_buf[32], fit_buf[32];
-    std::snprintf(value_buf, sizeof(value_buf), "%g", v);
+    char fit_buf[32];
     std::snprintf(fit_buf, sizeof(fit_buf), "%.2f", fit_s);
+    std::string value_buf;
+    for (const std::string& t : tokens)
+      value_buf += (value_buf.empty() ? "" : " ") + t;
     table.AddRow({value_buf, eval::FormatCell(scores[0].med, false),
                   eval::FormatCell(scores[2].med, false),
                   eval::FormatCell(mmd, false), fit_buf});
@@ -59,32 +64,32 @@ int main() {
 
   graphs::TemporalGraph observed = bench::BenchMimic("DBLP");
 
-  SweepParameter(
-      "neighbor threshold th (Alg. 1)", {1, 2, 5, 10, 20},
-      [](core::TgaeConfig& c, double v) {
-        c.neighbor_threshold = static_cast<int>(v);
-      },
-      observed);
-  SweepParameter(
-      "ego-graph radius k", {1, 2, 3},
-      [](core::TgaeConfig& c, double v) { c.radius = static_cast<int>(v); },
-      observed);
-  SweepParameter(
-      "initial nodes per step n_s (Eq. 7)", {8, 16, 32, 64},
-      [](core::TgaeConfig& c, double v) {
-        c.batch_centers = static_cast<int>(v);
-      },
-      observed);
-  SweepParameter(
-      "embedding dimension d", {8, 16, 32},
-      [](core::TgaeConfig& c, double v) {
-        c.embedding_dim = static_cast<int>(v);
-        c.hidden_dim = static_cast<int>(v);
-      },
-      observed);
-  SweepParameter(
-      "generation ring weight (temporal prior)", {1.0, 0.1, 0.01, 0.005, 0.001},
-      [](core::TgaeConfig& c, double v) { c.generation_ring_weight = v; },
-      observed);
+  SweepParameter("neighbor threshold th (Alg. 1)",
+                 {{"neighbor_threshold=1"},
+                  {"neighbor_threshold=2"},
+                  {"neighbor_threshold=5"},
+                  {"neighbor_threshold=10"},
+                  {"neighbor_threshold=20"}},
+                 observed);
+  SweepParameter("ego-graph radius k",
+                 {{"radius=1"}, {"radius=2"}, {"radius=3"}}, observed);
+  SweepParameter("initial nodes per step n_s (Eq. 7)",
+                 {{"batch_centers=8"},
+                  {"batch_centers=16"},
+                  {"batch_centers=32"},
+                  {"batch_centers=64"}},
+                 observed);
+  SweepParameter("embedding dimension d",
+                 {{"embedding_dim=8", "hidden_dim=8"},
+                  {"embedding_dim=16", "hidden_dim=16"},
+                  {"embedding_dim=32", "hidden_dim=32"}},
+                 observed);
+  SweepParameter("generation ring weight (temporal prior)",
+                 {{"generation_ring_weight=1.0"},
+                  {"generation_ring_weight=0.1"},
+                  {"generation_ring_weight=0.01"},
+                  {"generation_ring_weight=0.005"},
+                  {"generation_ring_weight=0.001"}},
+                 observed);
   return 0;
 }

@@ -26,7 +26,7 @@ inline void RunTable45(bool median) {
       "smaller is better; OOM = paper-scale memory model exceeds 32 GB");
 
   const std::vector<std::string> datasets_list = {"DBLP", "MATH", "UBUNTU"};
-  const std::vector<std::string>& methods = eval::AllMethodNames();
+  const std::vector<std::string> methods = eval::AllMethodNames();
 
   for (const std::string& dataset : datasets_list) {
     graphs::TemporalGraph observed = BenchMimic(dataset);
@@ -48,7 +48,8 @@ inline void RunTable45(bool median) {
       cells.push_back(std::move(cell));
     }
     std::vector<eval::RunResult> cell_results =
-        eval::RunCells(cells, BenchSeed(dataset) ^ 0x5eedull);
+        std::move(eval::RunCells(cells, BenchSeed(dataset) ^ 0x5eedull))
+            .value();
     std::map<std::string, eval::RunResult> results;
     for (size_t i = 0; i < methods.size(); ++i)
       results[methods[i]] = std::move(cell_results[i]);

@@ -17,7 +17,7 @@ int main() {
 
   const std::vector<std::string> datasets_list = {
       "DBLP", "MSG", "BITCOIN-A", "BITCOIN-O", "EMAIL", "MATH", "UBUNTU"};
-  const std::vector<std::string>& methods = eval::AllMethodNames();
+  const std::vector<std::string> methods = eval::AllMethodNames();
 
   std::vector<std::string> header = {"Dataset"};
   header.insert(header.end(), methods.begin(), methods.end());
@@ -39,7 +39,8 @@ int main() {
       opt.compute_motif_mmd = true;
       opt.motif_delta = 4;
       opt.motif_max_triples = 2000000;
-      eval::RunResult r = eval::RunMethod(method, observed, opt);
+      eval::RunResult r =
+          std::move(eval::RunMethod(method, observed, opt)).value();
       row.push_back(eval::FormatCell(r.motif_mmd, r.oom));
     }
     table.AddRow(row);

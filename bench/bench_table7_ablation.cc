@@ -19,7 +19,7 @@ int main() {
 
   const std::vector<std::string> datasets_list = {"MSG", "BITCOIN-A",
                                                   "BITCOIN-O"};
-  const std::vector<std::string>& variants = eval::AblationMethodNames();
+  const std::vector<std::string> variants = eval::AblationMethodNames();
 
   std::vector<std::string> header = {"Dataset", "Metric"};
   header.insert(header.end(), variants.begin(), variants.end());
@@ -46,7 +46,8 @@ int main() {
         opt.compute_motif_mmd = true;
         opt.motif_delta = 4;
         opt.motif_max_triples = 2000000;
-        eval::RunResult r = eval::RunMethod(variant, observed, opt);
+        eval::RunResult r =
+            std::move(eval::RunMethod(variant, observed, opt)).value();
         degree += r.scores[0].med / kSeeds;
         motif += r.motif_mmd / kSeeds;
       }

@@ -11,7 +11,9 @@
 #include <cstdio>
 #include <vector>
 
+#include "config/param_map.h"
 #include "core/tgae.h"
+#include "eval/registry.h"
 #include "datasets/synthetic.h"
 #include "graph/temporal_graph.h"
 
@@ -73,9 +75,14 @@ int main() {
       RunSiEpidemic(observed, HubNode(observed), kBeta, epi_rng);
 
   // Train the simulator once, then sample an ensemble of networks.
-  core::TgaeConfig config;
-  config.epochs = 40;
-  core::TgaeGenerator tgae(config);
+  config::ParamMap params;
+  params.Override("epochs", "40");
+  auto made = eval::MakeGenerator("TGAE", params);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  baselines::TemporalGraphGenerator& tgae = *made.value();
   Rng rng(17);
   tgae.Fit(observed, rng);
 

@@ -19,7 +19,9 @@
 #include <set>
 #include <tuple>
 
+#include "config/param_map.h"
 #include "core/tgae.h"
+#include "eval/registry.h"
 #include "datasets/synthetic.h"
 #include "metrics/graph_stats.h"
 #include "metrics/temporal_scores.h"
@@ -36,9 +38,14 @@ int main() {
               static_cast<long long>(observed.num_edges()),
               observed.num_timestamps());
 
-  core::TgaeConfig config;
-  config.epochs = 40;
-  core::TgaeGenerator tgae(config);
+  config::ParamMap params;
+  params.Override("epochs", "40");
+  auto made = eval::MakeGenerator("TGAE", params);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  baselines::TemporalGraphGenerator& tgae = *made.value();
   Rng rng(99);
   tgae.Fit(observed, rng);
   graphs::TemporalGraph synthetic = tgae.Generate(rng);

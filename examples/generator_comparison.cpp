@@ -48,7 +48,13 @@ int main(int argc, char** argv) {
     opt.compute_motif_mmd = true;
     opt.motif_delta = 4;
     opt.motif_max_triples = 1000000;
-    eval::RunResult r = eval::RunMethod(method, observed, opt);
+    Result<eval::RunResult> run = eval::RunMethod(method, observed, opt);
+    if (!run.ok()) {
+      std::fprintf(stderr, "skipping %s: %s\n", method.c_str(),
+                   run.status().ToString().c_str());
+      continue;
+    }
+    const eval::RunResult& r = run.value();
     char fit[32], gen[32], peak[32];
     std::snprintf(fit, sizeof(fit), "%.2f", r.fit_seconds);
     std::snprintf(gen, sizeof(gen), "%.2f", r.generate_seconds);

@@ -2,16 +2,20 @@
 // replica, and check how well structural and temporal properties are
 // preserved.
 //
-//   ./quickstart [edge_list.txt]
+//   ./quickstart [edge_list.txt] [key=value ...]
 //
-// Without an argument a DBLP-like synthetic network is used. An edge list
-// is whitespace-separated `u v t` lines (see datasets/io.h).
+// Without an edge list a DBLP-like synthetic network is used. Trailing
+// `key=value` tokens override TGAE hyper-parameters through the registry
+// (same surface as `tgsim generate --param`), e.g. `./quickstart epochs=10`.
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "config/param_map.h"
 #include "core/tgae.h"
 #include "datasets/io.h"
+#include "eval/registry.h"
 #include "datasets/synthetic.h"
 #include "metrics/graph_stats.h"
 #include "metrics/motifs.h"
@@ -20,12 +24,32 @@
 int main(int argc, char** argv) {
   using namespace tgsim;
 
+  // Split argv into an optional edge-list path and `key=value` overrides.
+  // A token counts as an override only when it has an '=' and no path
+  // separator, so a path like `results=v2/edges.txt` still loads as a file.
+  std::string edge_list;
+  std::vector<std::string> param_tokens;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.find('=') != std::string::npos &&
+        arg.find('/') == std::string::npos) {
+      param_tokens.push_back(arg);
+    } else if (edge_list.empty()) {
+      edge_list = arg;
+    } else {
+      std::fprintf(stderr, "at most one edge-list path, got '%s' and '%s'\n",
+                   edge_list.c_str(), arg.c_str());
+      return 1;
+    }
+  }
+
   // 1. Obtain an observed temporal graph.
   graphs::TemporalGraph observed = [&]() {
-    if (argc > 1) {
-      Result<graphs::TemporalGraph> loaded = datasets::LoadEdgeList(argv[1]);
+    if (!edge_list.empty()) {
+      Result<graphs::TemporalGraph> loaded =
+          datasets::LoadEdgeList(edge_list);
       if (!loaded.ok()) {
-        std::fprintf(stderr, "failed to load %s: %s\n", argv[1],
+        std::fprintf(stderr, "failed to load %s: %s\n", edge_list.c_str(),
                      loaded.status().ToString().c_str());
         std::exit(1);
       }
@@ -43,12 +67,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 2. Fit the temporal graph autoencoder.
-  core::TgaeConfig config;  // Paper defaults; see core/tgae.h for knobs.
-  core::TgaeGenerator tgae(config);
+  // 2. Build TGAE through the registry factory: paper defaults plus any
+  //    `key=value` overrides from the command line.
+  Result<config::ParamMap> params =
+      config::ParamMap::FromTokens(param_tokens);
+  if (!params.ok()) {
+    std::fprintf(stderr, "bad parameter: %s\n",
+                 params.status().ToString().c_str());
+    return 1;
+  }
+  auto made = eval::MakeGenerator("TGAE", params.value());
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    std::fprintf(stderr, "TGAE parameters:\n%s",
+                 eval::FindMethod("TGAE")->schema.Describe().c_str());
+    return 1;
+  }
+  auto& tgae = dynamic_cast<core::TgaeGenerator&>(*made.value());
   Rng rng(42);
-  std::printf("training TGAE (%d epochs, n_s=%d)...\n", config.epochs,
-              config.batch_centers);
+  std::printf("training TGAE (%d epochs, n_s=%d)...\n",
+              tgae.config().epochs, tgae.config().batch_centers);
   tgae.Fit(observed, rng);
   std::printf("final training loss: %.4f\n", tgae.last_epoch_loss());
 

@@ -8,6 +8,14 @@
 
 namespace tgsim::baselines {
 
+void NetGanConfig::DefineParams(config::ParamBinder& binder) {
+  binder.Bind("rank", &rank, "rank of the logit factorization U V^T");
+  binder.Bind("epochs", &epochs, "gradient-descent epochs per snapshot");
+  binder.Bind("learning_rate", &learning_rate, "learning rate");
+}
+
+TGSIM_CONFIG_IMPLEMENT_PARAMS(NetGanConfig)
+
 NetGanGenerator::NetGanGenerator(NetGanConfig config) : config_(config) {}
 
 void NetGanGenerator::Fit(const graphs::TemporalGraph& observed, Rng& /*rng*/) {

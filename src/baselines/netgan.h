@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "baselines/generator.h"
+#include "config/param_map.h"
 #include "nn/tensor.h"
 
 namespace tgsim::baselines {
@@ -12,6 +13,10 @@ struct NetGanConfig {
   int rank = 16;
   int epochs = 60;
   double learning_rate = 5e-2;
+
+  void DefineParams(config::ParamBinder& binder);
+  Status ApplyParams(const config::ParamMap& params);
+  static config::ParamSchema Schema();
 };
 
 /// NetGAN (Bojchevski et al., ICML'18), in the low-rank formulation of

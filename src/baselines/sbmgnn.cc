@@ -9,6 +9,15 @@
 
 namespace tgsim::baselines {
 
+void SbmGnnConfig::DefineParams(config::ParamBinder& binder) {
+  binder.Bind("hidden_dim", &hidden_dim, "GCN encoder hidden width");
+  binder.Bind("num_blocks", &num_blocks, "overlapping SBM blocks");
+  binder.Bind("epochs", &epochs, "training epochs per snapshot");
+  binder.Bind("learning_rate", &learning_rate, "Adam learning rate");
+}
+
+TGSIM_CONFIG_IMPLEMENT_PARAMS(SbmGnnConfig)
+
 SbmGnnGenerator::SbmGnnGenerator(SbmGnnConfig config) : config_(config) {}
 
 void SbmGnnGenerator::Fit(const graphs::TemporalGraph& observed, Rng& /*rng*/) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "baselines/generator.h"
+#include "config/param_map.h"
 #include "nn/tensor.h"
 
 namespace tgsim::baselines {
@@ -13,6 +14,10 @@ struct SbmGnnConfig {
   int num_blocks = 8;
   int epochs = 40;
   double learning_rate = 1e-2;
+
+  void DefineParams(config::ParamBinder& binder);
+  Status ApplyParams(const config::ParamMap& params);
+  static config::ParamSchema Schema();
 };
 
 /// SBMGNN (Mehta, Duke & Rai, ICML'19): stochastic blockmodels parameterized

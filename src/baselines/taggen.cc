@@ -5,6 +5,23 @@
 
 namespace tgsim::baselines {
 
+void TagGenConfig::DefineParams(config::ParamBinder& binder) {
+  binder.Bind("embedding_dim", &embedding_dim, "node/time embedding width");
+  binder.Bind("walk_length", &walk_length, "temporal walk length");
+  binder.Bind("walks_per_epoch", &walks_per_epoch,
+              "sampled walks per training epoch");
+  binder.Bind("epochs", &epochs, "training epochs");
+  binder.Bind("candidates_per_step", &candidates_per_step,
+              "candidate states scored per walk step");
+  binder.Bind("negatives_per_step", &negatives_per_step,
+              "negative candidates per walk step");
+  binder.Bind("time_window", &time_window,
+              "temporal walk window (|dt| <= w)");
+  binder.Bind("learning_rate", &learning_rate, "Adam learning rate");
+}
+
+TGSIM_CONFIG_IMPLEMENT_PARAMS(TagGenConfig)
+
 TagGenGenerator::TagGenGenerator(TagGenConfig config)
     : config_(config) {}
 

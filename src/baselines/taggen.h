@@ -6,6 +6,7 @@
 
 #include "baselines/generator.h"
 #include "baselines/walks.h"
+#include "config/param_map.h"
 #include "nn/layers.h"
 #include "nn/optim.h"
 
@@ -21,6 +22,10 @@ struct TagGenConfig {
   int negatives_per_step = 4;
   int time_window = 2;
   double learning_rate = 5e-3;
+
+  void DefineParams(config::ParamBinder& binder);
+  Status ApplyParams(const config::ParamMap& params);
+  static config::ParamSchema Schema();
 };
 
 /// TagGen (Zhou et al., KDD'20): learns to reproduce temporal random walks

@@ -27,6 +27,21 @@ nn::Var GumbelSoftmax(const nn::Var& logits, double tau, Rng& rng) {
 
 }  // namespace
 
+void TgganConfig::DefineParams(config::ParamBinder& binder) {
+  binder.Bind("embedding_dim", &embedding_dim, "node/time embedding width");
+  binder.Bind("latent_dim", &latent_dim, "generator latent noise width");
+  binder.Bind("hidden_dim", &hidden_dim, "generator/discriminator hidden width");
+  binder.Bind("walk_length", &walk_length, "generated walk length");
+  binder.Bind("batch_walks", &batch_walks, "walks per adversarial batch");
+  binder.Bind("iterations", &iterations, "adversarial training iterations");
+  binder.Bind("time_window", &time_window,
+              "bounded time-gap window (|dt| <= w)");
+  binder.Bind("learning_rate", &learning_rate, "Adam learning rate");
+  binder.Bind("gumbel_tau", &gumbel_tau, "Gumbel-softmax temperature");
+}
+
+TGSIM_CONFIG_IMPLEMENT_PARAMS(TgganConfig)
+
 TgganGenerator::TgganGenerator(TgganConfig config) : config_(config) {}
 
 TgganGenerator::~TgganGenerator() = default;

@@ -6,6 +6,7 @@
 
 #include "baselines/generator.h"
 #include "baselines/walks.h"
+#include "config/param_map.h"
 #include "nn/layers.h"
 #include "nn/optim.h"
 
@@ -21,6 +22,10 @@ struct TgganConfig {
   int time_window = 2;
   double learning_rate = 2e-3;
   double gumbel_tau = 0.75;
+
+  void DefineParams(config::ParamBinder& binder);
+  Status ApplyParams(const config::ParamMap& params);
+  static config::ParamSchema Schema();
 };
 
 /// TG-GAN (Zhang et al., WWW'21): adversarial generation of temporal random

@@ -5,6 +5,20 @@
 
 namespace tgsim::baselines {
 
+void TiggerConfig::DefineParams(config::ParamBinder& binder) {
+  binder.Bind("embedding_dim", &embedding_dim, "node/time embedding width");
+  binder.Bind("hidden_dim", &hidden_dim, "GRU hidden state width");
+  binder.Bind("walk_length", &walk_length, "temporal walk length");
+  binder.Bind("walks_per_epoch", &walks_per_epoch,
+              "sampled walks per training epoch");
+  binder.Bind("epochs", &epochs, "training epochs");
+  binder.Bind("time_window", &time_window,
+              "temporal walk window (gap classes span [-w, w])");
+  binder.Bind("learning_rate", &learning_rate, "Adam learning rate");
+}
+
+TGSIM_CONFIG_IMPLEMENT_PARAMS(TiggerConfig)
+
 TiggerGenerator::TiggerGenerator(TiggerConfig config) : config_(config) {}
 
 TiggerGenerator::~TiggerGenerator() = default;

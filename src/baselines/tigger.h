@@ -6,6 +6,7 @@
 
 #include "baselines/generator.h"
 #include "baselines/walks.h"
+#include "config/param_map.h"
 #include "nn/layers.h"
 #include "nn/optim.h"
 
@@ -19,6 +20,10 @@ struct TiggerConfig {
   int epochs = 12;
   int time_window = 2;
   double learning_rate = 5e-3;
+
+  void DefineParams(config::ParamBinder& binder);
+  Status ApplyParams(const config::ParamMap& params);
+  static config::ParamSchema Schema();
 };
 
 /// TIGGER (Gupta et al., AAAI'22): scalable autoregressive temporal walk

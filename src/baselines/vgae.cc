@@ -21,6 +21,18 @@ nn::Tensor SigmoidTensor(const nn::Tensor& x) {
 
 }  // namespace
 
+void VgaeConfig::DefineParams(config::ParamBinder& binder) {
+  binder.Bind("hidden_dim", &hidden_dim, "GCN encoder hidden width");
+  binder.Bind("latent_dim", &latent_dim, "latent code width");
+  binder.Bind("epochs", &epochs, "training epochs per snapshot");
+  binder.Bind("learning_rate", &learning_rate, "Adam learning rate");
+  binder.Bind("kl_weight", &kl_weight, "KL term weight");
+  binder.Bind("refine_rounds", &refine_rounds,
+              "Graphite decoder refinement rounds (Graphite only)");
+}
+
+TGSIM_CONFIG_IMPLEMENT_PARAMS(VgaeConfig)
+
 VgaeGenerator::VgaeGenerator(VgaeConfig config) : config_(config) {}
 
 void VgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& /*rng*/) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "baselines/generator.h"
+#include "config/param_map.h"
 #include "nn/tensor.h"
 
 namespace tgsim::baselines {
@@ -16,6 +17,10 @@ struct VgaeConfig {
   double kl_weight = 1e-2;
   /// Graphite decoder refinement rounds (used by GraphiteGenerator only).
   int refine_rounds = 1;
+
+  void DefineParams(config::ParamBinder& binder);
+  Status ApplyParams(const config::ParamMap& params);
+  static config::ParamSchema Schema();
 };
 
 /// VGAE (Kipf & Welling, 2016): per-snapshot variational graph autoencoder

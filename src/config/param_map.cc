@@ -1,0 +1,320 @@
+#include "config/param_map.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+
+namespace tgsim::config {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool HasWhitespace(const std::string& s) {
+  return std::any_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+Status TypeError(const std::string& key, const std::string& value,
+                 const char* type) {
+  return Status::InvalidArgument("parameter '" + key + "': cannot parse '" +
+                                 value + "' as " + type);
+}
+
+}  // namespace
+
+std::string ParamTypeName(ParamType type) {
+  switch (type) {
+    case ParamType::kBool: return "bool";
+    case ParamType::kInt: return "int";
+    case ParamType::kInt64: return "int64";
+    case ParamType::kDouble: return "double";
+    case ParamType::kString: return "string";
+  }
+  return "unknown";
+}
+
+const ParamSpec* ParamSchema::Find(const std::string& key) const {
+  for (const ParamSpec& spec : specs)
+    if (spec.key == key) return &spec;
+  return nullptr;
+}
+
+std::vector<std::string> ParamSchema::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(specs.size());
+  for (const ParamSpec& spec : specs) keys.push_back(spec.key);
+  return keys;
+}
+
+std::string ParamSchema::Describe() const {
+  size_t width = 0;
+  std::vector<std::string> heads;
+  heads.reserve(specs.size());
+  for (const ParamSpec& spec : specs) {
+    heads.push_back(spec.key + " (" + ParamTypeName(spec.type) +
+                    ", default=" + spec.default_value + ")");
+    width = std::max(width, heads.back().size());
+  }
+  std::string out;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    out += "  " + heads[i];
+    out.append(width - heads[i].size() + 2, ' ');
+    out += specs[i].help + "\n";
+  }
+  return out;
+}
+
+Result<ParamMap> ParamMap::FromTokens(const std::vector<std::string>& tokens) {
+  ParamMap map;
+  for (const std::string& token : tokens) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos)
+      return Status::InvalidArgument("expected key=value, got '" + token +
+                                     "'");
+    std::string key = token.substr(0, eq);
+    if (key.empty() || HasWhitespace(key))
+      return Status::InvalidArgument("bad parameter key in '" + token + "'");
+    Status s = map.Set(key, token.substr(eq + 1));
+    if (!s.ok()) return s;
+  }
+  return map;
+}
+
+Result<ParamMap> ParamMap::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open())
+    return Status::IoError("cannot open config file: " + path);
+  ParamMap map;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      return Status::InvalidArgument("expected key = value at line " +
+                                     std::to_string(line_no) + " of " + path);
+    std::string key = Trim(line.substr(0, eq));
+    std::string value = Trim(line.substr(eq + 1));
+    if (key.empty() || HasWhitespace(key))
+      return Status::InvalidArgument("bad parameter key at line " +
+                                     std::to_string(line_no) + " of " + path);
+    Status s = map.Set(key, std::move(value));
+    if (!s.ok())
+      return Status::InvalidArgument(s.message() + " at line " +
+                                     std::to_string(line_no) + " of " + path);
+  }
+  return map;
+}
+
+Status ParamMap::Set(const std::string& key, std::string value) {
+  if (Has(key))
+    return Status::InvalidArgument("duplicate parameter '" + key + "'");
+  entries_.emplace_back(key, std::move(value));
+  return Status::Ok();
+}
+
+void ParamMap::Override(const std::string& key, std::string value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(value));
+}
+
+bool ParamMap::Has(const std::string& key) const {
+  return FindRaw(key) != nullptr;
+}
+
+const std::string* ParamMap::FindRaw(const std::string& key) const {
+  for (const auto& [k, v] : entries_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Result<bool> ParamMap::GetBool(const std::string& key) const {
+  const std::string* raw = FindRaw(key);
+  if (raw == nullptr)
+    return Status::NotFound("parameter '" + key + "' is not set");
+  const std::string v = Lower(Trim(*raw));
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return TypeError(key, *raw, "bool");
+}
+
+Result<int64_t> ParamMap::GetInt64(const std::string& key) const {
+  const std::string* raw = FindRaw(key);
+  if (raw == nullptr)
+    return Status::NotFound("parameter '" + key + "' is not set");
+  const std::string v = Trim(*raw);
+  if (v.empty()) return TypeError(key, *raw, "int64");
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (errno == ERANGE || end != v.c_str() + v.size())
+    return TypeError(key, *raw, "int64");
+  return static_cast<int64_t>(parsed);
+}
+
+Result<int> ParamMap::GetInt(const std::string& key) const {
+  Result<int64_t> wide = GetInt64(key);
+  if (!wide.ok()) {
+    if (wide.status().code() == StatusCode::kNotFound) return wide.status();
+    return TypeError(key, *FindRaw(key), "int");
+  }
+  if (wide.value() < std::numeric_limits<int>::min() ||
+      wide.value() > std::numeric_limits<int>::max())
+    return TypeError(key, *FindRaw(key), "int");
+  return static_cast<int>(wide.value());
+}
+
+Result<double> ParamMap::GetDouble(const std::string& key) const {
+  const std::string* raw = FindRaw(key);
+  if (raw == nullptr)
+    return Status::NotFound("parameter '" + key + "' is not set");
+  const std::string v = Trim(*raw);
+  if (v.empty()) return TypeError(key, *raw, "double");
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(v.c_str(), &end);
+  if (errno == ERANGE || end != v.c_str() + v.size())
+    return TypeError(key, *raw, "double");
+  return parsed;
+}
+
+Result<std::string> ParamMap::GetString(const std::string& key) const {
+  const std::string* raw = FindRaw(key);
+  if (raw == nullptr)
+    return Status::NotFound("parameter '" + key + "' is not set");
+  return *raw;
+}
+
+std::vector<std::string> ParamMap::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) keys.push_back(k);
+  return keys;
+}
+
+std::string ParamMap::ToString() const {
+  std::string out;
+  for (const auto& [k, v] : entries_) {
+    if (!out.empty()) out += ' ';
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+std::string NearestName(const std::string& query,
+                        const std::vector<std::string>& candidates) {
+  // Classic two-row Levenshtein; inputs are short method/parameter names.
+  auto distance = [](const std::string& a, const std::string& b) {
+    std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      cur[0] = i;
+      for (size_t j = 1; j <= b.size(); ++j) {
+        size_t sub = prev[j - 1] +
+                     (std::tolower(static_cast<unsigned char>(a[i - 1])) !=
+                      std::tolower(static_cast<unsigned char>(b[j - 1])));
+        cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+      }
+      std::swap(prev, cur);
+    }
+    return prev[b.size()];
+  };
+  std::string best;
+  size_t best_distance = 4;  // Suggest only within edit distance 3.
+  for (const std::string& candidate : candidates) {
+    size_t d = distance(query, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+template <typename T, typename Getter>
+void ParamBinder::BindImpl(const std::string& key, T* field, ParamType type,
+                           std::string default_value, const std::string& help,
+                           Getter getter) {
+  schema_.specs.push_back(
+      {key, type, std::move(default_value), help});
+  if (params_ == nullptr || !params_->Has(key)) return;
+  Result<T> parsed = getter(key);
+  if (!parsed.ok()) {
+    if (first_error_.ok()) first_error_ = parsed.status();
+    return;
+  }
+  *field = std::move(parsed).value();
+}
+
+void ParamBinder::Bind(const std::string& key, bool* field,
+                       const std::string& help) {
+  BindImpl(key, field, ParamType::kBool, *field ? "true" : "false", help,
+           [this](const std::string& k) { return params_->GetBool(k); });
+}
+
+void ParamBinder::Bind(const std::string& key, int* field,
+                       const std::string& help) {
+  BindImpl(key, field, ParamType::kInt, std::to_string(*field), help,
+           [this](const std::string& k) { return params_->GetInt(k); });
+}
+
+void ParamBinder::Bind(const std::string& key, int64_t* field,
+                       const std::string& help) {
+  BindImpl(key, field, ParamType::kInt64, std::to_string(*field), help,
+           [this](const std::string& k) { return params_->GetInt64(k); });
+}
+
+void ParamBinder::Bind(const std::string& key, double* field,
+                       const std::string& help) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", *field);
+  BindImpl(key, field, ParamType::kDouble, buf, help,
+           [this](const std::string& k) { return params_->GetDouble(k); });
+}
+
+void ParamBinder::Bind(const std::string& key, std::string* field,
+                       const std::string& help) {
+  BindImpl(key, field, ParamType::kString, *field, help,
+           [this](const std::string& k) { return params_->GetString(k); });
+}
+
+Status ParamBinder::Finish() const {
+  if (!first_error_.ok()) return first_error_;
+  if (params_ == nullptr) return Status::Ok();
+  const std::vector<std::string> known = schema_.Keys();
+  for (const std::string& key : params_->Keys()) {
+    if (schema_.Find(key) != nullptr) continue;
+    std::string message = "unknown parameter '" + key + "'";
+    std::string suggestion = NearestName(key, known);
+    if (!suggestion.empty()) message += "; did you mean '" + suggestion + "'?";
+    return Status::InvalidArgument(message);
+  }
+  return Status::Ok();
+}
+
+}  // namespace tgsim::config

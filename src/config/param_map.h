@@ -1,0 +1,163 @@
+#ifndef TGSIM_CONFIG_PARAM_MAP_H_
+#define TGSIM_CONFIG_PARAM_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+/// Typed string-keyed parameter surface (common-tier; see ROADMAP layering:
+/// common -> config -> everything else). A ParamMap carries raw `key=value`
+/// assignments parsed from CLI tokens or a `.cfg` file; ParamBinder applies
+/// them onto a config struct's fields with type checking, unknown-key
+/// detection and schema introspection, so every generator hyper-parameter is
+/// settable without recompiling (`tgsim generate --param epochs=5 ...`).
+
+namespace tgsim::config {
+
+/// Value types a parameter can bind to.
+enum class ParamType { kBool, kInt, kInt64, kDouble, kString };
+
+/// Lower-case type name ("bool", "int", "int64", "double", "string").
+std::string ParamTypeName(ParamType type);
+
+/// One tunable parameter of a config struct: name, type, rendered default
+/// and a one-line help string.
+struct ParamSpec {
+  std::string key;
+  ParamType type = ParamType::kString;
+  std::string default_value;
+  std::string help;
+};
+
+/// Ordered parameter schema of one config struct / method.
+struct ParamSchema {
+  std::vector<ParamSpec> specs;
+
+  const ParamSpec* Find(const std::string& key) const;
+  std::vector<std::string> Keys() const;
+  bool empty() const { return specs.empty(); }
+
+  /// Multi-line rendering: one `  key (type, default=..)  help` row per
+  /// parameter. Empty string for an empty schema.
+  std::string Describe() const;
+};
+
+/// An ordered set of raw `key=value` assignments with unique keys. Values
+/// stay strings until a typed getter (or a ParamBinder) parses them, so a
+/// ParamMap round-trips exactly through ToString()/FromTokens().
+class ParamMap {
+ public:
+  ParamMap() = default;
+
+  /// Parses `key=value` tokens (the CLI `--param` form). Rejects tokens
+  /// without '=', empty keys, keys with whitespace, and duplicate keys.
+  static Result<ParamMap> FromTokens(const std::vector<std::string>& tokens);
+
+  /// Parses a simple config file: one `key = value` assignment per line,
+  /// blank lines and lines starting with '#' ignored, trailing `# comment`
+  /// stripped. Errors carry the offending line number.
+  static Result<ParamMap> FromFile(const std::string& path);
+
+  /// Adds an assignment; duplicate keys are an InvalidArgument error.
+  Status Set(const std::string& key, std::string value);
+
+  /// Adds or replaces an assignment (used for preset / file / CLI layering,
+  /// where later sources win).
+  void Override(const std::string& key, std::string value);
+
+  bool Has(const std::string& key) const;
+  /// Raw value, or nullptr if the key is absent.
+  const std::string* FindRaw(const std::string& key) const;
+
+  /// Typed getters: NotFound if the key is absent, InvalidArgument if the
+  /// raw value does not parse as the requested type (bools accept
+  /// true/false/1/0/yes/no/on/off, case-insensitive).
+  Result<bool> GetBool(const std::string& key) const;
+  Result<int> GetInt(const std::string& key) const;
+  Result<int64_t> GetInt64(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+
+  /// Keys in insertion order.
+  std::vector<std::string> Keys() const;
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Space-separated `key=value` rendering; FromTokens on the split result
+  /// reproduces the map.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Nearest candidate by edit distance (for "did you mean ...?" messages), or
+/// "" when nothing is within distance 3.
+std::string NearestName(const std::string& query,
+                        const std::vector<std::string>& candidates);
+
+/// Applies a ParamMap onto config-struct fields and/or collects the schema.
+///
+/// A config struct implements one method,
+///
+///   void DefineParams(config::ParamBinder& binder) {
+///     binder.Bind("epochs", &epochs, "training epochs");
+///     ...
+///   }
+///
+/// and TGSIM_CONFIG_IMPLEMENT_PARAMS(Type) derives ApplyParams()/Schema()
+/// from it. In apply mode (non-null map) each Bind parses and assigns the
+/// matching value; Finish() returns the first type error, or an
+/// unknown-parameter error (with a nearest-key suggestion) if the map holds
+/// keys no Bind consumed. In describe mode (null map) the Binds record
+/// ParamSpecs whose defaults are rendered from the bound fields.
+class ParamBinder {
+ public:
+  explicit ParamBinder(const ParamMap* params) : params_(params) {}
+
+  void Bind(const std::string& key, bool* field, const std::string& help);
+  void Bind(const std::string& key, int* field, const std::string& help);
+  void Bind(const std::string& key, int64_t* field, const std::string& help);
+  void Bind(const std::string& key, double* field, const std::string& help);
+  void Bind(const std::string& key, std::string* field,
+            const std::string& help);
+
+  /// Apply-mode verdict: first parse error, else unknown-key check.
+  Status Finish() const;
+
+  /// Describe-mode result: the collected schema.
+  ParamSchema TakeSchema() { return std::move(schema_); }
+
+ private:
+  template <typename T, typename Getter>
+  void BindImpl(const std::string& key, T* field, ParamType type,
+                std::string default_value, const std::string& help,
+                Getter getter);
+
+  const ParamMap* params_;
+  ParamSchema schema_;
+  Status first_error_;
+};
+
+}  // namespace tgsim::config
+
+/// Generates the out-of-line ApplyParams()/Schema() pair for a config
+/// struct that declares them and implements DefineParams(ParamBinder&).
+#define TGSIM_CONFIG_IMPLEMENT_PARAMS(ConfigType)                       \
+  ::tgsim::Status ConfigType::ApplyParams(                              \
+      const ::tgsim::config::ParamMap& params) {                        \
+    ::tgsim::config::ParamBinder binder(&params);                       \
+    DefineParams(binder);                                               \
+    return binder.Finish();                                             \
+  }                                                                     \
+  ::tgsim::config::ParamSchema ConfigType::Schema() {                   \
+    ConfigType defaults;                                                \
+    ::tgsim::config::ParamBinder binder(nullptr);                       \
+    defaults.DefineParams(binder);                                      \
+    return binder.TakeSchema();                                         \
+  }
+
+#endif  // TGSIM_CONFIG_PARAM_MAP_H_

@@ -35,6 +35,38 @@ TgaeConfig TgaeConfig::ForVariant(TgaeVariant v) {
   return c;
 }
 
+void TgaeConfig::DefineParams(config::ParamBinder& binder) {
+  binder.Bind("embedding_dim", &embedding_dim,
+              "d_in: node/time input feature dimension");
+  binder.Bind("hidden_dim", &hidden_dim,
+              "d_enc: hidden dimension after temporal graph attention");
+  binder.Bind("num_heads", &num_heads, "attention heads (Eq. 3)");
+  binder.Bind("radius", &radius, "k: ego-graph radius / stacked TGAT layers");
+  binder.Bind("neighbor_threshold", &neighbor_threshold,
+              "th: neighbor truncation threshold (0 disables, 1 = chains)");
+  binder.Bind("time_window", &time_window,
+              "t_N: temporal neighborhood radius for sampling/encoding");
+  binder.Bind("generation_time_window", &generation_time_window,
+              "t_N of the generation-time categorical support");
+  binder.Bind("generation_ring_weight", &generation_ring_weight,
+              "temporal-proximity prior on window-ring support neighbors");
+  binder.Bind("batch_centers", &batch_centers,
+              "n_s: sampled initial temporal nodes per step (Eq. 7)");
+  binder.Bind("epochs", &epochs, "training epochs");
+  binder.Bind("learning_rate", &learning_rate, "Adam learning rate");
+  binder.Bind("kl_weight", &kl_weight, "KL term weight (Eq. 7)");
+  binder.Bind("degree_weighted_sampling", &degree_weighted_sampling,
+              "Eq. 2 degree-proportional initial sampling (false = TGAE-n)");
+  binder.Bind("probabilistic", &probabilistic,
+              "variational decoder (false = TGAE-p)");
+  binder.Bind("tie_decoder", &tie_decoder,
+              "tie W_dec to the node embedding table");
+  binder.Bind("generation_chunk", &generation_chunk,
+              "center-batch chunk size during generation");
+}
+
+TGSIM_CONFIG_IMPLEMENT_PARAMS(TgaeConfig)
+
 TgaeGenerator::TgaeGenerator(TgaeConfig config) : config_(config) {}
 
 TgaeGenerator::~TgaeGenerator() = default;

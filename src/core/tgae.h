@@ -7,6 +7,7 @@
 
 #include "baselines/generator.h"
 #include "common/status.h"
+#include "config/param_map.h"
 #include "core/tgat_encoder.h"
 #include "graph/ego_sampler.h"
 #include "nn/layers.h"
@@ -69,6 +70,12 @@ struct TgaeConfig {
 
   /// Canonical configuration of an ablation variant.
   static TgaeConfig ForVariant(TgaeVariant v);
+
+  /// Typed parameter surface (config/param_map.h): binds every tunable
+  /// field except display_name/variant, which the registry owns.
+  void DefineParams(config::ParamBinder& binder);
+  Status ApplyParams(const config::ParamMap& params);
+  static config::ParamSchema Schema();
 };
 
 /// Temporal Graph Autoencoder — the paper's contribution.

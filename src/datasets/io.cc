@@ -27,8 +27,9 @@ Result<graphs::TemporalGraph> LoadEdgeList(const std::string& path) {
     if (line.empty() || line[0] == '%') continue;
     if (line[0] == '#') {
       std::istringstream hs(line.substr(1));
-      if (!(hs >> header_nodes >> header_timestamps) || header_nodes <= 0 ||
-          header_timestamps <= 0 ||
+      std::string trailing;
+      if (!(hs >> header_nodes >> header_timestamps) || (hs >> trailing) ||
+          header_nodes <= 0 || header_timestamps <= 0 ||
           header_nodes > std::numeric_limits<int>::max() ||
           header_timestamps > std::numeric_limits<int>::max())
         return Status::InvalidArgument("malformed header at line " +
@@ -41,9 +42,27 @@ Result<graphs::TemporalGraph> LoadEdgeList(const std::string& path) {
     if (!(ls >> u >> v >> t))
       return Status::InvalidArgument("malformed edge at line " +
                                      std::to_string(line_no) + " of " + path);
+    std::string trailing;
+    if (ls >> trailing)
+      return Status::InvalidArgument(
+          "trailing token '" + trailing + "' after edge at line " +
+          std::to_string(line_no) + " of " + path +
+          " (expected exactly 'u v t')");
     if (u < 0 || v < 0)
       return Status::InvalidArgument("negative node id at line " +
-                                     std::to_string(line_no));
+                                     std::to_string(line_no) + " of " + path);
+    if (t < 0)
+      return Status::InvalidArgument("negative timestamp at line " +
+                                     std::to_string(line_no) + " of " + path);
+    // With a header already seen (the documented layout puts it first),
+    // bound violations are reported against the offending line.
+    if (header_nodes > 0 && (u >= header_nodes || v >= header_nodes))
+      return Status::InvalidArgument("node id exceeds header count at line " +
+                                     std::to_string(line_no) + " of " + path);
+    if (header_timestamps > 0 && t >= header_timestamps)
+      return Status::InvalidArgument(
+          "timestamp exceeds header count at line " +
+          std::to_string(line_no) + " of " + path);
     edges.push_back({static_cast<graphs::NodeId>(u),
                      static_cast<graphs::NodeId>(v),
                      static_cast<graphs::Timestamp>(t)});
@@ -64,11 +83,10 @@ Result<graphs::TemporalGraph> LoadEdgeList(const std::string& path) {
 
   // Header files store timestamps as-is (SaveEdgeList output round-trips
   // exactly); headerless external files are re-based to start at zero.
+  // Negative timestamps were already rejected per line.
   if (!has_header) {
     for (auto& e : edges)
       e.t = static_cast<graphs::Timestamp>(e.t - min_t);
-  } else if (min_t < 0) {
-    return Status::InvalidArgument("negative timestamp with header");
   }
 
   int num_nodes = has_header ? static_cast<int>(header_nodes)
@@ -76,9 +94,10 @@ Result<graphs::TemporalGraph> LoadEdgeList(const std::string& path) {
   int num_ts = has_header ? static_cast<int>(header_timestamps)
                           : static_cast<int>(max_t - min_t + 1);
   if (max_node >= num_nodes)
-    return Status::InvalidArgument("node id exceeds header count");
+    return Status::InvalidArgument("node id exceeds header count in " + path);
   if ((has_header ? max_t : max_t - min_t) >= num_ts)
-    return Status::InvalidArgument("timestamp exceeds header count");
+    return Status::InvalidArgument("timestamp exceeds header count in " +
+                                   path);
   return graphs::TemporalGraph::FromEdges(num_nodes, num_ts,
                                           std::move(edges));
 }

@@ -11,9 +11,13 @@ namespace tgsim::datasets {
 /// Loads a temporal graph from a whitespace-separated edge-list file.
 ///
 /// Format: an optional header line `# <num_nodes> <num_timestamps>`,
-/// followed by one `u v t` triple per line. Lines starting with `%` or
-/// empty lines are skipped. Without a header, node/timestamp counts are
-/// inferred as (max id + 1). Timestamps are re-based to start at 0.
+/// followed by exactly one `u v t` triple per line. Lines starting with
+/// `%` or empty lines are skipped. Without a header, node/timestamp counts
+/// are inferred as (max id + 1) and timestamps are re-based to start at 0.
+///
+/// Malformed input is rejected with the offending line number and path in
+/// the Status message: non-numeric or trailing tokens, negative node ids,
+/// negative timestamps, and ids/timestamps exceeding the header counts.
 Result<graphs::TemporalGraph> LoadEdgeList(const std::string& path);
 
 /// Writes the graph in the same format (with header) so that

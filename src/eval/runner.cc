@@ -1,6 +1,7 @@
 #include "eval/runner.h"
 
 #include <cstdio>
+#include <utility>
 
 #include "common/memory_tracker.h"
 #include "common/stopwatch.h"
@@ -9,25 +10,29 @@
 
 namespace tgsim::eval {
 
-RunResult RunMethod(const std::string& method,
-                    const graphs::TemporalGraph& observed,
-                    const RunOptions& options) {
-  Rng rng(options.seed);
-  return RunMethod(method, observed, options, rng);
+namespace {
+
+/// Resolves the registry parameters of one run: explicit method_params win,
+/// options.preset fills in the preset when none is given.
+Result<std::unique_ptr<baselines::TemporalGraphGenerator>> BuildGenerator(
+    const std::string& method, const RunOptions& options) {
+  config::ParamMap params = options.method_params;
+  if (!params.Has("preset")) params.Override("preset", options.preset);
+  return MakeGenerator(method, params);
 }
 
-RunResult RunMethod(const std::string& method,
-                    const graphs::TemporalGraph& observed,
-                    const RunOptions& options, Rng& rng) {
+/// The fit+generate+score body shared by RunMethod and RunCells, applied to
+/// an already-constructed generator.
+RunResult RunConstructed(baselines::TemporalGraphGenerator& generator,
+                         const std::string& method,
+                         const graphs::TemporalGraph& observed,
+                         const RunOptions& options, Rng& rng) {
   RunResult result;
   result.method = method;
 
-  std::unique_ptr<baselines::TemporalGraphGenerator> generator =
-      MakeGenerator(method, options.effort);
-
   if (options.paper_scale.has_value()) {
     const datasets::DatasetSpec& spec = *options.paper_scale;
-    int64_t estimate = generator->EstimatePaperMemoryBytes(
+    int64_t estimate = generator.EstimatePaperMemoryBytes(
         spec.num_nodes, spec.num_edges, spec.num_timestamps);
     if (estimate > options.memory_budget_bytes) {
       result.oom = true;
@@ -38,11 +43,11 @@ RunResult RunMethod(const std::string& method,
   MemoryUsageScope mem_scope;
 
   Stopwatch fit_watch;
-  generator->Fit(observed, rng);
+  generator.Fit(observed, rng);
   result.fit_seconds = fit_watch.ElapsedSeconds();
 
   Stopwatch gen_watch;
-  graphs::TemporalGraph generated = generator->Generate(rng);
+  graphs::TemporalGraph generated = generator.Generate(rng);
   result.generate_seconds = gen_watch.ElapsedSeconds();
   result.peak_mib = mem_scope.PeakMiB();
 
@@ -58,11 +63,44 @@ RunResult RunMethod(const std::string& method,
   return result;
 }
 
-std::vector<RunResult> RunCells(const std::vector<RunCell>& cells,
-                                uint64_t master_seed) {
+}  // namespace
+
+Result<RunResult> RunMethod(const std::string& method,
+                            const graphs::TemporalGraph& observed,
+                            const RunOptions& options) {
+  Rng rng(options.seed);
+  return RunMethod(method, observed, options, rng);
+}
+
+Result<RunResult> RunMethod(const std::string& method,
+                            const graphs::TemporalGraph& observed,
+                            const RunOptions& options, Rng& rng) {
+  auto generator = BuildGenerator(method, options);
+  if (!generator.ok()) return generator.status();
+  return RunConstructed(*generator.value(), method, observed, options, rng);
+}
+
+Result<std::vector<RunResult>> RunCells(const std::vector<RunCell>& cells,
+                                        uint64_t master_seed) {
   const int64_t n = static_cast<int64_t>(cells.size());
   std::vector<RunResult> results(cells.size());
   if (n == 0) return results;
+
+  // Construct every generator serially up front: the whole matrix is
+  // validated through the registry before any cell spends time fitting,
+  // and the parallel region below never touches the registration table.
+  std::vector<std::unique_ptr<baselines::TemporalGraphGenerator>> generators;
+  generators.reserve(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    TGSIM_CHECK(cells[i].observed != nullptr);
+    auto generator = BuildGenerator(cells[i].method, cells[i].options);
+    if (!generator.ok())
+      return Status(generator.status().code(),
+                    "cell " + std::to_string(i) + ": " +
+                        generator.status().message());
+    generators.push_back(std::move(generator).value());
+  }
+
   // Split the master stream up front (serial, order-fixed), then run cells
   // concurrently with grain 1: cell i always consumes stream i and writes
   // slot i, so the result vector is bit-identical to the serial loop.
@@ -70,10 +108,9 @@ std::vector<RunResult> RunCells(const std::vector<RunCell>& cells,
   parallel::ParallelFor(0, n, 1, [&](int64_t b, int64_t e) {
     for (int64_t i = b; i < e; ++i) {
       const RunCell& cell = cells[static_cast<size_t>(i)];
-      TGSIM_CHECK(cell.observed != nullptr);
-      results[static_cast<size_t>(i)] =
-          RunMethod(cell.method, *cell.observed, cell.options,
-                    rngs[static_cast<size_t>(i)]);
+      results[static_cast<size_t>(i)] = RunConstructed(
+          *generators[static_cast<size_t>(i)], cell.method, *cell.observed,
+          cell.options, rngs[static_cast<size_t>(i)]);
     }
   });
   return results;

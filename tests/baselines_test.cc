@@ -8,6 +8,8 @@
 #include "baselines/tigger.h"
 #include "baselines/walks.h"
 #include "datasets/synthetic.h"
+#include "common/check.h"
+#include "config/param_map.h"
 #include "eval/registry.h"
 #include "gtest/gtest.h"
 #include "metrics/graph_stats.h"
@@ -21,6 +23,15 @@ graphs::TemporalGraph Observed() {
   return *kGraph;
 }
 
+/// Registry construction with the smoke-test preset.
+std::unique_ptr<TemporalGraphGenerator> MakeFast(const std::string& name) {
+  config::ParamMap params;
+  params.Override("preset", "fast");
+  auto gen = eval::MakeGenerator(name, params);
+  TGSIM_CHECK(gen.ok());
+  return std::move(gen).value();
+}
+
 // ---------------------------------------------------------------------------
 // Generator contract, parameterized over every method in the registry.
 // ---------------------------------------------------------------------------
@@ -29,7 +40,7 @@ class GeneratorContractTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(GeneratorContractTest, FitGenerateMatchesObservedShape) {
   graphs::TemporalGraph observed = Observed();
-  auto gen = eval::MakeGenerator(GetParam(), eval::Effort::kFast);
+  auto gen = MakeFast(GetParam());
   ASSERT_NE(gen, nullptr);
   EXPECT_EQ(gen->name(), GetParam());
 
@@ -53,7 +64,7 @@ TEST_P(GeneratorContractTest, FitGenerateMatchesObservedShape) {
 TEST_P(GeneratorContractTest, DeterministicForSameSeed) {
   graphs::TemporalGraph observed = Observed();
   auto make = [&](uint64_t seed) {
-    auto gen = eval::MakeGenerator(GetParam(), eval::Effort::kFast);
+    auto gen = MakeFast(GetParam());
     Rng rng(seed);
     gen->Fit(observed, rng);
     return gen->Generate(rng);
@@ -66,7 +77,7 @@ TEST_P(GeneratorContractTest, DeterministicForSameSeed) {
 }
 
 TEST_P(GeneratorContractTest, PaperMemoryModelIsMonotoneInScale) {
-  auto gen = eval::MakeGenerator(GetParam(), eval::Effort::kFast);
+  auto gen = MakeFast(GetParam());
   int64_t small = gen->EstimatePaperMemoryBytes(1000, 10000, 20);
   int64_t large = gen->EstimatePaperMemoryBytes(100000, 1000000, 200);
   EXPECT_GE(large, small);

@@ -1,0 +1,256 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "config/param_map.h"
+#include "gtest/gtest.h"
+
+namespace tgsim::config {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// ParamMap parsing.
+// ---------------------------------------------------------------------------
+
+TEST(ParamMapTest, ParsesTokensAndRoundTripsThroughToString) {
+  Result<ParamMap> map = ParamMap::FromTokens(
+      {"epochs=5", "learning_rate=0.01", "name=TGAE", "flag=true"});
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_EQ(map.value().size(), 4u);
+  EXPECT_EQ(map.value().ToString(),
+            "epochs=5 learning_rate=0.01 name=TGAE flag=true");
+
+  // Round trip: parse the rendering again.
+  std::vector<std::string> tokens = {"epochs=5", "learning_rate=0.01",
+                                     "name=TGAE", "flag=true"};
+  Result<ParamMap> again = ParamMap::FromTokens(tokens);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().ToString(), map.value().ToString());
+}
+
+TEST(ParamMapTest, KeysKeepInsertionOrder) {
+  Result<ParamMap> map = ParamMap::FromTokens({"z=1", "a=2", "m=3"});
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map.value().Keys(), (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(ParamMapTest, RejectsBadTokens) {
+  EXPECT_FALSE(ParamMap::FromTokens({"no-equals"}).ok());
+  EXPECT_FALSE(ParamMap::FromTokens({"=value"}).ok());
+  EXPECT_FALSE(ParamMap::FromTokens({"bad key=1"}).ok());
+}
+
+TEST(ParamMapTest, RejectsDuplicateKeys) {
+  Result<ParamMap> map = ParamMap::FromTokens({"epochs=5", "epochs=6"});
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(map.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ParamMapTest, EmptyValueIsAllowedForStrings) {
+  Result<ParamMap> map = ParamMap::FromTokens({"note="});
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map.value().GetString("note").value(), "");
+}
+
+TEST(ParamMapTest, OverrideReplacesAndAppends) {
+  ParamMap map;
+  ASSERT_TRUE(map.Set("a", "1").ok());
+  map.Override("a", "2");
+  map.Override("b", "3");
+  EXPECT_EQ(map.ToString(), "a=2 b=3");
+  EXPECT_FALSE(map.Set("a", "9").ok());  // Set still rejects duplicates.
+}
+
+// ---------------------------------------------------------------------------
+// Typed getters.
+// ---------------------------------------------------------------------------
+
+TEST(ParamMapTest, TypedGettersParse) {
+  Result<ParamMap> map = ParamMap::FromTokens(
+      {"i=42", "neg=-7", "d=2.5", "dexp=1e-3", "b1=true", "b0=off",
+       "s=hello", "big=3000000000"});
+  ASSERT_TRUE(map.ok());
+  const ParamMap& m = map.value();
+  EXPECT_EQ(m.GetInt("i").value(), 42);
+  EXPECT_EQ(m.GetInt("neg").value(), -7);
+  EXPECT_DOUBLE_EQ(m.GetDouble("d").value(), 2.5);
+  EXPECT_DOUBLE_EQ(m.GetDouble("dexp").value(), 1e-3);
+  EXPECT_TRUE(m.GetBool("b1").value());
+  EXPECT_FALSE(m.GetBool("b0").value());
+  EXPECT_EQ(m.GetString("s").value(), "hello");
+  EXPECT_EQ(m.GetInt64("big").value(), 3000000000LL);
+  // An int64 beyond int range is an int error but an int64 success.
+  EXPECT_FALSE(m.GetInt("big").ok());
+}
+
+TEST(ParamMapTest, TypedGettersRejectGarbage) {
+  Result<ParamMap> map =
+      ParamMap::FromTokens({"i=12x", "d=zzz", "b=maybe", "e="});
+  ASSERT_TRUE(map.ok());
+  const ParamMap& m = map.value();
+  EXPECT_EQ(m.GetInt("i").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(m.GetDouble("d").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(m.GetBool("b").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(m.GetInt("e").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(m.GetInt("missing").status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Config files.
+// ---------------------------------------------------------------------------
+
+TEST(ParamMapTest, ParsesConfigFileWithCommentsAndSpacing) {
+  std::string path = TempPath("params.cfg");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("# fast smoke profile\n"
+        "epochs = 5\n"
+        "\n"
+        "learning_rate=0.02   # inline comment\n"
+        "  batch_centers =  16\n",
+        f);
+  fclose(f);
+  Result<ParamMap> map = ParamMap::FromFile(path);
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_EQ(map.value().GetInt("epochs").value(), 5);
+  EXPECT_DOUBLE_EQ(map.value().GetDouble("learning_rate").value(), 0.02);
+  EXPECT_EQ(map.value().GetInt("batch_centers").value(), 16);
+}
+
+TEST(ParamMapTest, ConfigFileErrorsCarryLineNumbers) {
+  std::string path = TempPath("bad.cfg");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("epochs = 5\nnot an assignment\n", f);
+  fclose(f);
+  Result<ParamMap> map = ParamMap::FromFile(path);
+  ASSERT_FALSE(map.ok());
+  EXPECT_NE(map.status().message().find("line 2"), std::string::npos);
+
+  FILE* g = fopen(path.c_str(), "w");
+  fputs("epochs = 5\nepochs = 6\n", g);
+  fclose(g);
+  Result<ParamMap> dup = ParamMap::FromFile(path);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParamMapTest, MissingConfigFileIsIoError) {
+  Result<ParamMap> map = ParamMap::FromFile("/nonexistent/params.cfg");
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// ParamBinder: apply + describe modes.
+// ---------------------------------------------------------------------------
+
+struct DemoConfig {
+  int epochs = 50;
+  double rate = 0.01;
+  bool verbose = false;
+  int64_t budget = 1LL << 40;
+  std::string label = "demo";
+
+  void DefineParams(ParamBinder& binder) {
+    binder.Bind("epochs", &epochs, "training epochs");
+    binder.Bind("rate", &rate, "learning rate");
+    binder.Bind("verbose", &verbose, "chatty output");
+    binder.Bind("budget", &budget, "byte budget");
+    binder.Bind("label", &label, "display label");
+  }
+  Status ApplyParams(const ParamMap& params);
+  static ParamSchema Schema();
+};
+
+TGSIM_CONFIG_IMPLEMENT_PARAMS(DemoConfig)
+
+TEST(ParamBinderTest, AppliesOnlyProvidedKeys) {
+  DemoConfig cfg;
+  Result<ParamMap> map = ParamMap::FromTokens({"epochs=7", "verbose=yes"});
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(cfg.ApplyParams(map.value()).ok());
+  EXPECT_EQ(cfg.epochs, 7);
+  EXPECT_TRUE(cfg.verbose);
+  EXPECT_DOUBLE_EQ(cfg.rate, 0.01);  // Untouched defaults.
+  EXPECT_EQ(cfg.label, "demo");
+}
+
+TEST(ParamBinderTest, UnknownKeyFailsWithSuggestion) {
+  DemoConfig cfg;
+  Result<ParamMap> map = ParamMap::FromTokens({"epoch=7"});
+  ASSERT_TRUE(map.ok());
+  Status s = cfg.ApplyParams(map.value());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("did you mean 'epochs'"), std::string::npos)
+      << s.message();
+}
+
+TEST(ParamBinderTest, TypeErrorsSurfaceTheKey) {
+  DemoConfig cfg;
+  Result<ParamMap> map = ParamMap::FromTokens({"rate=fast"});
+  ASSERT_TRUE(map.ok());
+  Status s = cfg.ApplyParams(map.value());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("'rate'"), std::string::npos);
+}
+
+TEST(ParamBinderTest, SchemaRendersTypesAndDefaults) {
+  ParamSchema schema = DemoConfig::Schema();
+  ASSERT_EQ(schema.specs.size(), 5u);
+  const ParamSpec* epochs = schema.Find("epochs");
+  ASSERT_NE(epochs, nullptr);
+  EXPECT_EQ(epochs->type, ParamType::kInt);
+  EXPECT_EQ(epochs->default_value, "50");
+  const ParamSpec* rate = schema.Find("rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_EQ(rate->type, ParamType::kDouble);
+  EXPECT_EQ(rate->default_value, "0.01");
+  const ParamSpec* verbose = schema.Find("verbose");
+  ASSERT_NE(verbose, nullptr);
+  EXPECT_EQ(verbose->type, ParamType::kBool);
+  EXPECT_EQ(verbose->default_value, "false");
+  std::string description = schema.Describe();
+  EXPECT_NE(description.find("epochs (int, default=50)"), std::string::npos)
+      << description;
+  EXPECT_NE(description.find("training epochs"), std::string::npos);
+}
+
+TEST(ParamBinderTest, SchemaDefaultsRoundTripThroughApply) {
+  // Feeding every rendered default back through ApplyParams must be a
+  // no-op success — the contract the registry sweep test relies on.
+  ParamSchema schema = DemoConfig::Schema();
+  std::vector<std::string> tokens;
+  for (const ParamSpec& spec : schema.specs)
+    tokens.push_back(spec.key + "=" + spec.default_value);
+  Result<ParamMap> map = ParamMap::FromTokens(tokens);
+  ASSERT_TRUE(map.ok());
+  DemoConfig cfg;
+  ASSERT_TRUE(cfg.ApplyParams(map.value()).ok());
+  EXPECT_EQ(cfg.epochs, 50);
+  EXPECT_DOUBLE_EQ(cfg.rate, 0.01);
+  EXPECT_EQ(cfg.budget, 1LL << 40);
+}
+
+// ---------------------------------------------------------------------------
+// NearestName.
+// ---------------------------------------------------------------------------
+
+TEST(NearestNameTest, FindsCloseCandidatesCaseInsensitively) {
+  std::vector<std::string> names = {"TGAE", "TIGGER", "NetGAN"};
+  EXPECT_EQ(NearestName("TGEA", names), "TGAE");
+  EXPECT_EQ(NearestName("netgan", names), "NetGAN");
+  EXPECT_EQ(NearestName("tigger", names), "TIGGER");
+}
+
+TEST(NearestNameTest, GivesUpBeyondDistanceThree) {
+  std::vector<std::string> names = {"TGAE"};
+  EXPECT_EQ(NearestName("CompletelyDifferent", names), "");
+  EXPECT_EQ(NearestName("x", {}), "");
+}
+
+}  // namespace
+}  // namespace tgsim::config

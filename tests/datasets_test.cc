@@ -201,6 +201,70 @@ TEST(IoTest, InfersShapeWithoutHeader) {
   EXPECT_EQ(r.value().edges()[0].t, 0);
 }
 
+TEST(IoTest, MalformedInputReportsLineNumberAndPath) {
+  std::string path = TempPath("lineno.txt");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("0 1 0\n1 2 1\nnot an edge\n", f);
+  fclose(f);
+  Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find(path), std::string::npos);
+}
+
+TEST(IoTest, RejectsNegativeNodeIds) {
+  std::string path = TempPath("negnode.txt");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("0 1 0\n-2 3 1\n", f);
+  fclose(f);
+  Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("negative node id at line 2"),
+            std::string::npos)
+      << r.status().message();
+}
+
+TEST(IoTest, RejectsNegativeTimestamps) {
+  // With and without a header: negative timestamps are rejected outright
+  // instead of being silently re-based into the valid range.
+  for (const char* contents : {"0 1 -5\n2 3 7\n", "# 4 8\n0 1 -5\n"}) {
+    std::string path = TempPath("negts.txt");
+    FILE* f = fopen(path.c_str(), "w");
+    fputs(contents, f);
+    fclose(f);
+    Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+    ASSERT_FALSE(r.ok()) << contents;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("negative timestamp"),
+              std::string::npos)
+        << r.status().message();
+  }
+}
+
+TEST(IoTest, RejectsTrailingTokensOnEdgeLines) {
+  // A fourth column would previously be dropped on the floor — a classic
+  // way to misread a weighted edge list as unweighted.
+  std::string path = TempPath("trailing.txt");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("0 1 0 0.75\n", f);
+  fclose(f);
+  Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("trailing token"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(IoTest, RejectsTrailingTokensOnHeader) {
+  std::string path = TempPath("trailhdr.txt");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("# 4 2 extra\n0 1 0\n", f);
+  fclose(f);
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+}
+
 TEST(IoTest, SkipsCommentLines) {
   std::string path = TempPath("comments.txt");
   FILE* f = fopen(path.c_str(), "w");
@@ -217,7 +281,12 @@ TEST(IoTest, HeaderViolationIsError) {
   FILE* f = fopen(path.c_str(), "w");
   fputs("# 2 2\n0 5 0\n", f);
   fclose(f);
-  EXPECT_FALSE(LoadEdgeList(path).ok());
+  Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+  ASSERT_FALSE(r.ok());
+  // Header-first files report the offending line and path.
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find(path), std::string::npos);
 }
 
 }  // namespace

@@ -1,5 +1,10 @@
 #include <string>
+#include <utility>
 
+#include "common/check.h"
+#include "baselines/er_ba.h"
+#include "config/param_map.h"
+#include "core/tgae.h"
 #include "datasets/synthetic.h"
 #include "eval/registry.h"
 #include "eval/runner.h"
@@ -22,21 +27,158 @@ TEST(RegistryTest, AblationListMatchesTableVII) {
   EXPECT_EQ(AblationMethodNames(), expected);
 }
 
+/// Custom generator used by the registration-extension test.
+class NamedErGenerator : public baselines::ErdosRenyiGenerator {
+ public:
+  std::string name() const override { return "TestCustom"; }
+};
+
+config::ParamMap Params(const std::vector<std::string>& tokens) {
+  Result<config::ParamMap> map = config::ParamMap::FromTokens(tokens);
+  TGSIM_CHECK(map.ok());
+  return std::move(map).value();
+}
+
 TEST(RegistryTest, EveryNameInstantiates) {
-  for (const std::string& name : AllMethodNames()) {
-    auto gen = MakeGenerator(name, Effort::kFast);
-    ASSERT_NE(gen, nullptr) << name;
-    EXPECT_EQ(gen->name(), name);
-  }
-  for (const std::string& name : AblationMethodNames()) {
-    auto gen = MakeGenerator(name, Effort::kFast);
-    ASSERT_NE(gen, nullptr) << name;
-    EXPECT_EQ(gen->name(), name);
+  for (const std::string& name : RegisteredMethodNames()) {
+    auto gen = MakeGenerator(name, Params({"preset=fast"}));
+    ASSERT_TRUE(gen.ok()) << name << ": " << gen.status().ToString();
+    ASSERT_NE(gen.value(), nullptr) << name;
+    EXPECT_EQ(gen.value()->name(), name);
   }
 }
 
-TEST(RegistryDeathTest, UnknownNameAborts) {
-  EXPECT_DEATH(MakeGenerator("NoSuchMethod"), "CHECK failed");
+TEST(RegistryTest, UnknownNameIsNotFoundWithSuggestion) {
+  auto gen = MakeGenerator("TGEA");
+  ASSERT_FALSE(gen.ok());
+  EXPECT_EQ(gen.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(gen.status().message().find("did you mean 'TGAE'"),
+            std::string::npos)
+      << gen.status().message();
+}
+
+TEST(RegistryTest, UnknownPresetIsInvalidArgument) {
+  auto gen = MakeGenerator("TGAE", Params({"preset=turbo"}));
+  ASSERT_FALSE(gen.ok());
+  EXPECT_EQ(gen.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, UnknownParameterIsRejectedWithSuggestion) {
+  auto gen = MakeGenerator("TGAE", Params({"epoch=5"}));
+  ASSERT_FALSE(gen.ok());
+  EXPECT_EQ(gen.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(gen.status().message().find("did you mean 'epochs'"),
+            std::string::npos)
+      << gen.status().message();
+}
+
+TEST(RegistryTest, IllTypedParameterIsRejected) {
+  auto gen = MakeGenerator("TGAE", Params({"epochs=banana"}));
+  ASSERT_FALSE(gen.ok());
+  EXPECT_EQ(gen.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, ParameterlessMethodRejectsParams) {
+  auto gen = MakeGenerator("DYMOND", Params({"epochs=5"}));
+  ASSERT_FALSE(gen.ok());
+  EXPECT_EQ(gen.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, ParamsOverrideConfigFields) {
+  auto gen = MakeGenerator("TGAE", Params({"epochs=5", "batch_centers=16",
+                                           "probabilistic=false"}));
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  auto* tgae = dynamic_cast<core::TgaeGenerator*>(gen.value().get());
+  ASSERT_NE(tgae, nullptr);
+  EXPECT_EQ(tgae->config().epochs, 5);
+  EXPECT_EQ(tgae->config().batch_centers, 16);
+  EXPECT_FALSE(tgae->config().probabilistic);
+}
+
+TEST(RegistryTest, FastPresetReproducesOldEffortConfigs) {
+  // The preset=fast overlays must stay pinned to the exact configs the
+  // retired Effort::kFast enum produced (PR 3 acceptance criterion).
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"TGAE", "epochs=5 batch_centers=16"},
+      {"TIGGER", "epochs=3 walks_per_epoch=40"},
+      {"DYMOND", ""},
+      {"TGGAN", "iterations=8 batch_walks=12"},
+      {"TagGen", "epochs=4 walks_per_epoch=60"},
+      {"NetGAN", "epochs=15"},
+      {"E-R", ""},
+      {"B-A", ""},
+      {"VGAE", "epochs=10"},
+      {"Graphite", "epochs=10"},
+      {"SBMGNN", "epochs=10"},
+      {"TGAE-g", "epochs=5 batch_centers=16"},
+      {"TGAE-t", "epochs=5 batch_centers=16"},
+      {"TGAE-n", "epochs=5 batch_centers=16"},
+      {"TGAE-p", "epochs=5 batch_centers=16"},
+  };
+  EXPECT_EQ(AllMethodNames().size(), 11u);
+  EXPECT_EQ(AblationMethodNames().size(), 5u);
+  for (const auto& [name, fast] : expected) {
+    const MethodSpec* spec = FindMethod(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_EQ(spec->fast_preset.ToString(), fast) << name;
+  }
+  // And the overlay actually lands on the constructed generator.
+  auto fast_tgae = MakeGenerator("TGAE", Params({"preset=fast"}));
+  ASSERT_TRUE(fast_tgae.ok());
+  auto* tgae = dynamic_cast<core::TgaeGenerator*>(fast_tgae.value().get());
+  ASSERT_NE(tgae, nullptr);
+  EXPECT_EQ(tgae->config().epochs, 5);
+  EXPECT_EQ(tgae->config().batch_centers, 16);
+}
+
+TEST(RegistryTest, ExplicitParamWinsOverPreset) {
+  auto gen = MakeGenerator("TGAE", Params({"preset=fast", "epochs=2"}));
+  ASSERT_TRUE(gen.ok());
+  auto* tgae = dynamic_cast<core::TgaeGenerator*>(gen.value().get());
+  ASSERT_NE(tgae, nullptr);
+  EXPECT_EQ(tgae->config().epochs, 2);
+  EXPECT_EQ(tgae->config().batch_centers, 16);  // Preset still applies.
+}
+
+TEST(RegistryTest, EverySchemaKeyRoundTripsThroughApplyParams) {
+  // Parameterized sweep over the whole registration table: setting every
+  // schema key to its own default must construct successfully.
+  for (const std::string& name : RegisteredMethodNames()) {
+    const MethodSpec* spec = FindMethod(name);
+    ASSERT_NE(spec, nullptr) << name;
+    std::vector<std::string> tokens;
+    for (const config::ParamSpec& param : spec->schema.specs)
+      tokens.push_back(param.key + "=" + param.default_value);
+    auto gen = MakeGenerator(name, Params(tokens));
+    ASSERT_TRUE(gen.ok()) << name << ": " << gen.status().ToString();
+    EXPECT_EQ(gen.value()->name(), name);
+  }
+}
+
+TEST(RegistryTest, CustomRegistrationIsAFirstClassMethod) {
+  MethodSpec spec;
+  spec.name = "TestCustom";
+  spec.summary = "custom registration coverage";
+  spec.factory = [](const config::ParamMap& params)
+      -> Result<std::unique_ptr<baselines::TemporalGraphGenerator>> {
+    if (!params.empty())
+      return Status::InvalidArgument("no parameters");
+    return std::unique_ptr<baselines::TemporalGraphGenerator>(
+        std::make_unique<NamedErGenerator>());
+  };
+  // First registration wins; re-running the suite in-process would dup.
+  Status registered = RegisterGenerator(std::move(spec));
+  if (!registered.ok()) {
+    EXPECT_NE(registered.message().find("already registered"),
+              std::string::npos);
+  }
+  auto gen = MakeGenerator("TestCustom");
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  EXPECT_EQ(gen.value()->name(), "TestCustom");
+  // Custom methods do not leak into the paper's table columns.
+  for (const std::string& name : AllMethodNames())
+    EXPECT_NE(name, "TestCustom");
+  EXPECT_FALSE(RegisterGenerator(MethodSpec{}).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -55,7 +197,7 @@ TEST_P(OomEmulationTest, MatchesPaperPattern) {
   const OomCase& c = GetParam();
   const datasets::DatasetSpec* spec = datasets::FindDataset(c.dataset);
   ASSERT_NE(spec, nullptr);
-  auto gen = MakeGenerator(c.method, Effort::kFast);
+  auto gen = std::move(MakeGenerator(c.method, Params({"preset=fast"}))).value();
   int64_t estimate = gen->EstimatePaperMemoryBytes(
       spec->num_nodes, spec->num_edges, spec->num_timestamps);
   bool ooms = estimate > 32LL * 1024 * 1024 * 1024;
@@ -108,10 +250,10 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(RunMethodTest, ScoresFastMethodEndToEnd) {
   graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.04, 3);
   RunOptions opt;
-  opt.effort = Effort::kFast;
+  opt.preset = "fast";
   opt.compute_motif_mmd = true;
   opt.motif_max_triples = 50000;
-  RunResult r = RunMethod("E-R", g, opt);
+  RunResult r = std::move(RunMethod("E-R", g, opt)).value();
   EXPECT_FALSE(r.oom);
   EXPECT_EQ(r.scores.size(), 7u);
   EXPECT_GE(r.generate_seconds, 0.0);
@@ -121,9 +263,9 @@ TEST(RunMethodTest, ScoresFastMethodEndToEnd) {
 TEST(RunMethodTest, OomSkipsExecution) {
   graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.04, 3);
   RunOptions opt;
-  opt.effort = Effort::kFast;
+  opt.preset = "fast";
   opt.paper_scale = *datasets::FindDataset("UBUNTU");
-  RunResult r = RunMethod("TagGen", g, opt);
+  RunResult r = std::move(RunMethod("TagGen", g, opt)).value();
   EXPECT_TRUE(r.oom);
   EXPECT_TRUE(r.scores.empty());
 }
@@ -131,11 +273,28 @@ TEST(RunMethodTest, OomSkipsExecution) {
 TEST(RunMethodTest, PaperScaleWithinBudgetStillRuns) {
   graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.04, 3);
   RunOptions opt;
-  opt.effort = Effort::kFast;
+  opt.preset = "fast";
   opt.paper_scale = *datasets::FindDataset("DBLP");
-  RunResult r = RunMethod("B-A", g, opt);
+  RunResult r = std::move(RunMethod("B-A", g, opt)).value();
   EXPECT_FALSE(r.oom);
   EXPECT_EQ(r.scores.size(), 7u);
+}
+
+TEST(RunMethodTest, UnknownMethodIsAnErrorNotACrash) {
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.04, 3);
+  Result<RunResult> r = RunMethod("NoSuchMethod", g, RunOptions{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RunMethodTest, MethodParamsReachTheGenerator) {
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.04, 3);
+  RunOptions opt;
+  opt.preset = "fast";
+  opt.method_params = Params({"bad_knob=1"});
+  Result<RunResult> r = RunMethod("TIGGER", g, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(FormatCellTest, ScientificNotationAndOom) {

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "config/param_map.h"
 #include "core/tgae.h"
 #include "datasets/io.h"
 #include "datasets/synthetic.h"
@@ -63,8 +64,9 @@ TEST(PipelineTest, TgaeIsTopTierOnMotifMmd) {
   double best_baseline = 1e9;
   for (const std::string method :
        {"TGAE", "TIGGER", "TagGen", "E-R", "B-A"}) {
-    auto gen = eval::MakeGenerator(
-        method, method == "TGAE" ? eval::Effort::kPaper : eval::Effort::kFast);
+    config::ParamMap params;
+    if (method != "TGAE") params.Override("preset", "fast");
+    auto gen = std::move(eval::MakeGenerator(method, params)).value();
     Rng rng(7);
     gen->Fit(observed, rng);
     graphs::TemporalGraph out = gen->Generate(rng);
@@ -87,7 +89,7 @@ TEST(PipelineTest, DegreeMmdRanksTgaeAboveUniform) {
   tgae.Fit(observed, r1);
   graphs::TemporalGraph tgae_out = tgae.Generate(r1);
 
-  auto er = eval::MakeGenerator("E-R");
+  auto er = std::move(eval::MakeGenerator("E-R")).value();
   Rng r2(3);
   er->Fit(observed, r2);
   graphs::TemporalGraph er_out = er->Generate(r2);
@@ -157,7 +159,9 @@ TEST_P(RandomGraphInvariantTest, GeneratorsKeepTimestampMarginals) {
       "DBLP", 0.04, static_cast<uint64_t>(GetParam()) + 50);
   // E-R and TGAE preserve the per-timestamp edge histogram exactly.
   for (const char* method : {"E-R", "TGAE"}) {
-    auto gen = eval::MakeGenerator(method, eval::Effort::kFast);
+    config::ParamMap fast;
+    fast.Override("preset", "fast");
+    auto gen = std::move(eval::MakeGenerator(method, fast)).value();
     Rng local(9);
     gen->Fit(observed, local);
     graphs::TemporalGraph out = gen->Generate(local);

@@ -350,12 +350,12 @@ TEST(DeterminismSweepTest, EvalCellsAreThreadCountInvariant) {
       eval::RunCell cell;
       cell.method = method;
       cell.observed = &observed;
-      cell.options.effort = eval::Effort::kFast;
+      cell.options.preset = "fast";
       cell.options.compute_motif_mmd = true;
       cell.options.motif_max_triples = 20000;
       cells.push_back(std::move(cell));
     }
-    return eval::RunCells(cells, 1234);
+    return std::move(eval::RunCells(cells, 1234)).value();
   };
   auto results = SweepThreadCounts(run);
   for (size_t v = 1; v < results.size(); ++v) {
@@ -381,7 +381,7 @@ TEST(DeterminismSweepTest, EvalCellsAreThreadCountInvariant) {
 }
 
 TEST(RunCellsTest, EmptyBatchReturnsEmpty) {
-  EXPECT_TRUE(eval::RunCells({}, 7).empty());
+  EXPECT_TRUE(eval::RunCells({}, 7).value().empty());
 }
 
 TEST(RunCellsTest, SplitStreamsMakeRepeatedCellsIndependent) {
@@ -390,9 +390,10 @@ TEST(RunCellsTest, SplitStreamsMakeRepeatedCellsIndependent) {
   for (auto& cell : cells) {
     cell.method = "E-R";
     cell.observed = &observed;
-    cell.options.effort = eval::Effort::kFast;
+    cell.options.preset = "fast";
   }
-  std::vector<eval::RunResult> results = eval::RunCells(cells, 99);
+  std::vector<eval::RunResult> results =
+      std::move(eval::RunCells(cells, 99)).value();
   ASSERT_EQ(results.size(), 2u);
   // Same method, same dataset, but distinct Rng::Split children: the two
   // runs should not produce byte-identical score vectors.
@@ -401,6 +402,45 @@ TEST(RunCellsTest, SplitStreamsMakeRepeatedCellsIndependent) {
     any_difference = any_difference ||
                      results[0].scores[m].avg != results[1].scores[m].avg;
   EXPECT_TRUE(any_difference);
+}
+
+TEST(RunCellsTest, PerCellSeedIsIgnored) {
+  // The documented RunCells contract: cell randomness comes exclusively
+  // from Rng(master_seed).Split, so per-cell RunOptions::seed must not
+  // change anything.
+  graphs::TemporalGraph observed = datasets::MakeMimicByName("DBLP", 0.03, 3);
+  auto run = [&](uint64_t per_cell_seed) {
+    std::vector<eval::RunCell> cells(2);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      cells[i].method = i == 0 ? "E-R" : "B-A";
+      cells[i].observed = &observed;
+      cells[i].options.preset = "fast";
+      cells[i].options.seed = per_cell_seed;
+    }
+    return std::move(eval::RunCells(cells, 4321)).value();
+  };
+  std::vector<eval::RunResult> defaults = run(7);
+  std::vector<eval::RunResult> custom = run(987654321);
+  ASSERT_EQ(defaults.size(), custom.size());
+  for (size_t i = 0; i < defaults.size(); ++i) {
+    ASSERT_EQ(defaults[i].scores.size(), custom[i].scores.size());
+    for (size_t m = 0; m < defaults[i].scores.size(); ++m) {
+      EXPECT_EQ(defaults[i].scores[m].avg, custom[i].scores[m].avg);
+      EXPECT_EQ(defaults[i].scores[m].med, custom[i].scores[m].med);
+    }
+  }
+}
+
+TEST(RunCellsTest, InvalidCellFailsWholeBatchUpFront) {
+  graphs::TemporalGraph observed = datasets::MakeMimicByName("DBLP", 0.03, 3);
+  std::vector<eval::RunCell> cells(2);
+  cells[0].method = "E-R";
+  cells[0].observed = &observed;
+  cells[1].method = "NoSuchMethod";
+  cells[1].observed = &observed;
+  Result<std::vector<eval::RunResult>> result = eval::RunCells(cells, 7);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("cell 1"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -165,7 +165,7 @@ TEST(TgaeIntegrationTest, BeatsErdosRenyiOnStructureAndMotifs) {
   tgae.Fit(observed, r1);
   graphs::TemporalGraph tgae_out = tgae.Generate(r1);
 
-  auto er = eval::MakeGenerator("E-R");
+  auto er = std::move(eval::MakeGenerator("E-R")).value();
   Rng r2(11);
   er->Fit(observed, r2);
   graphs::TemporalGraph er_out = er->Generate(r2);

@@ -1,0 +1,237 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datasets/io.h"
+#include "datasets/synthetic.h"
+#include "gtest/gtest.h"
+#include "tools/tgsim_cli.h"
+
+namespace tgsim {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// Runs the CLI in-process, capturing stdout.
+struct CliResult {
+  int code = 0;
+  std::string out;
+};
+
+CliResult RunCli(const std::vector<std::string>& args) {
+  ::testing::internal::CaptureStdout();
+  CliResult result;
+  result.code = cli::Run(args);
+  result.out = ::testing::internal::GetCapturedStdout();
+  return result;
+}
+
+TEST(TgsimCliTest, NoArgsPrintsUsageAndFails) {
+  CliResult r = RunCli({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("Usage: tgsim"), std::string::npos);
+}
+
+TEST(TgsimCliTest, HelpSucceeds) {
+  EXPECT_EQ(RunCli({"--help"}).code, 0);
+  EXPECT_EQ(RunCli({"help"}).code, 0);
+}
+
+TEST(TgsimCliTest, UnknownCommandIsUsageError) {
+  EXPECT_EQ(RunCli({"frobnicate"}).code, 2);
+}
+
+TEST(TgsimCliTest, MethodsListsTheFullRegistry) {
+  CliResult r = RunCli({"methods"});
+  EXPECT_EQ(r.code, 0);
+  for (const char* name :
+       {"TGAE", "TIGGER", "DYMOND", "TGGAN", "TagGen", "NetGAN", "E-R",
+        "B-A", "VGAE", "Graphite", "SBMGNN", "TGAE-g", "TGAE-p"})
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+}
+
+TEST(TgsimCliTest, MethodsVerboseShowsSchemaAndPreset) {
+  CliResult r = RunCli({"methods", "--method", "TGAE"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("epochs (int, default=50)"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("preset=fast applies: epochs=5 batch_centers=16"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(TgsimCliTest, MethodsUnknownNameFails) {
+  EXPECT_EQ(RunCli({"methods", "--method", "NoSuchMethod"}).code, 1);
+}
+
+TEST(TgsimCliTest, GenerateWritesALoadableEdgeList) {
+  // The end-to-end smoke of the acceptance criteria: generate on a small
+  // synthetic graph with --param overrides, reload with LoadEdgeList,
+  // check the shape is preserved.
+  std::string out_path = TempPath("cli_generated.txt");
+  CliResult r = RunCli({"generate", "--method", "E-R", "--synthetic", "DBLP",
+                        "--scale", "0.04", "--output", out_path, "--seed",
+                        "11"});
+  EXPECT_EQ(r.code, 0) << r.out;
+  Result<graphs::TemporalGraph> reloaded = datasets::LoadEdgeList(out_path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  graphs::TemporalGraph observed =
+      datasets::MakeMimicByName("DBLP", 0.04, 11);
+  EXPECT_EQ(reloaded.value().num_nodes(), observed.num_nodes());
+  EXPECT_EQ(reloaded.value().num_timestamps(), observed.num_timestamps());
+  EXPECT_EQ(reloaded.value().num_edges(), observed.num_edges());
+}
+
+TEST(TgsimCliTest, GenerateHonorsParamOverrides) {
+  std::string out_path = TempPath("cli_tgae.txt");
+  CliResult r = RunCli({"generate", "--method", "TGAE", "--preset", "fast",
+                        "--param", "epochs=1", "--param", "batch_centers=8",
+                        "--synthetic", "DBLP", "--scale", "0.03",
+                        "--output", out_path, "--seed", "5"});
+  EXPECT_EQ(r.code, 0) << r.out;
+  EXPECT_TRUE(datasets::LoadEdgeList(out_path).ok());
+}
+
+TEST(TgsimCliTest, GenerateReadsConfigFiles) {
+  std::string cfg_path = TempPath("cli_params.cfg");
+  FILE* f = fopen(cfg_path.c_str(), "w");
+  fputs("# smoke profile\npreset = fast\nepochs = 1\n", f);
+  fclose(f);
+  std::string out_path = TempPath("cli_cfg_out.txt");
+  CliResult r = RunCli({"generate", "--method", "TIGGER", "--config",
+                        cfg_path, "--synthetic", "DBLP", "--scale", "0.03",
+                        "--output", out_path, "--seed", "5"});
+  EXPECT_EQ(r.code, 0) << r.out;
+  EXPECT_TRUE(datasets::LoadEdgeList(out_path).ok());
+}
+
+TEST(TgsimCliTest, GenerateFromInputFileRoundTrips) {
+  // Save a mimic, feed it back through --input.
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.03, 9);
+  std::string in_path = TempPath("cli_input.txt");
+  ASSERT_TRUE(datasets::SaveEdgeList(g, in_path).ok());
+  std::string out_path = TempPath("cli_input_out.txt");
+  CliResult r = RunCli({"generate", "--method", "B-A", "--input", in_path,
+                        "--output", out_path});
+  EXPECT_EQ(r.code, 0) << r.out;
+  Result<graphs::TemporalGraph> reloaded = datasets::LoadEdgeList(out_path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().num_edges(), g.num_edges());
+}
+
+TEST(TgsimCliTest, GenerateRejectsBadInvocations) {
+  // Missing required flags.
+  EXPECT_EQ(RunCli({"generate", "--method", "E-R"}).code, 2);
+  // Unknown method (runtime error, not usage).
+  EXPECT_EQ(RunCli({"generate", "--method", "NoSuch", "--synthetic", "DBLP",
+                    "--output", TempPath("x.txt")})
+                .code,
+            1);
+  // Unknown parameter.
+  EXPECT_EQ(RunCli({"generate", "--method", "E-R", "--param", "epochs=5",
+                    "--synthetic", "DBLP", "--output", TempPath("x.txt")})
+                .code,
+            1);
+  // Both dataset sources.
+  EXPECT_EQ(RunCli({"generate", "--method", "E-R", "--synthetic", "DBLP",
+                    "--input", "a.txt", "--output", TempPath("x.txt")})
+                .code,
+            1);
+  // Unknown synthetic name.
+  EXPECT_EQ(RunCli({"generate", "--method", "E-R", "--synthetic", "NOPE",
+                    "--output", TempPath("x.txt")})
+                .code,
+            1);
+}
+
+TEST(TgsimCliTest, StatsPrintsTableIiiMetrics) {
+  CliResult r = RunCli({"stats", "--synthetic", "MSG", "--scale", "0.05"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("nodes"), std::string::npos);
+  EXPECT_NE(r.out.find("Mean Degree"), std::string::npos) << r.out;
+}
+
+TEST(TgsimCliTest, EvalRunsASmallMatrix) {
+  CliResult r = RunCli({"eval", "--methods", "E-R,B-A", "--datasets",
+                        "DBLP,MSG", "--scale", "0.03", "--preset", "fast",
+                        "--seed", "3"});
+  EXPECT_EQ(r.code, 0) << r.out;
+  EXPECT_NE(r.out.find("[DBLP]"), std::string::npos);
+  EXPECT_NE(r.out.find("[MSG]"), std::string::npos);
+  EXPECT_NE(r.out.find("E-R"), std::string::npos);
+  EXPECT_NE(r.out.find("Mean Degree"), std::string::npos);
+}
+
+TEST(TgsimCliTest, UnknownFlagsAreRejectedWithSuggestion) {
+  // Typos must never be silently dropped.
+  EXPECT_EQ(RunCli({"eval", "--motif_mmd"}).code, 2);
+  EXPECT_EQ(RunCli({"generate", "--metod", "E-R"}).code, 2);
+}
+
+TEST(TgsimCliTest, EqualsSyntaxWorksForValueFlags) {
+  std::string out_path = TempPath("cli_eq.txt");
+  CliResult r = RunCli({"generate", "--method=E-R", "--synthetic=DBLP",
+                        "--scale=0.03", "--output=" + out_path,
+                        "--seed=11"});
+  EXPECT_EQ(r.code, 0) << r.out;
+  EXPECT_TRUE(datasets::LoadEdgeList(out_path).ok());
+}
+
+TEST(TgsimCliTest, PerCommandHelpIsSpecific) {
+  CliResult r = RunCli({"eval", "--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("--motif-delta"), std::string::npos) << r.out;
+  CliResult g = RunCli({"generate", "--help"});
+  EXPECT_EQ(g.code, 0);
+  EXPECT_NE(g.out.find("tgsim generate"), std::string::npos);
+}
+
+TEST(TgsimCliTest, EvalRunsOnAnInputEdgeList) {
+  graphs::TemporalGraph g = datasets::MakeMimicByName("DBLP", 0.03, 9);
+  std::string in_path = TempPath("cli_eval_input.txt");
+  ASSERT_TRUE(datasets::SaveEdgeList(g, in_path).ok());
+  CliResult r = RunCli({"eval", "--methods", "E-R", "--input", in_path,
+                        "--seed", "3"});
+  EXPECT_EQ(r.code, 0) << r.out;
+  EXPECT_NE(r.out.find(in_path), std::string::npos) << r.out;
+  // --input and --datasets are mutually exclusive.
+  EXPECT_EQ(RunCli({"eval", "--methods", "E-R", "--input", in_path,
+                    "--datasets", "DBLP"})
+                .code,
+            1);
+  // --paper-scale has no Table II spec for a file input.
+  EXPECT_EQ(RunCli({"eval", "--methods", "E-R", "--input", in_path,
+                    "--paper-scale"})
+                .code,
+            1);
+}
+
+TEST(TgsimCliTest, EvalScopesParamsToDeclaringMethods) {
+  // epochs targets TIGGER; parameterless E-R still runs in the same
+  // matrix instead of failing the batch.
+  CliResult r = RunCli({"eval", "--methods", "E-R,TIGGER", "--datasets",
+                        "DBLP", "--scale", "0.03", "--preset", "fast",
+                        "--param", "epochs=1", "--seed", "3"});
+  EXPECT_EQ(r.code, 0) << r.out;
+  EXPECT_NE(r.out.find("TIGGER"), std::string::npos);
+  // A key no selected method declares is still an error.
+  EXPECT_EQ(RunCli({"eval", "--methods", "E-R,B-A", "--datasets", "DBLP",
+                    "--scale", "0.03", "--param", "epochs=1"})
+                .code,
+            1);
+}
+
+TEST(TgsimCliTest, EvalRejectsUnknownMethodAndDataset) {
+  EXPECT_EQ(RunCli({"eval", "--methods", "NoSuch", "--datasets", "DBLP",
+                    "--scale", "0.03"})
+                .code,
+            1);
+  EXPECT_EQ(RunCli({"eval", "--methods", "E-R", "--datasets", "Nowhere"})
+                .code,
+            1);
+}
+
+}  // namespace
+}  // namespace tgsim

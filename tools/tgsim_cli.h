@@ -1,0 +1,19 @@
+#ifndef TGSIM_TOOLS_TGSIM_CLI_H_
+#define TGSIM_TOOLS_TGSIM_CLI_H_
+
+#include <string>
+#include <vector>
+
+namespace tgsim::cli {
+
+/// Entry point of the `tgsim` driver binary, exposed as a library so tests
+/// can run subcommands in-process. `args` is argv without the program name
+/// (e.g. {"generate", "--method", "TGAE", ...}). Returns the process exit
+/// code: 0 on success, 1 on a runtime error (bad dataset, unknown method,
+/// bad parameter), 2 on a usage error. Output goes to stdout, diagnostics
+/// to stderr.
+int Run(const std::vector<std::string>& args);
+
+}  // namespace tgsim::cli
+
+#endif  // TGSIM_TOOLS_TGSIM_CLI_H_

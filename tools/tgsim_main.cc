@@ -1,0 +1,12 @@
+// The `tgsim` driver binary: all logic lives in tools/tgsim_cli.{h,cc} so
+// the test suite can run subcommands in-process.
+
+#include <string>
+#include <vector>
+
+#include "tools/tgsim_cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tgsim::cli::Run(args);
+}
