@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/tgat_encoder.h"
 #include "datasets/synthetic.h"
 #include "graph/bipartite.h"
@@ -84,6 +87,98 @@ BENCHMARK(BM_ParallelForOverhead)
     ->Args({1 << 18, 1 << 15})
     ->Args({1 << 21, 1 << 15})
     ->UseRealTime();
+
+/// Generation-decode cost, dense vs sparse (the PR's sparse-decoder
+/// acceptance measurement): one chunk of `rows` decoded rows against an
+/// n-node decoder weight. Each row's support holds 8 columns drawn from a
+/// hub pool of n/10 nodes, mirroring the skew of real temporal
+/// neighborhoods; the sparse path scores only the support-union columns
+/// (GatherCols + narrow matmul), the dense path the full n-wide row.
+/// Both paths finish with the per-row support normalization Generate uses.
+struct DecodeFixture {
+  nn::Var rows_h, w, b;
+  std::vector<std::vector<int>> supports;
+  std::vector<int> candidates;
+  std::vector<int> slot;  // node id -> candidate column.
+};
+
+DecodeFixture MakeDecodeFixture(int n, int rows) {
+  const int d = 32;
+  const int per_row = 8;
+  const int pool = std::max(per_row + 1, n / 10);
+  Rng rng(7);
+  DecodeFixture f;
+  f.rows_h = nn::Var::Constant(nn::Tensor::Randn(rng, rows, d));
+  f.w = nn::Var::Param(nn::Tensor::Randn(rng, d, n));
+  f.b = nn::Var::Param(nn::Tensor::Randn(rng, 1, n));
+  f.slot.assign(static_cast<size_t>(n), -1);
+  f.supports.resize(static_cast<size_t>(rows));
+  for (auto& support : f.supports) {
+    while (static_cast<int>(support.size()) < per_row) {
+      int v = static_cast<int>(rng.UniformInt(pool));
+      if (std::find(support.begin(), support.end(), v) != support.end())
+        continue;
+      support.push_back(v);
+      if (f.slot[static_cast<size_t>(v)] < 0) {
+        f.slot[static_cast<size_t>(v)] =
+            static_cast<int>(f.candidates.size());
+        f.candidates.push_back(v);
+      }
+    }
+  }
+  return f;
+}
+
+/// Support-normalized categorical weights of one row (what Generate draws
+/// from); `col_of` maps a support node to its logits column.
+template <typename ColOf>
+double SupportWeightChecksum(const nn::Tensor& logits, int row,
+                             const std::vector<int>& support,
+                             const ColOf& col_of) {
+  double m = -1e300;
+  for (int v : support) m = std::max(m, logits.at(row, col_of(v)));
+  double acc = 0.0;
+  for (int v : support) acc += std::exp(logits.at(row, col_of(v)) - m);
+  return acc;
+}
+
+void BM_DecodeDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int rows = static_cast<int>(state.range(1));
+  DecodeFixture f = MakeDecodeFixture(n, rows);
+  for (auto _ : state) {
+    nn::Var logits = nn::Add(nn::MatMul(f.rows_h, f.w), f.b);
+    double acc = 0.0;
+    for (int r = 0; r < rows; ++r)
+      acc += SupportWeightChecksum(logits.value(), r,
+                                   f.supports[static_cast<size_t>(r)],
+                                   [](int v) { return v; });
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["cols"] = static_cast<double>(n);
+}
+BENCHMARK(BM_DecodeDense)->Args({2000, 64})->Args({4000, 64})
+    ->Args({2000, 256});
+
+void BM_DecodeSparse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int rows = static_cast<int>(state.range(1));
+  DecodeFixture f = MakeDecodeFixture(n, rows);
+  for (auto _ : state) {
+    nn::Var w_cols = nn::GatherCols(f.w, f.candidates);
+    nn::Var logits = nn::Add(nn::MatMul(f.rows_h, w_cols),
+                             nn::GatherCols(f.b, f.candidates));
+    double acc = 0.0;
+    for (int r = 0; r < rows; ++r)
+      acc += SupportWeightChecksum(
+          logits.value(), r, f.supports[static_cast<size_t>(r)],
+          [&](int v) { return f.slot[static_cast<size_t>(v)]; });
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["cols"] = static_cast<double>(f.candidates.size());
+}
+BENCHMARK(BM_DecodeSparse)->Args({2000, 64})->Args({4000, 64})
+    ->Args({2000, 256});
 
 void BM_SegmentSoftmax(benchmark::State& state) {
   const int edges = static_cast<int>(state.range(0));

@@ -23,3 +23,27 @@ fi
   --benchmark_counters_tabular=true
 
 echo "Wrote ${OUT}"
+
+# Dense-vs-sparse decode speedup summary: BM_DecodeDense/<n>/<rows> over
+# BM_DecodeSparse/<n>/<rows> from the JSON just written, so the artifact's
+# headline number (the sparse-decoder win) is visible in the CI log too.
+if command -v python3 > /dev/null; then
+  python3 - "${OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    runs = json.load(f).get("benchmarks", [])
+times = {b["name"]: b["real_time"] for b in runs if "real_time" in b}
+pairs = sorted(
+    name.split("BM_DecodeDense", 1)[1]
+    for name in times if name.startswith("BM_DecodeDense"))
+if pairs:
+    print("decode speedup (dense / sparse real_time):")
+for args in pairs:
+    dense, sparse = times.get(f"BM_DecodeDense{args}"), times.get(
+        f"BM_DecodeSparse{args}")
+    if dense and sparse:
+        print(f"  n/rows{args}: {dense / sparse:.1f}x")
+EOF
+else
+  echo "python3 not found; skipping decode speedup summary" >&2
+fi

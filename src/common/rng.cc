@@ -19,7 +19,14 @@ size_t Rng::WeightedChoice(const std::vector<double>& weights) {
     acc += weights[i];
     if (r < acc) return i;
   }
-  return weights.size() - 1;  // Guard against floating-point drift.
+  // Guard against floating-point drift (r rounding up to the exact total):
+  // fall back to the last positive-weight index, never a zero-weight one —
+  // a zero weight marks an entry the caller already consumed (e.g. the
+  // without-replacement loops in generation), and returning it would emit
+  // a duplicate.
+  for (size_t i = weights.size(); i-- > 0;)
+    if (weights[i] > 0.0) return i;
+  return weights.size() - 1;  // Unreachable: total > 0 was checked above.
 }
 
 std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {

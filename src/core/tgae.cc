@@ -9,6 +9,34 @@
 
 namespace tgsim::core {
 
+namespace {
+
+/// Insertion-ordered node -> dense-column map for the sparse decode paths:
+/// `Add` assigns the next column to a first-seen node, `slot_of` answers
+/// lookups in O(1). Shared by the training candidate set and the
+/// generation support union.
+class CandidateSet {
+ public:
+  explicit CandidateSet(int num_nodes)
+      : slot_(static_cast<size_t>(num_nodes), -1) {}
+
+  void Add(int v) {
+    if (slot_[static_cast<size_t>(v)] < 0) {
+      slot_[static_cast<size_t>(v)] = static_cast<int>(columns_.size());
+      columns_.push_back(v);
+    }
+  }
+
+  int slot_of(int v) const { return slot_[static_cast<size_t>(v)]; }
+  const std::vector<int>& columns() const { return columns_; }
+
+ private:
+  std::vector<int> slot_;
+  std::vector<int> columns_;
+};
+
+}  // namespace
+
 TgaeConfig TgaeConfig::ForVariant(TgaeVariant v) {
   TgaeConfig c;
   switch (v) {
@@ -61,11 +89,54 @@ void TgaeConfig::DefineParams(config::ParamBinder& binder) {
               "variational decoder (false = TGAE-p)");
   binder.Bind("tie_decoder", &tie_decoder,
               "tie W_dec to the node embedding table");
+  binder.Bind("sparse_decoder", &sparse_decoder,
+              "candidate-set decode: sampled-softmax training, "
+              "support-union generation (dense n-wide decode when false)");
+  binder.Bind("negative_samples", &negative_samples,
+              "shared negative samples per batch for the sampled-softmax "
+              "loss (sparse_decoder only)");
   binder.Bind("generation_chunk", &generation_chunk,
               "center-batch chunk size during generation");
 }
 
 TGSIM_CONFIG_IMPLEMENT_PARAMS(TgaeConfig)
+
+std::vector<int> PathSumParents(const graphs::EgoGraph& ego) {
+  // First-parent tree for the Alg. 2 path sums. Strictly layered edges
+  // (depth[c] == depth[p] + 1) define the tree so paths cannot cycle.
+  std::vector<int> parent(static_cast<size_t>(ego.size()), -1);
+  for (auto [p, c] : ego.edges) {
+    if (ego.depth[static_cast<size_t>(c)] !=
+        ego.depth[static_cast<size_t>(p)] + 1)
+      continue;
+    if (parent[static_cast<size_t>(c)] == -1)
+      parent[static_cast<size_t>(c)] = p;
+  }
+  // A node reachable only through non-strictly-layered edges has no tree
+  // parent, which would silently degrade its path sum to "own z only".
+  // Anchor it to any shallower-depth parent instead: depth still strictly
+  // decreases along the chain, so the path reaches the center acyclically.
+  for (auto [p, c] : ego.edges) {
+    if (c == 0) continue;
+    if (parent[static_cast<size_t>(c)] == -1 &&
+        ego.depth[static_cast<size_t>(p)] <
+            ego.depth[static_cast<size_t>(c)])
+      parent[static_cast<size_t>(c)] = p;
+  }
+  return parent;
+}
+
+int NextUntakenNode(const std::vector<bool>& taken, int start) {
+  const int n = static_cast<int>(taken.size());
+  TGSIM_CHECK_GT(n, 0);
+  TGSIM_CHECK(start >= 0 && start < n);
+  for (int step = 0; step < n; ++step) {
+    int v = start + step;
+    if (v >= n) v -= n;
+    if (!taken[static_cast<size_t>(v)]) return v;
+  }
+  return start;
+}
 
 TgaeGenerator::TgaeGenerator(TgaeConfig config) : config_(config) {}
 
@@ -82,7 +153,7 @@ nn::Var TgaeGenerator::InputFeatures(
   return nn::Add(node_emb_->Forward(node_idx), time_emb_->Forward(time_idx));
 }
 
-TgaeGenerator::DecodedBatch TgaeGenerator::EncodeDecode(
+TgaeGenerator::DecodedBatch TgaeGenerator::Encode(
     const std::vector<graphs::EgoGraph>& egos, bool centers_only,
     bool stochastic, Rng& rng) const {
   TGSIM_CHECK(!egos.empty());
@@ -111,16 +182,7 @@ TgaeGenerator::DecodedBatch TgaeGenerator::EncodeDecode(
   } else {
     for (size_t e = 0; e < egos.size(); ++e) {
       const graphs::EgoGraph& ego = egos[e];
-      // First-parent tree for path sums (Alg. 2 recursion). Only strictly
-      // layered edges define the tree so paths cannot cycle.
-      std::vector<int> parent(static_cast<size_t>(ego.size()), -1);
-      for (auto [p, c] : ego.edges) {
-        if (ego.depth[static_cast<size_t>(c)] !=
-            ego.depth[static_cast<size_t>(p)] + 1)
-          continue;
-        if (parent[static_cast<size_t>(c)] == -1)
-          parent[static_cast<size_t>(c)] = p;
-      }
+      std::vector<int> parent = PathSumParents(ego);
       int z_base = static_cast<int>(z_nodes.size());
       for (int j = 0; j < ego.size(); ++j)
         z_nodes.push_back(ego.nodes[static_cast<size_t>(j)]);
@@ -164,20 +226,41 @@ TgaeGenerator::DecodedBatch TgaeGenerator::EncodeDecode(
   nn::Var rows_h = nn::GatherRows(h0, center_of_row);
   nn::Var z_contrib =
       nn::SegmentSum(nn::GatherRows(z, z_src), z_dst, num_rows);
-  rows_h = nn::Add(rows_h, z_contrib);
-  if (config_.tie_decoder) {
-    batch.logits = nn::Add(
-        nn::MatMul(rows_h, nn::Transpose(node_emb_->table())), b_dec_);
-  } else {
-    batch.logits = nn::Add(nn::MatMul(rows_h, w_dec_), b_dec_);
-  }
+  batch.rows = nn::Add(rows_h, z_contrib);
   return batch;
 }
 
-nn::Tensor TgaeGenerator::TargetRows(
+void TgaeGenerator::DecodeLogits(DecodedBatch& batch,
+                                 const std::vector<int>* candidates) const {
+  if (candidates == nullptr) {
+    if (config_.tie_decoder) {
+      batch.logits = nn::Add(
+          nn::MatMul(batch.rows, nn::Transpose(node_emb_->table())), b_dec_);
+    } else {
+      batch.logits = nn::Add(nn::MatMul(batch.rows, w_dec_), b_dec_);
+    }
+    return;
+  }
+  // Candidate-set decode: slice the candidate columns out of the decoder
+  // weight, so the matmul costs O(rows x |candidates| x d_enc). For the
+  // tied decoder a row gather + transpose stays O(|candidates| x d_enc)
+  // instead of transposing the whole n-row table. Both produce the exact
+  // column values of the dense decode (same ascending-k accumulation).
+  nn::Var w_cols =
+      config_.tie_decoder
+          ? nn::Transpose(nn::GatherRows(node_emb_->table(), *candidates))
+          : nn::GatherCols(w_dec_, *candidates);
+  batch.logits = nn::Add(nn::MatMul(batch.rows, w_cols),
+                         nn::GatherCols(b_dec_, *candidates));
+}
+
+nn::SparseRowTargets TgaeGenerator::TargetRows(
     const std::vector<graphs::TemporalNodeRef>& row_nodes) const {
-  const int n = shape_.num_nodes;
-  nn::Tensor targets(static_cast<int>(row_nodes.size()), n);
+  nn::SparseRowTargets targets;
+  targets.offsets.reserve(row_nodes.size() + 1);
+  // Node -> entry slot of the current row; touched slots are reset after
+  // each row so hub-sized neighborhoods dedup in O(k), not O(k^2).
+  std::vector<int> slot(static_cast<size_t>(shape_.num_nodes), -1);
   for (size_t i = 0; i < row_nodes.size(); ++i) {
     // Directed adjacency row A_{u^t} (Eq. 6); temporal nodes that only
     // appear as destinations fall back to their full temporal neighborhood
@@ -189,12 +272,53 @@ nn::Tensor TgaeGenerator::TargetRows(
                                              row_nodes[i].t,
                                              /*time_window=*/0);
     }
-    if (nbrs.empty()) continue;
-    double w = 1.0 / static_cast<double>(nbrs.size());
-    for (const auto& nb : nbrs)
-      targets.at(static_cast<int>(i), nb.node) += w;
+    if (!nbrs.empty()) {
+      double w = 1.0 / static_cast<double>(nbrs.size());
+      const int row_begin = static_cast<int>(targets.cols.size());
+      for (const auto& nb : nbrs) {
+        // Repeated neighbors accumulate +w per occurrence, reproducing the
+        // dense adjacency-row build bit for bit when scattered.
+        int& e = slot[static_cast<size_t>(nb.node)];
+        if (e < 0) {
+          e = static_cast<int>(targets.cols.size());
+          targets.AppendEntry(nb.node, w);
+        } else {
+          targets.weights[static_cast<size_t>(e)] += w;
+        }
+      }
+      for (int e = row_begin; e < static_cast<int>(targets.cols.size());
+           ++e)
+        slot[static_cast<size_t>(targets.cols[static_cast<size_t>(e)])] = -1;
+    }
+    targets.FinishRow();
   }
   return targets;
+}
+
+std::vector<nn::Scalar> TgaeGenerator::DenseLogitsRow(const nn::Tensor& rows,
+                                                      int r) const {
+  const int n = shape_.num_nodes;
+  const int d = rows.cols();
+  const nn::Scalar* h = rows.row(r);
+  const nn::Tensor& bias = b_dec_.value();
+  std::vector<nn::Scalar> out(static_cast<size_t>(n), 0.0);
+  if (config_.tie_decoder) {
+    const nn::Tensor& table = node_emb_->table().value();
+    for (int v = 0; v < n; ++v) {
+      nn::Scalar acc = 0.0;
+      const nn::Scalar* e = table.row(v);
+      for (int k = 0; k < d; ++k) acc += h[k] * e[k];
+      out[static_cast<size_t>(v)] = acc + bias.at(0, v);
+    }
+  } else {
+    const nn::Tensor& w = w_dec_.value();
+    for (int v = 0; v < n; ++v) {
+      nn::Scalar acc = 0.0;
+      for (int k = 0; k < d; ++k) acc += h[k] * w.at(k, v);
+      out[static_cast<size_t>(v)] = acc + bias.at(0, v);
+    }
+  }
+  return out;
 }
 
 void TgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
@@ -258,10 +382,33 @@ void TgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
     for (const auto& c : centers) egos.push_back(ego_sampler_->Sample(c, rng));
 
     opt.ZeroGrad();
-    DecodedBatch batch = EncodeDecode(egos, /*centers_only=*/false,
-                                      /*stochastic=*/true, rng);
-    nn::Tensor targets = TargetRows(batch.row_nodes);
-    nn::Var loss = nn::RowCrossEntropyWithLogits(batch.logits, targets);
+    DecodedBatch batch = Encode(egos, /*centers_only=*/false,
+                                /*stochastic=*/true, rng);
+    nn::SparseRowTargets targets = TargetRows(batch.row_nodes);
+    nn::Var loss;
+    if (config_.sparse_decoder) {
+      // Candidate set: the batch's positives plus `negative_samples`
+      // shared uniform negatives, so the sampled softmax scores each row
+      // on O(positives + negatives) columns instead of all n.
+      CandidateSet candidates(n);
+      for (int c : targets.cols) candidates.Add(c);
+      for (int s = 0; s < config_.negative_samples; ++s)
+        candidates.Add(static_cast<int>(rng.UniformInt(n)));
+      // Remap the targets from global node ids to candidate space.
+      for (int& c : targets.cols) c = candidates.slot_of(c);
+      DecodeLogits(batch, &candidates.columns());
+      loss = nn::SampledSoftmaxCrossEntropy(batch.logits, targets);
+    } else {
+      DecodeLogits(batch, /*candidates=*/nullptr);
+      nn::Tensor dense(static_cast<int>(batch.row_nodes.size()), n);
+      for (int r = 0; r < targets.rows(); ++r) {
+        for (int e = targets.offsets[static_cast<size_t>(r)];
+             e < targets.offsets[static_cast<size_t>(r) + 1]; ++e)
+          dense.at(r, targets.cols[static_cast<size_t>(e)]) =
+              targets.weights[static_cast<size_t>(e)];
+      }
+      loss = nn::RowCrossEntropyWithLogits(batch.logits, dense);
+    }
     if (config_.probabilistic) {
       loss = nn::Add(loss, nn::Scale(nn::KlToStandardNormal(
                                          batch.mu, batch.logvar),
@@ -310,7 +457,8 @@ graphs::TemporalGraph TgaeGenerator::Generate(Rng& rng) {
         }
       }
     }
-    // Chunked decoding keeps peak memory at O(chunk x n).
+    // Chunked decoding keeps peak memory at O(chunk x n) dense,
+    // O(chunk x |support union|) sparse.
     for (size_t base = 0; base < occ.size();
          base += static_cast<size_t>(config_.generation_chunk)) {
       size_t end = std::min(
@@ -318,46 +466,109 @@ graphs::TemporalGraph TgaeGenerator::Generate(Rng& rng) {
       std::vector<graphs::EgoGraph> egos;
       for (size_t i = base; i < end; ++i)
         egos.push_back(ego_sampler_->Sample(occ[i], rng));
-      DecodedBatch batch = EncodeDecode(egos, /*centers_only=*/true,
-                                        /*stochastic=*/false, rng);
-      nn::Tensor probs = batch.logits.value().SoftmaxRows();
+
+      // Support sets first (pure observed-graph lookups, no rng): paper
+      // Section IV-G normalizes the categorical over the temporal
+      // neighborhood N(u^t) — scores outside the neighborhood support are
+      // not eligible. The support is directed (the row's budget is the
+      // observed out-degree). Neighbors from the surrounding window ring
+      // carry a fixed temporal-proximity discount: the decoder's output
+      // classes are per-node (that is TGAE's O(n^2 T) advantage over
+      // TagGen's O(n^2 T^2) state space), so within-window time preference
+      // cannot be learned and is supplied as a prior (DESIGN.md §2).
+      const size_t chunk_rows = end - base;
+      std::vector<std::vector<graphs::NodeId>> supports(chunk_rows);
+      std::vector<std::vector<bool>> exacts(chunk_rows);
       for (size_t i = base; i < end; ++i) {
-        int row = static_cast<int>(i - base);
-        graphs::NodeId u = occ[i].node;
-        // Paper Section IV-G: the categorical distribution is normalized
-        // over the temporal neighborhood N(u^t) — scores outside the
-        // neighborhood support are not eligible. The support is directed
-        // (the row's budget is the observed out-degree). Neighbors from
-        // the surrounding window ring carry a fixed temporal-proximity
-        // discount: the decoder's output classes are per-node (that is
-        // TGAE's O(n^2 T) advantage over TagGen's O(n^2 T^2) state space),
-        // so within-window time preference cannot be learned and is
-        // supplied as a prior (DESIGN.md §2).
+        const graphs::NodeId u = occ[i].node;
+        std::vector<graphs::NodeId>& support = supports[i - base];
+        std::vector<bool>& is_exact = exacts[i - base];
         std::vector<graphs::TemporalNeighbor> nbrs =
             observed_->OutNeighborhood(u, occ[i].t,
                                        config_.generation_time_window);
-        std::vector<graphs::NodeId> support;
-        std::vector<bool> is_exact;
-        {
-          std::unordered_set<graphs::NodeId> seen;
-          for (const auto& nb : nbrs) {
-            if (nb.node == u) continue;
-            auto [it, inserted] = seen.insert(nb.node);
-            if (inserted) {
-              support.push_back(nb.node);
-              is_exact.push_back(nb.t == occ[i].t);
-            } else if (nb.t == occ[i].t) {
-              for (size_t c = 0; c < support.size(); ++c)
-                if (support[c] == nb.node) is_exact[c] = true;
-            }
+        std::unordered_set<graphs::NodeId> seen;
+        for (const auto& nb : nbrs) {
+          if (nb.node == u) continue;
+          auto [it, inserted] = seen.insert(nb.node);
+          if (inserted) {
+            support.push_back(nb.node);
+            is_exact.push_back(nb.t == occ[i].t);
+          } else if (nb.t == occ[i].t) {
+            for (size_t c = 0; c < support.size(); ++c)
+              if (support[c] == nb.node) is_exact[c] = true;
           }
         }
-        std::vector<double> weights(support.size());
+      }
+
+      DecodedBatch batch = Encode(egos, /*centers_only=*/true,
+                                  /*stochastic=*/false, rng);
+      // Sparse decode scores only the union of the chunk's support
+      // columns. The dense decode scores all n columns (the paper-preset
+      // default).
+      CandidateSet candidates(config_.sparse_decoder ? n : 0);
+      if (config_.sparse_decoder) {
+        for (const auto& support : supports)
+          for (graphs::NodeId v : support) candidates.Add(v);
+        DecodeLogits(batch, &candidates.columns());
+      } else {
+        DecodeLogits(batch, /*candidates=*/nullptr);
+      }
+      const nn::Tensor& logits = batch.logits.value();
+
+      for (size_t i = base; i < end; ++i) {
+        const int row = static_cast<int>(i - base);
+        const graphs::NodeId u = occ[i].node;
+        const std::vector<graphs::NodeId>& support = supports[i - base];
+        const std::vector<bool>& is_exact = exacts[i - base];
+
+        // Support logits come out of the decoded tensor either way: the
+        // sparse decode scored exactly the support-union columns, and its
+        // values match the dense decode's columns bit for bit.
+        std::vector<nn::Scalar> sup_logits(support.size());
         for (size_t c = 0; c < support.size(); ++c)
-          weights[c] = (probs.at(row, support[c]) + 1e-12) *
-                       (is_exact[c] ? 1.0 : config_.generation_ring_weight);
+          sup_logits[c] = config_.sparse_decoder
+                              ? logits.at(row, candidates.slot_of(support[c]))
+                              : logits.at(row, support[c]);
+
+        // The categorical is normalized on the support directly: a
+        // stabilized exp over the support logits times the ring prior. (A
+        // full-row softmax restricted to the support renormalizes to the
+        // same distribution; this skips the n-wide pass.)
+        auto support_weights = [&]() {
+          std::vector<double> w(support.size());
+          if (!support.empty()) {
+            nn::Scalar m =
+                *std::max_element(sup_logits.begin(), sup_logits.end());
+            for (size_t c = 0; c < support.size(); ++c)
+              w[c] = std::exp(sup_logits[c] - m) *
+                     (is_exact[c] ? 1.0 : config_.generation_ring_weight);
+          }
+          return w;
+        };
+        // Full-row probabilities, needed only by the empty-support
+        // fallback: the dense decode already holds the row; the sparse
+        // path reconstructs it on demand (O(n d) for the rare row instead
+        // of every row).
+        auto full_row_probs = [&]() {
+          std::vector<nn::Scalar> p =
+              config_.sparse_decoder
+                  ? DenseLogitsRow(batch.rows.value(), row)
+                  : std::vector<nn::Scalar>(logits.row(row),
+                                            logits.row(row) + n);
+          nn::Scalar m = p[0];
+          for (size_t v = 1; v < p.size(); ++v) m = std::max(m, p[v]);
+          nn::Scalar z = 0.0;
+          for (size_t v = 0; v < p.size(); ++v) {
+            p[v] = std::exp(p[v] - m);
+            z += p[v];
+          }
+          for (size_t v = 0; v < p.size(); ++v) p[v] /= z;
+          return p;
+        };
+
         // Categorical sampling without replacement (paper Section IV-G);
         // budgets beyond the support fall back to the full score row.
+        std::vector<double> weights = support_weights();
         int wanted = std::min(budget[i], n - 1);
         int from_support =
             std::min(wanted, static_cast<int>(support.size()));
@@ -387,28 +598,31 @@ graphs::TemporalGraph TgaeGenerator::Generate(Rng& rng) {
           // with replacement, reproducing duplicate temporal edges; only
           // an empty support falls back to the full score row.
           if (!support.empty()) {
-            for (size_t c = 0; c < support.size(); ++c)
-              weights[c] =
-                  (probs.at(row, support[c]) + 1e-12) *
-                  (is_exact[c] ? 1.0 : config_.generation_ring_weight);
+            weights = support_weights();
             for (int d = from_support; d < wanted; ++d) {
               graphs::NodeId v = support[rng.WeightedChoice(weights)];
               out.AddEdge(u, v, static_cast<graphs::Timestamp>(t));
             }
           } else {
+            std::vector<nn::Scalar> probs = full_row_probs();
             std::vector<double> full(static_cast<size_t>(n));
             for (int v = 0; v < n; ++v)
               full[static_cast<size_t>(v)] =
-                  taken[static_cast<size_t>(v)] ? 0.0 : probs.at(row, v);
+                  taken[static_cast<size_t>(v)]
+                      ? 0.0
+                      : probs[static_cast<size_t>(v)];
             for (int d = from_support; d < wanted; ++d) {
               double total = 0.0;
               for (double w : full) total += w;
               graphs::NodeId v;
               if (total <= 1e-15) {
-                v = static_cast<graphs::NodeId>(
-                    rng.UniformInt(static_cast<int64_t>(n)));
-                if (taken[static_cast<size_t>(v)])
-                  v = static_cast<graphs::NodeId>((v + 1) % n);
+                // All remaining probability mass sits on taken nodes:
+                // draw uniformly and scan to the next untaken node, so a
+                // collision can never emit a duplicate destination or a
+                // self-loop (u itself is marked taken).
+                v = static_cast<graphs::NodeId>(NextUntakenNode(
+                    taken,
+                    static_cast<int>(rng.UniformInt(static_cast<int64_t>(n)))));
               } else {
                 v = static_cast<graphs::NodeId>(rng.WeightedChoice(full));
               }

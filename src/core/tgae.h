@@ -63,6 +63,18 @@ struct TgaeConfig {
   /// embedding into the center representation. Halves decoder parameters
   /// and substantially sharpens the decoded rows.
   bool tie_decoder = true;
+  /// Sparse decode path. Training scores each decoded row only on its
+  /// candidate set (the batch's positives plus `negative_samples` shared
+  /// negatives) via SampledSoftmaxCrossEntropy, making the reconstruction
+  /// term O(positives + negatives) per row; generation decodes logits only
+  /// over the union of support columns per chunk, O(support) per row. The
+  /// dense n-wide decode stays the default (and the `preset=paper`
+  /// behavior); `preset=fast` flips this on.
+  bool sparse_decoder = false;
+  /// Shared negative samples per training batch (sparse decoder only):
+  /// uniform node draws appended to the candidate set so the sampled
+  /// softmax sees columns outside the batch's positive support.
+  int negative_samples = 64;
   /// Center-batch chunk size during generation (bounds peak memory).
   int generation_chunk = 256;
   /// Name shown in tables ("TGAE", "TGAE-g", ...).
@@ -77,6 +89,21 @@ struct TgaeConfig {
   Status ApplyParams(const config::ParamMap& params);
   static config::ParamSchema Schema();
 };
+
+/// First-parent array of the Alg. 2 path-sum recursion: parent[j] is the
+/// ego-node index whose path the decoder row of node j extends (-1 for the
+/// center and for nodes with no shallower-depth parent). Strictly layered
+/// edges (depth[c] == depth[p] + 1) win; nodes whose strictly-layered chain
+/// is broken fall back to any shallower-depth parent so their path sum
+/// still reaches the center instead of silently degrading to "own z only".
+/// Exposed for the hand-built ego-graph pin test.
+std::vector<int> PathSumParents(const graphs::EgoGraph& ego);
+
+/// First node index >= `start` (cyclically) with taken[v] == false; returns
+/// `start` if every node is taken. Used by the generation empty-support
+/// fallback so a collision never lands on a taken node (or the source node
+/// itself) after a single step. Exposed for the regression test.
+int NextUntakenNode(const std::vector<bool>& taken, int start);
 
 /// Temporal Graph Autoencoder — the paper's contribution.
 ///
@@ -120,29 +147,45 @@ class TgaeGenerator : public baselines::TemporalGraphGenerator {
   Status LoadCheckpoint(const std::string& path);
 
  private:
-  /// Decoded categorical rows for a batch of ego-graphs.
+  /// Encoded (and optionally decoded) rows for a batch of ego-graphs.
   struct DecodedBatch {
-    nn::Var logits;  // R x n edge logits (R = decoded rows).
+    nn::Var rows;    // R x d_enc decoder inputs (h_center + path-sum z).
+    nn::Var logits;  // Filled by DecodeLogits: R x n (dense decode) or
+                     // R x |candidates| (sparse decode).
     std::vector<graphs::TemporalNodeRef> row_nodes;
     nn::Var mu;      // Variational head outputs (for the KL term).
     nn::Var logvar;
   };
 
-  /// Runs encode + decode on a batch of ego-graphs. With `centers_only`
-  /// only the ego centers receive rows (generation); otherwise every ego
-  /// node does (training, Alg. 2 recursion). `stochastic` toggles the
-  /// reparameterized sample vs. the posterior mean.
-  DecodedBatch EncodeDecode(const std::vector<graphs::EgoGraph>& egos,
-                            bool centers_only, bool stochastic,
-                            Rng& rng) const;
+  /// Runs the encoder on a batch of ego-graphs and assembles the decoder
+  /// input rows (h_center + Alg. 2 path-sum z). With `centers_only` only
+  /// the ego centers receive rows (generation); otherwise every ego node
+  /// does (training). `stochastic` toggles the reparameterized sample vs.
+  /// the posterior mean. Does not decode: call DecodeLogits next.
+  DecodedBatch Encode(const std::vector<graphs::EgoGraph>& egos,
+                      bool centers_only, bool stochastic, Rng& rng) const;
+
+  /// Fills `batch.logits`. With `candidates == nullptr` this is the dense
+  /// n-wide decode; otherwise only the candidate columns are scored
+  /// (GatherCols on the decoder weight), making the matmul
+  /// O(rows x |candidates|).
+  void DecodeLogits(DecodedBatch& batch,
+                    const std::vector<int>* candidates) const;
 
   /// Learned input features (node embedding + time embedding).
   nn::Var InputFeatures(
       const std::vector<graphs::TemporalNodeRef>& nodes) const;
 
-  /// Normalized adjacency target rows at each row node's timestamp.
-  nn::Tensor TargetRows(
+  /// Normalized adjacency target rows at each row node's timestamp, as a
+  /// sparse (node index, weight) representation in global column space.
+  nn::SparseRowTargets TargetRows(
       const std::vector<graphs::TemporalNodeRef>& row_nodes) const;
+
+  /// Dense logits of one decoded row (b + rows.row(r) . W_dec), used by
+  /// the sparse generation path's empty-support fallback only. Matches the
+  /// dense decode bit for bit (same ascending-k accumulation).
+  std::vector<nn::Scalar> DenseLogitsRow(const nn::Tensor& rows,
+                                         int r) const;
 
   TgaeConfig config_;
   const graphs::TemporalGraph* observed_ = nullptr;

@@ -59,7 +59,10 @@ MethodSpec TgaeSpec(const std::string& name, core::TgaeVariant variant,
   spec.in_main_table = in_main_table;
   spec.in_ablation_table = true;
   spec.schema = core::TgaeConfig::Schema();
-  spec.fast_preset = Tokens({"epochs=5", "batch_centers=16"});
+  // The fast profile also flips on the sparse candidate-set decoder;
+  // preset=paper keeps the dense n-wide decode (the paper's formulation).
+  spec.fast_preset =
+      Tokens({"epochs=5", "batch_centers=16", "sparse_decoder=true"});
   spec.factory = [variant](const config::ParamMap& params)
       -> Result<GeneratorPtr> {
     core::TgaeConfig cfg = core::TgaeConfig::ForVariant(variant);

@@ -540,6 +540,36 @@ Var GatherRows(const Var& a, std::vector<int> idx) {
   });
 }
 
+Var GatherCols(const Var& a, std::vector<int> idx) {
+  const int rows = a.rows();
+  const int width = static_cast<int>(idx.size());
+  for (int j : idx) TGSIM_CHECK(j >= 0 && j < a.cols());
+  Tensor out(rows, width);
+  parallel::ParallelFor(
+      0, rows, RowGrain(width), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r)
+          for (int j = 0; j < width; ++j)
+            out.at(static_cast<int>(r), j) =
+                a.value().at(static_cast<int>(r),
+                             idx[static_cast<size_t>(j)]);
+      });
+  return MakeOp(std::move(out), {a}, [idx = std::move(idx)](Node& self) {
+    auto& pa = self.parents[0];
+    if (!NeedsGrad(pa)) return;
+    pa->EnsureGrad();
+    // Rows are disjoint across chunks; duplicate column indices accumulate
+    // serially within a row, so the scatter-add is thread-count invariant.
+    parallel::ParallelFor(
+        0, self.grad.rows(), RowGrain(self.grad.cols()),
+        [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r)
+            for (int j = 0; j < self.grad.cols(); ++j)
+              pa->grad.at(static_cast<int>(r), idx[static_cast<size_t>(j)]) +=
+                  self.grad.at(static_cast<int>(r), j);
+        });
+  });
+}
+
 Var SegmentSum(const Var& a, std::vector<int> seg, int num_segments) {
   TGSIM_CHECK_EQ(static_cast<int>(seg.size()), a.rows());
   // Each segment owns one output row; per-segment member order (ascending
@@ -649,6 +679,83 @@ Var RowCrossEntropyWithLogits(const Var& logits, const Tensor& targets) {
   Var weighted = Mul(log_p, Var::Constant(targets));
   int rows = targets.rows();
   return Scale(Sum(weighted), -1.0 / static_cast<Scalar>(rows));
+}
+
+Var SampledSoftmaxCrossEntropy(const Var& logits,
+                               const SparseRowTargets& targets) {
+  const Tensor& x = logits.value();
+  const int rows = x.rows();
+  const int cols = x.cols();
+  TGSIM_CHECK_EQ(targets.rows(), rows);
+  TGSIM_CHECK_EQ(targets.cols.size(), targets.weights.size());
+  for (int c : targets.cols) TGSIM_CHECK(c >= 0 && c < cols);
+  TGSIM_CHECK_GT(rows, 0);
+
+  // Per-row losses computed in parallel (disjoint slots), combined by a
+  // serial ascending sweep so the total keeps one FP association for any
+  // thread count.
+  std::vector<Scalar> row_loss(static_cast<size_t>(rows), 0.0);
+  parallel::ParallelFor(
+      0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+        for (int64_t ri = r0; ri < r1; ++ri) {
+          const int r = static_cast<int>(ri);
+          const int begin = targets.offsets[static_cast<size_t>(r)];
+          const int end = targets.offsets[static_cast<size_t>(r) + 1];
+          if (begin == end) continue;
+          Scalar m = x.at(r, 0);
+          for (int c = 1; c < cols; ++c) m = std::max(m, x.at(r, c));
+          Scalar z = 0.0;
+          for (int c = 0; c < cols; ++c) z += std::exp(x.at(r, c) - m);
+          Scalar log_z = m + std::log(z);
+          Scalar loss = 0.0;
+          for (int e = begin; e < end; ++e)
+            loss += targets.weights[static_cast<size_t>(e)] *
+                    (log_z - x.at(r, targets.cols[static_cast<size_t>(e)]));
+          row_loss[static_cast<size_t>(r)] = loss;
+        }
+      });
+  Scalar total = 0.0;
+  for (Scalar l : row_loss) total += l;
+  Tensor out(1, 1);
+  out.at(0, 0) = total / static_cast<Scalar>(rows);
+
+  SparseRowTargets tcopy = targets;
+  return MakeOp(
+      std::move(out), {logits},
+      [t = std::move(tcopy), rows](Node& self) {
+        auto& pa = self.parents[0];
+        if (!NeedsGrad(pa)) return;
+        pa->EnsureGrad();
+        const Scalar g = self.grad.at(0, 0) / static_cast<Scalar>(rows);
+        const int cols = pa->value.cols();
+        // d/dl_c = W_r * softmax(l)_c - w_c, with W_r the row's target
+        // mass. Rows are disjoint across chunks.
+        parallel::ParallelFor(
+            0, static_cast<int64_t>(rows), RowGrain(cols),
+            [&](int64_t r0, int64_t r1) {
+              for (int64_t ri = r0; ri < r1; ++ri) {
+                const int r = static_cast<int>(ri);
+                const int begin = t.offsets[static_cast<size_t>(r)];
+                const int end = t.offsets[static_cast<size_t>(r) + 1];
+                if (begin == end) continue;
+                Scalar mass = 0.0;
+                for (int e = begin; e < end; ++e)
+                  mass += t.weights[static_cast<size_t>(e)];
+                Scalar m = pa->value.at(r, 0);
+                for (int c = 1; c < cols; ++c)
+                  m = std::max(m, pa->value.at(r, c));
+                Scalar z = 0.0;
+                for (int c = 0; c < cols; ++c)
+                  z += std::exp(pa->value.at(r, c) - m);
+                for (int c = 0; c < cols; ++c)
+                  pa->grad.at(r, c) +=
+                      g * mass * std::exp(pa->value.at(r, c) - m) / z;
+                for (int e = begin; e < end; ++e)
+                  pa->grad.at(r, t.cols[static_cast<size_t>(e)]) -=
+                      g * t.weights[static_cast<size_t>(e)];
+              }
+            });
+      });
 }
 
 Var BinaryCrossEntropyWithLogits(const Var& logits, const Tensor& targets,

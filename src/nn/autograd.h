@@ -117,6 +117,11 @@ Var ConcatRows(const std::vector<Var>& vs);
 Var SliceCols(const Var& a, int begin, int end);
 /// out.row(i) = a.row(idx[i]); backward scatter-adds.
 Var GatherRows(const Var& a, std::vector<int> idx);
+/// out[r, j] = a[r, idx[j]]; backward scatter-adds into the picked columns
+/// (duplicate indices accumulate). This is the sparse-decoder primitive:
+/// slicing the candidate columns out of the n-wide decoder weight makes the
+/// decode matmul O(rows x |candidates|) instead of O(rows x n).
+Var GatherCols(const Var& a, std::vector<int> idx);
 /// out.row(seg[i]) += a.row(i); `num_segments` rows in the output.
 Var SegmentSum(const Var& a, std::vector<int> seg, int num_segments);
 /// Softmax over entries sharing a segment id. `scores` is E x 1, seg[i] in
@@ -133,6 +138,32 @@ Var Transpose(const Var& a);
 /// reconstruction term of the paper's Eq. 6/7 where each target row is the
 /// (normalized) adjacency row A_{u^t}.
 Var RowCrossEntropyWithLogits(const Var& logits, const Tensor& targets);
+
+/// Sparse per-row targets in CSR form: row i owns the entries
+/// [offsets[i], offsets[i+1]) of cols/weights. `cols` index the columns of
+/// the logits they will be scored against (candidate-space columns for the
+/// sampled-softmax loss). Rows may be empty (zero loss contribution).
+struct SparseRowTargets {
+  std::vector<int> offsets{0};
+  std::vector<int> cols;
+  std::vector<Scalar> weights;
+
+  int rows() const { return static_cast<int>(offsets.size()) - 1; }
+  void AppendEntry(int col, Scalar weight) {
+    cols.push_back(col);
+    weights.push_back(weight);
+  }
+  void FinishRow() { offsets.push_back(static_cast<int>(cols.size())); }
+};
+
+/// Sampled-softmax cross entropy: mean over rows of
+/// -sum_j w_j * log_softmax(logit_row)[c_j], with the softmax taken over
+/// the logits' columns only (the candidate set: positives plus shared
+/// negatives). With logits gathered over a candidate set C this makes the
+/// reconstruction term O(|C|) per row instead of O(n); with C = all n
+/// columns it equals RowCrossEntropyWithLogits on the scattered targets.
+Var SampledSoftmaxCrossEntropy(const Var& logits,
+                               const SparseRowTargets& targets);
 
 /// Mean elementwise binary cross entropy with logits; positive entries can
 /// be up-weighted (VGAE-style class balancing).

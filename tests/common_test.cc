@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -81,6 +82,25 @@ TEST(RngTest, WeightedChoiceFollowsWeights) {
   for (int i = 0; i < 8000; ++i) ++seen[rng.WeightedChoice(w)];
   EXPECT_EQ(seen[1], 0);
   EXPECT_NEAR(static_cast<double>(seen[2]) / seen[0], 3.0, 0.5);
+}
+
+TEST(RngTest, WeightedChoiceDriftGuardSkipsTrailingZeroWeights) {
+  // With a min-denormal total, r = Uniform() * total rounds up to exactly
+  // `total` about half the time, so the accumulation loop falls through to
+  // the floating-point drift guard. The guard must return the last
+  // *positive*-weight index — a zero-weight entry marks a slot the caller
+  // already consumed (the without-replacement loops in generation), and
+  // returning it emits a duplicate edge.
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  std::vector<double> w = {denorm, 0.0};
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(rng.WeightedChoice(w), 0u) << "draw " << i;
+  // Same with several trailing zeros after the positive entry.
+  std::vector<double> w2 = {0.0, denorm, 0.0, 0.0};
+  Rng rng2(8);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(rng2.WeightedChoice(w2), 1u) << "draw " << i;
 }
 
 TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {

@@ -96,10 +96,14 @@ TEST(RegistryTest, ParamsOverrideConfigFields) {
 }
 
 TEST(RegistryTest, FastPresetReproducesOldEffortConfigs) {
-  // The preset=fast overlays must stay pinned to the exact configs the
-  // retired Effort::kFast enum produced (PR 3 acceptance criterion).
+  // The preset=fast overlays stay pinned: the PR 3 Effort::kFast shrink
+  // plus (for the TGAE family) the sparse candidate-set decoder. The
+  // paper preset intentionally stays dense — see
+  // RegistryTest.SparseDecoderKnobsArePinned.
+  const std::string tgae_fast =
+      "epochs=5 batch_centers=16 sparse_decoder=true";
   const std::vector<std::pair<std::string, std::string>> expected = {
-      {"TGAE", "epochs=5 batch_centers=16"},
+      {"TGAE", tgae_fast},
       {"TIGGER", "epochs=3 walks_per_epoch=40"},
       {"DYMOND", ""},
       {"TGGAN", "iterations=8 batch_walks=12"},
@@ -110,10 +114,10 @@ TEST(RegistryTest, FastPresetReproducesOldEffortConfigs) {
       {"VGAE", "epochs=10"},
       {"Graphite", "epochs=10"},
       {"SBMGNN", "epochs=10"},
-      {"TGAE-g", "epochs=5 batch_centers=16"},
-      {"TGAE-t", "epochs=5 batch_centers=16"},
-      {"TGAE-n", "epochs=5 batch_centers=16"},
-      {"TGAE-p", "epochs=5 batch_centers=16"},
+      {"TGAE-g", tgae_fast},
+      {"TGAE-t", tgae_fast},
+      {"TGAE-n", tgae_fast},
+      {"TGAE-p", tgae_fast},
   };
   EXPECT_EQ(AllMethodNames().size(), 11u);
   EXPECT_EQ(AblationMethodNames().size(), 5u);
@@ -129,6 +133,40 @@ TEST(RegistryTest, FastPresetReproducesOldEffortConfigs) {
   ASSERT_NE(tgae, nullptr);
   EXPECT_EQ(tgae->config().epochs, 5);
   EXPECT_EQ(tgae->config().batch_centers, 16);
+}
+
+TEST(RegistryTest, SparseDecoderKnobsArePinned) {
+  // The sparse-decoder surface is part of the schema for the whole TGAE
+  // family; preset=fast flips it on, preset=paper must keep the dense
+  // n-wide decode (the paper's formulation) — that invariant is relied on
+  // by the paper-table benches.
+  for (const std::string& name :
+       {std::string("TGAE"), std::string("TGAE-g"), std::string("TGAE-p")}) {
+    const MethodSpec* spec = FindMethod(name);
+    ASSERT_NE(spec, nullptr) << name;
+    const config::ParamSpec* sparse = spec->schema.Find("sparse_decoder");
+    ASSERT_NE(sparse, nullptr) << name;
+    EXPECT_EQ(sparse->type, config::ParamType::kBool) << name;
+    EXPECT_EQ(sparse->default_value, "false") << name;
+    const config::ParamSpec* negatives =
+        spec->schema.Find("negative_samples");
+    ASSERT_NE(negatives, nullptr) << name;
+    EXPECT_EQ(negatives->type, config::ParamType::kInt) << name;
+    EXPECT_NE(spec->fast_preset.ToString().find("sparse_decoder=true"),
+              std::string::npos)
+        << name;
+  }
+  auto paper = MakeGenerator("TGAE", Params({"preset=paper"}));
+  ASSERT_TRUE(paper.ok());
+  auto* dense = dynamic_cast<core::TgaeGenerator*>(paper.value().get());
+  ASSERT_NE(dense, nullptr);
+  EXPECT_FALSE(dense->config().sparse_decoder);
+  auto fast = MakeGenerator("TGAE", Params({"preset=fast"}));
+  ASSERT_TRUE(fast.ok());
+  auto* sparse = dynamic_cast<core::TgaeGenerator*>(fast.value().get());
+  ASSERT_NE(sparse, nullptr);
+  EXPECT_TRUE(sparse->config().sparse_decoder);
+  EXPECT_GT(sparse->config().negative_samples, 0);
 }
 
 TEST(RegistryTest, ExplicitParamWinsOverPreset) {

@@ -1,6 +1,7 @@
 #include "core/tgae.h"
 
 #include <cmath>
+#include <set>
 
 #include "datasets/synthetic.h"
 #include "eval/registry.h"
@@ -154,6 +155,117 @@ TEST(TgaeTest, GeneratedEdgesPreferObservedSupport) {
     }
   }
   EXPECT_GT(in_support, out.num_edges() * 9 / 10);
+}
+
+TEST(TgaeTest, SparseDecoderTrainsAndGenerates) {
+  graphs::TemporalGraph observed = Observed();
+  TgaeConfig cfg = FastConfig();
+  cfg.sparse_decoder = true;
+  cfg.negative_samples = 32;
+  TgaeGenerator gen(cfg);
+  Rng rng(14);
+  gen.Fit(observed, rng);
+  EXPECT_TRUE(std::isfinite(gen.last_epoch_loss()));
+  graphs::TemporalGraph out = gen.Generate(rng);
+  EXPECT_EQ(out.num_edges(), observed.num_edges());
+  EXPECT_EQ(out.EdgesPerTimestamp(), observed.EdgesPerTimestamp());
+}
+
+TEST(TgaeTest, SparseAndDenseGenerationDrawIdenticalEdges) {
+  // The sparse generation path decodes only the support-union columns, but
+  // those columns carry the exact values of the dense decode and the
+  // categorical is normalized on the support in both paths — so with the
+  // same weights and the same seed the drawn edge lists must be identical.
+  graphs::TemporalGraph observed = Observed();
+  TgaeConfig dense_cfg = FastConfig();
+  TgaeGenerator dense(dense_cfg);
+  Rng rd(17);
+  dense.Fit(observed, rd);
+  std::string path = ::testing::TempDir() + "/tgae_sparse_pin.ckpt";
+  ASSERT_TRUE(dense.SaveCheckpoint(path).ok());
+
+  TgaeConfig sparse_cfg = dense_cfg;
+  sparse_cfg.sparse_decoder = true;
+  sparse_cfg.epochs = 0;  // Build parameter structures only...
+  TgaeGenerator sparse(sparse_cfg);
+  Rng rs(17);
+  sparse.Fit(observed, rs);
+  // ...then share the dense model's trained weights.
+  ASSERT_TRUE(sparse.LoadCheckpoint(path).ok());
+
+  Rng g1(99);
+  Rng g2(99);
+  graphs::TemporalGraph a = dense.Generate(g1);
+  graphs::TemporalGraph b = sparse.Generate(g2);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t i = 0; i < a.edges().size(); ++i)
+    EXPECT_TRUE(a.edges()[i] == b.edges()[i]) << "edge " << i;
+}
+
+TEST(TgaeTest, NextUntakenNodeScansPastTakenNodes) {
+  std::vector<bool> taken = {true, false, true, true};
+  EXPECT_EQ(NextUntakenNode(taken, 0), 1);
+  EXPECT_EQ(NextUntakenNode(taken, 1), 1);
+  EXPECT_EQ(NextUntakenNode(taken, 2), 1);  // Wraps past the end.
+  EXPECT_EQ(NextUntakenNode(taken, 3), 1);
+  std::vector<bool> all_taken = {true, true};
+  EXPECT_EQ(NextUntakenNode(all_taken, 1), 1);  // Degenerate: start.
+}
+
+TEST(TgaeTest, EmptySupportFallbackEmitsNoSelfLoopsOrDuplicates) {
+  // Node 0's only observed interactions are self-loops, so its generation
+  // support is empty and all three of its edges go through the full-row
+  // fallback. The old single-step collision nudge could land on a taken
+  // node — including node 0 itself — emitting self-loops or duplicate
+  // destinations; the fallback must produce distinct non-self targets.
+  graphs::TemporalGraph g(5, 2);
+  for (int r = 0; r < 3; ++r) g.AddEdge(0, 0, 0);
+  g.AddEdge(1, 2, 0);
+  g.AddEdge(2, 3, 1);
+  g.AddEdge(3, 4, 1);
+  g.Finalize();
+  for (bool sparse : {false, true}) {
+    TgaeConfig cfg;
+    cfg.epochs = 2;
+    cfg.batch_centers = 4;
+    cfg.sparse_decoder = sparse;
+    TgaeGenerator gen(cfg);
+    Rng rng(3);
+    gen.Fit(g, rng);
+    graphs::TemporalGraph out = gen.Generate(rng);
+    std::set<graphs::NodeId> fallback_dests;
+    for (const auto& e : out.edges()) {
+      EXPECT_NE(e.u, e.v) << "self-loop (sparse=" << sparse << ")";
+      if (e.u == 0 && e.t == 0) {
+        EXPECT_TRUE(fallback_dests.insert(e.v).second)
+            << "duplicate destination " << e.v << " (sparse=" << sparse
+            << ")";
+      }
+    }
+    EXPECT_EQ(fallback_dests.size(), 3u) << "sparse=" << sparse;
+  }
+}
+
+TEST(TgaeTest, PathSumParentsFallsBackToShallowerParent) {
+  // Hand-built ego graph: node 1 is strictly layered under the center,
+  // node 2 extends node 1's path, node 3 is reachable only through a
+  // depth-skipping edge from the center (depth 0 -> depth 2), and node 4
+  // only through a same-depth edge. Alg. 2 path-sum semantics: 3 anchors
+  // to the shallower parent (the old first-parent tree silently dropped
+  // its path to "own z only"); 4 has no shallower parent and stays -1;
+  // same-depth edges never become parents, so chains cannot cycle.
+  graphs::EgoGraph ego;
+  ego.center = {0, 0};
+  ego.nodes = {{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  ego.depth = {0, 1, 2, 2, 2};
+  ego.edges = {{0, 1}, {1, 2}, {0, 3}, {3, 4}};
+  std::vector<int> parent = PathSumParents(ego);
+  ASSERT_EQ(parent.size(), 5u);
+  EXPECT_EQ(parent[0], -1);  // Center.
+  EXPECT_EQ(parent[1], 0);   // Strictly layered.
+  EXPECT_EQ(parent[2], 1);   // Strictly layered chain.
+  EXPECT_EQ(parent[3], 0);   // Shallower-depth fallback.
+  EXPECT_EQ(parent[4], -1);  // Same-depth edge is never a parent.
 }
 
 TEST(TgaeIntegrationTest, BeatsErdosRenyiOnStructureAndMotifs) {
