@@ -8,9 +8,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <utility>
 
+#include "config/param_map.h"
 #include "core/tgat_encoder.h"
 #include "datasets/synthetic.h"
+#include "eval/artifact.h"
+#include "eval/registry.h"
 #include "graph/bipartite.h"
 #include "graph/ego_sampler.h"
 #include "metrics/graph_stats.h"
@@ -271,6 +276,45 @@ void BM_MotifCensus(benchmark::State& state) {
         metrics::CountTemporalMotifs(g, delta, 500000));
 }
 BENCHMARK(BM_MotifCensus)->Arg(1)->Arg(2)->Arg(4);
+
+/// Artifact save+load round trip of a fitted TGAE at mimic scale
+/// state.range(0)/100: the fixed cost of the fit-once/serve-many path
+/// (eval::SaveArtifact + eval::LoadArtifact through /tmp). A loaded model
+/// replaces a full re-Fit, so this latency is what a serving process pays
+/// instead of training.
+void BM_ArtifactSaveLoad(benchmark::State& state) {
+  const double scale = 0.01 * static_cast<double>(state.range(0));
+  graphs::TemporalGraph observed =
+      datasets::MakeMimicByName("DBLP", scale, 4);
+  config::ParamMap params;
+  params.Override("preset", "fast");
+  params.Override("epochs", "1");
+  auto gen = std::move(eval::MakeGenerator("TGAE", params)).value();
+  Rng rng(9);
+  gen->Fit(observed, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tgsim_bench_artifact.tgsim")
+          .string();
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    Status saved = eval::SaveArtifact(*gen, "TGAE", params, path);
+    if (!saved.ok()) {
+      state.SkipWithError(saved.ToString().c_str());
+      break;
+    }
+    auto loaded = eval::LoadArtifact(path);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(loaded.value().generator);
+    bytes = static_cast<int64_t>(std::filesystem::file_size(path));
+  }
+  std::filesystem::remove(path);
+  state.counters["artifact_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes));
+}
+BENCHMARK(BM_ArtifactSaveLoad)->Arg(3)->Arg(6);
 
 }  // namespace
 

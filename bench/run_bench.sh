@@ -43,6 +43,16 @@ for args in pairs:
         f"BM_DecodeSparse{args}")
     if dense and sparse:
         print(f"  n/rows{args}: {dense / sparse:.1f}x")
+
+# Artifact save+load latency (the fixed cost of fit-once/serve-many;
+# BM_ArtifactSaveLoad rows carry the file size as artifact_bytes).
+artifact = [b for b in runs if b["name"].startswith("BM_ArtifactSaveLoad")]
+if artifact:
+    print("artifact save+load round trip:")
+for b in artifact:
+    size = b.get("artifact_bytes")
+    size_str = f", {size / 1e6:.1f} MB" if size else ""
+    print(f"  {b['name']}: {b['real_time'] / 1e6:.1f} ms{size_str}")
 EOF
 else
   echo "python3 not found; skipping decode speedup summary" >&2

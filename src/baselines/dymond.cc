@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "baselines/state_io.h"
 #include "metrics/graph_stats.h"
 
 namespace tgsim::baselines {
@@ -39,12 +40,75 @@ void DymondGenerator::Fit(const graphs::TemporalGraph& observed, Rng& /*rng*/) {
   node_activity_.assign(static_cast<size_t>(shape_.num_nodes), 0.0);
   for (graphs::NodeId u = 0; u < shape_.num_nodes; ++u)
     node_activity_[static_cast<size_t>(u)] = whole.Degree(u) + 0.25;
+  RebuildActivityCdf();
+}
+
+void DymondGenerator::RebuildActivityCdf() {
   activity_cdf_.resize(node_activity_.size());
   double acc = 0.0;
   for (size_t i = 0; i < node_activity_.size(); ++i) {
     acc += node_activity_[i];
     activity_cdf_[i] = acc;
   }
+}
+
+Status DymondGenerator::SaveState(std::ostream& out) const {
+  Status fitted = RequireFitted(shape_.num_nodes > 0, name());
+  if (!fitted.ok()) return fitted;
+  serialize::ArchiveWriter writer(out);
+  WriteShape(writer, shape_);
+  writer.BeginSection("motifs");
+  std::vector<int64_t> triangles, wedges, singles;
+  for (const MotifMix& mm : mix_) {
+    triangles.push_back(mm.triangles);
+    wedges.push_back(mm.wedges);
+    singles.push_back(mm.singles);
+  }
+  writer.WriteIntVector("triangles", triangles);
+  writer.WriteIntVector("wedges", wedges);
+  writer.WriteIntVector("singles", singles);
+  writer.WriteDoubleVector("node_activity", node_activity_);
+  return writer.Finish();
+}
+
+Status DymondGenerator::LoadState(std::istream& in) {
+  Result<serialize::ArchiveReader> parsed =
+      serialize::ArchiveReader::Parse(in);
+  if (!parsed.ok()) return parsed.status();
+  const serialize::ArchiveReader& reader = parsed.value();
+  ObservedShape shape;
+  Status s = ReadShape(reader, shape);
+  if (!s.ok()) return s;
+  Result<std::vector<int64_t>> triangles =
+      reader.GetIntVector("motifs", "triangles");
+  if (!triangles.ok()) return triangles.status();
+  Result<std::vector<int64_t>> wedges =
+      reader.GetIntVector("motifs", "wedges");
+  if (!wedges.ok()) return wedges.status();
+  Result<std::vector<int64_t>> singles =
+      reader.GetIntVector("motifs", "singles");
+  if (!singles.ok()) return singles.status();
+  Result<std::vector<double>> activity =
+      reader.GetDoubleVector("motifs", "node_activity");
+  if (!activity.ok()) return activity.status();
+  const size_t t_count = static_cast<size_t>(shape.num_timestamps);
+  if (triangles.value().size() != t_count ||
+      wedges.value().size() != t_count ||
+      singles.value().size() != t_count ||
+      activity.value().size() != static_cast<size_t>(shape.num_nodes))
+    return Status::InvalidArgument(
+        "corrupt archive: DYMOND motif sections disagree with the shape");
+
+  shape_ = std::move(shape);
+  mix_.assign(t_count, {});
+  for (size_t t = 0; t < t_count; ++t) {
+    mix_[t].triangles = triangles.value()[t];
+    mix_[t].wedges = wedges.value()[t];
+    mix_[t].singles = singles.value()[t];
+  }
+  node_activity_ = std::move(activity).value();
+  RebuildActivityCdf();
+  return Status::Ok();
 }
 
 graphs::TemporalGraph DymondGenerator::Generate(Rng& rng) {

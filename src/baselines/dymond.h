@@ -19,6 +19,8 @@ class DymondGenerator : public TemporalGraphGenerator {
   std::string name() const override { return "DYMOND"; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   /// The original parameterizes node triples: ~n^3 motif-rate entries.
   /// Coefficient calibrated so the paper's OOM pattern on a 32 GB device
@@ -29,6 +31,10 @@ class DymondGenerator : public TemporalGraphGenerator {
   }
 
  private:
+  /// Rebuilds activity_cdf_ from node_activity_ (shared by Fit and
+  /// LoadState so the loaded sampler is bit-identical to the fitted one).
+  void RebuildActivityCdf();
+
   ObservedShape shape_;
   /// Per-timestamp motif mix: how many triangles / wedges / single edges
   /// to place (fitted from the observed snapshots).

@@ -1,10 +1,41 @@
 #include "baselines/er_ba.h"
 
+#include "baselines/state_io.h"
+
 namespace tgsim::baselines {
+
+namespace {
+
+/// Shape-only fitted state shared by both model-based baselines.
+Status SaveShapeOnlyState(const ObservedShape& shape, std::ostream& out,
+                          const std::string& method) {
+  Status fitted = RequireFitted(shape.num_nodes > 0, method);
+  if (!fitted.ok()) return fitted;
+  serialize::ArchiveWriter writer(out);
+  WriteShape(writer, shape);
+  return writer.Finish();
+}
+
+Status LoadShapeOnlyState(ObservedShape& shape, std::istream& in) {
+  Result<serialize::ArchiveReader> reader =
+      serialize::ArchiveReader::Parse(in);
+  if (!reader.ok()) return reader.status();
+  return ReadShape(reader.value(), shape);
+}
+
+}  // namespace
 
 void ErdosRenyiGenerator::Fit(const graphs::TemporalGraph& observed,
                               Rng& /*rng*/) {
   shape_.CaptureFrom(observed);
+}
+
+Status ErdosRenyiGenerator::SaveState(std::ostream& out) const {
+  return SaveShapeOnlyState(shape_, out, name());
+}
+
+Status ErdosRenyiGenerator::LoadState(std::istream& in) {
+  return LoadShapeOnlyState(shape_, in);
 }
 
 graphs::TemporalGraph ErdosRenyiGenerator::Generate(Rng& rng) {
@@ -28,6 +59,14 @@ graphs::TemporalGraph ErdosRenyiGenerator::Generate(Rng& rng) {
 void BarabasiAlbertGenerator::Fit(const graphs::TemporalGraph& observed,
                                   Rng& /*rng*/) {
   shape_.CaptureFrom(observed);
+}
+
+Status BarabasiAlbertGenerator::SaveState(std::ostream& out) const {
+  return SaveShapeOnlyState(shape_, out, name());
+}
+
+Status BarabasiAlbertGenerator::LoadState(std::istream& in) {
+  return LoadShapeOnlyState(shape_, in);
 }
 
 graphs::TemporalGraph BarabasiAlbertGenerator::Generate(Rng& rng) {

@@ -14,6 +14,8 @@ class ErdosRenyiGenerator : public TemporalGraphGenerator {
   bool is_learning_based() const override { return false; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
   int64_t EstimatePaperMemoryBytes(int64_t /*n*/, int64_t /*m*/,
                                    int64_t /*t*/) const override {
     return 0;  // CPU-only in the paper's setup; no GPU footprint.
@@ -33,6 +35,8 @@ class BarabasiAlbertGenerator : public TemporalGraphGenerator {
   bool is_learning_based() const override { return false; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
   int64_t EstimatePaperMemoryBytes(int64_t /*n*/, int64_t /*m*/,
                                    int64_t /*t*/) const override {
     return 0;

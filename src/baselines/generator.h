@@ -2,10 +2,12 @@
 #define TGSIM_BASELINES_GENERATOR_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "graph/temporal_graph.h"
 
 namespace tgsim::baselines {
@@ -15,7 +17,10 @@ namespace tgsim::baselines {
 ///
 /// Usage: Fit() once on the observed graph, then Generate() any number of
 /// synthetic graphs with the observed shape (same node count, timestamp
-/// count and edge budget).
+/// count and edge budget). Fit() must leave the generator self-contained:
+/// Generate() may not read the observed graph passed to Fit (generators
+/// copy whatever support structures they need), so a generator restored
+/// with LoadState serves without the training data.
 class TemporalGraphGenerator {
  public:
   virtual ~TemporalGraphGenerator() = default;
@@ -26,8 +31,21 @@ class TemporalGraphGenerator {
   /// Learns (or records) the observed graph's generative statistics.
   virtual void Fit(const graphs::TemporalGraph& observed, Rng& rng) = 0;
 
-  /// Simulates a new temporal graph. Requires a prior Fit().
+  /// Simulates a new temporal graph. Requires a prior Fit() or LoadState().
   virtual graphs::TemporalGraph Generate(Rng& rng) = 0;
+
+  /// Serializes the fitted state (graph shape, fitted distributions,
+  /// trained weights) as one serialize::ArchiveWriter archive, leaving the
+  /// stream positioned after it. Requires a prior Fit(). Every built-in
+  /// method implements the pair; the default is an InvalidArgument so
+  /// custom registrations without persistence still construct and run.
+  virtual Status SaveState(std::ostream& out) const;
+
+  /// Restores the state written by SaveState into a generator constructed
+  /// with the same configuration. Reconstructs everything Generate()
+  /// needs without access to the training graph: a loaded generator's
+  /// Generate(seed) is bit-identical to the fitted original's.
+  virtual Status LoadState(std::istream& in);
 
   /// Whether the method trains a neural model (the paper separates simple
   /// model-based from learning-based approaches; E-R/B-A report no GPU

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "baselines/score_sampling.h"
+#include "baselines/state_io.h"
 #include "nn/autograd.h"
 #include "nn/optim.h"
 
@@ -18,9 +19,16 @@ TGSIM_CONFIG_IMPLEMENT_PARAMS(NetGanConfig)
 
 NetGanGenerator::NetGanGenerator(NetGanConfig config) : config_(config) {}
 
-void NetGanGenerator::Fit(const graphs::TemporalGraph& observed, Rng& /*rng*/) {
-  observed_ = &observed;
+void NetGanGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
   shape_.CaptureFrom(observed);
+  // Fit-once/serve-many: every snapshot model trains here, and only the
+  // resulting score matrices are kept — Generate never sees the training
+  // graph again.
+  FitScoresPerSnapshot(
+      observed, shape_, scores_,
+      [&](const std::vector<graphs::TemporalEdge>& snap) {
+        return FitSnapshotScores(snap, rng);
+      });
 }
 
 nn::Tensor NetGanGenerator::FitSnapshotScores(
@@ -84,20 +92,15 @@ nn::Tensor NetGanGenerator::FitSnapshotScores(
 }
 
 graphs::TemporalGraph NetGanGenerator::Generate(Rng& rng) {
-  TGSIM_CHECK(observed_ != nullptr);
-  std::vector<graphs::TemporalEdge> out;
-  for (int t = 0; t < shape_.num_timestamps; ++t) {
-    int64_t m_t = shape_.edges_per_timestamp[t];
-    if (m_t == 0) continue;
-    auto span = observed_->EdgesAt(static_cast<graphs::Timestamp>(t));
-    std::vector<graphs::TemporalEdge> snap_edges(span.begin(), span.end());
-    nn::Tensor scores = FitSnapshotScores(snap_edges, rng);
-    SampleEdgesFromScores(scores, m_t, static_cast<graphs::Timestamp>(t),
-                          rng, &out);
-  }
-  return graphs::TemporalGraph::FromEdges(shape_.num_nodes,
-                                          shape_.num_timestamps,
-                                          std::move(out));
+  return GenerateFromScores(shape_, scores_, rng);
+}
+
+Status NetGanGenerator::SaveState(std::ostream& out) const {
+  return SaveScoreState(shape_, scores_, out, name());
+}
+
+Status NetGanGenerator::LoadState(std::istream& in) {
+  return LoadScoreState(shape_, scores_, in);
 }
 
 }  // namespace tgsim::baselines

@@ -26,7 +26,10 @@ struct NetGanConfig {
 /// logits = U V^T per snapshot by gradient descent on the row-wise cross
 /// entropy against the observed transition distribution, then sample edges
 /// from the stationary-weighted edge scores. Being a static method, it is
-/// applied independently to every timestamp (paper Section V.B).
+/// applied independently to every timestamp (paper Section V.B). Fit()
+/// trains every snapshot model and keeps only the resulting score
+/// matrices — the fitted distributions — so Generate() is a cheap sampling
+/// pass and the whole state ships through SaveState/LoadState.
 class NetGanGenerator : public TemporalGraphGenerator {
  public:
   explicit NetGanGenerator(NetGanConfig config = {});
@@ -34,6 +37,8 @@ class NetGanGenerator : public TemporalGraphGenerator {
   std::string name() const override { return "NetGAN"; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   /// Dense n x n score matrix per trained snapshot + per-timestamp walk
   /// buffers; reproduces the paper's OOM pattern (BITCOIN-* and UBUNTU out,
@@ -50,8 +55,10 @@ class NetGanGenerator : public TemporalGraphGenerator {
       const std::vector<graphs::TemporalEdge>& edges, Rng& rng) const;
 
   NetGanConfig config_;
-  const graphs::TemporalGraph* observed_ = nullptr;
   ObservedShape shape_;
+  /// Fitted edge-score matrix per timestamp (empty tensor where the
+  /// snapshot has no edges). This is the complete generative state.
+  std::vector<nn::Tensor> scores_;
 };
 
 }  // namespace tgsim::baselines

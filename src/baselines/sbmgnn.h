@@ -33,6 +33,8 @@ class SbmGnnGenerator : public TemporalGraphGenerator {
   std::string name() const override { return "SBMGNN"; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
                                    int64_t /*t*/) const override {
@@ -44,8 +46,10 @@ class SbmGnnGenerator : public TemporalGraphGenerator {
       const std::vector<graphs::TemporalEdge>& edges, Rng& rng) const;
 
   SbmGnnConfig config_;
-  const graphs::TemporalGraph* observed_ = nullptr;
   ObservedShape shape_;
+  /// Fitted edge-score matrix per timestamp (empty tensor where the
+  /// snapshot has no edges). This is the complete generative state.
+  std::vector<nn::Tensor> scores_;
 };
 
 }  // namespace tgsim::baselines

@@ -1,0 +1,212 @@
+#include "baselines/state_io.h"
+
+#include <limits>
+#include <utility>
+
+#include "baselines/score_sampling.h"
+
+namespace tgsim::baselines {
+
+namespace {
+
+/// Field name of the timestamp-t score matrix ("t0", "t1", ...). Built by
+/// appending (not `"t" + std::to_string(t)`) to sidestep a GCC 12
+/// -Wrestrict false positive on const char* + std::string&&.
+std::string ScoreFieldName(int t) {
+  std::string name = "t";
+  name += std::to_string(t);
+  return name;
+}
+
+/// Archived counts are untrusted int64s destined for int fields: a value
+/// past INT_MAX would wrap in static_cast<int> and crash (or silently
+/// mis-size) downstream, so reject it as corruption instead.
+bool FitsInt(int64_t value) {
+  return value >= 0 && value <= std::numeric_limits<int>::max();
+}
+
+}  // namespace
+
+Status TemporalGraphGenerator::SaveState(std::ostream& /*out*/) const {
+  return Status::InvalidArgument("method '" + name() +
+                                 "' does not implement state serialization");
+}
+
+Status TemporalGraphGenerator::LoadState(std::istream& /*in*/) {
+  return Status::InvalidArgument("method '" + name() +
+                                 "' does not implement state serialization");
+}
+
+Status RequireFitted(bool fitted, const std::string& method) {
+  if (fitted) return Status::Ok();
+  return Status::InvalidArgument("SaveState of '" + method +
+                                 "' requires a prior Fit()");
+}
+
+void WriteShape(serialize::ArchiveWriter& writer,
+                const ObservedShape& shape) {
+  writer.BeginSection("shape");
+  writer.WriteInt("num_nodes", shape.num_nodes);
+  writer.WriteInt("num_timestamps", shape.num_timestamps);
+  writer.WriteIntVector("edges_per_timestamp", shape.edges_per_timestamp);
+}
+
+Status ReadShape(const serialize::ArchiveReader& reader,
+                 ObservedShape& shape) {
+  Result<int64_t> nodes = reader.GetInt("shape", "num_nodes");
+  if (!nodes.ok()) return nodes.status();
+  Result<int64_t> timestamps = reader.GetInt("shape", "num_timestamps");
+  if (!timestamps.ok()) return timestamps.status();
+  Result<std::vector<int64_t>> per_t =
+      reader.GetIntVector("shape", "edges_per_timestamp");
+  if (!per_t.ok()) return per_t.status();
+  // A fitted shape always has n >= 1 and T >= 1 (the TemporalGraph ctor
+  // enforces both), so anything else is corruption — rejecting it here
+  // keeps Generate from CHECK-aborting on a loaded artifact.
+  if (nodes.value() <= 0 || !FitsInt(nodes.value()) ||
+      timestamps.value() <= 0 || !FitsInt(timestamps.value()) ||
+      per_t.value().size() != static_cast<size_t>(timestamps.value()))
+    return Status::InvalidArgument(
+        "corrupt archive: inconsistent shape section");
+  for (int64_t count : per_t.value())
+    if (count < 0)
+      return Status::InvalidArgument(
+          "corrupt archive: negative per-timestamp edge count");
+  shape.num_nodes = static_cast<int>(nodes.value());
+  shape.num_timestamps = static_cast<int>(timestamps.value());
+  shape.edges_per_timestamp = std::move(per_t).value();
+  return Status::Ok();
+}
+
+void WriteSupportGraph(serialize::ArchiveWriter& writer,
+                       const std::string& section,
+                       const graphs::TemporalGraph& graph) {
+  writer.BeginSection(section);
+  writer.WriteInt("num_nodes", graph.num_nodes());
+  writer.WriteInt("num_timestamps", graph.num_timestamps());
+  std::vector<int64_t> u, v, t;
+  u.reserve(static_cast<size_t>(graph.num_edges()));
+  v.reserve(static_cast<size_t>(graph.num_edges()));
+  t.reserve(static_cast<size_t>(graph.num_edges()));
+  for (const graphs::TemporalEdge& e : graph.edges()) {
+    u.push_back(e.u);
+    v.push_back(e.v);
+    t.push_back(e.t);
+  }
+  writer.WriteIntVector("edge_u", u);
+  writer.WriteIntVector("edge_v", v);
+  writer.WriteIntVector("edge_t", t);
+}
+
+Result<graphs::TemporalGraph> ReadSupportGraph(
+    const serialize::ArchiveReader& reader, const std::string& section) {
+  Result<int64_t> nodes = reader.GetInt(section, "num_nodes");
+  if (!nodes.ok()) return nodes.status();
+  Result<int64_t> timestamps = reader.GetInt(section, "num_timestamps");
+  if (!timestamps.ok()) return timestamps.status();
+  Result<std::vector<int64_t>> u = reader.GetIntVector(section, "edge_u");
+  if (!u.ok()) return u.status();
+  Result<std::vector<int64_t>> v = reader.GetIntVector(section, "edge_v");
+  if (!v.ok()) return v.status();
+  Result<std::vector<int64_t>> t = reader.GetIntVector(section, "edge_t");
+  if (!t.ok()) return t.status();
+  if (nodes.value() <= 0 || !FitsInt(nodes.value()) ||
+      timestamps.value() <= 0 || !FitsInt(timestamps.value()) ||
+      u.value().size() != v.value().size() ||
+      u.value().size() != t.value().size())
+    return Status::InvalidArgument("corrupt archive: inconsistent '" +
+                                   section + "' graph section");
+  std::vector<graphs::TemporalEdge> edges;
+  edges.reserve(u.value().size());
+  for (size_t i = 0; i < u.value().size(); ++i) {
+    graphs::TemporalEdge e;
+    e.u = static_cast<graphs::NodeId>(u.value()[i]);
+    e.v = static_cast<graphs::NodeId>(v.value()[i]);
+    e.t = static_cast<graphs::Timestamp>(t.value()[i]);
+    if (e.u < 0 || e.u >= nodes.value() || e.v < 0 ||
+        e.v >= nodes.value() || e.t < 0 || e.t >= timestamps.value())
+      return Status::InvalidArgument("corrupt archive: edge " +
+                                     std::to_string(i) + " of section '" +
+                                     section + "' is out of range");
+    edges.push_back(e);
+  }
+  return graphs::TemporalGraph::FromEdges(static_cast<int>(nodes.value()),
+                                          static_cast<int>(timestamps.value()),
+                                          std::move(edges));
+}
+
+Status SaveScoreState(const ObservedShape& shape,
+                      const std::vector<nn::Tensor>& scores,
+                      std::ostream& out, const std::string& method) {
+  Status fitted = RequireFitted(shape.num_nodes > 0, method);
+  if (!fitted.ok()) return fitted;
+  serialize::ArchiveWriter writer(out);
+  WriteShape(writer, shape);
+  writer.BeginSection("scores");
+  for (size_t t = 0; t < scores.size(); ++t) {
+    if (scores[t].empty()) continue;  // Edge-free snapshot.
+    writer.WriteTensor(ScoreFieldName(static_cast<int>(t)), scores[t]);
+  }
+  return writer.Finish();
+}
+
+Status LoadScoreState(ObservedShape& shape, std::vector<nn::Tensor>& scores,
+                      std::istream& in) {
+  Result<serialize::ArchiveReader> parsed =
+      serialize::ArchiveReader::Parse(in);
+  if (!parsed.ok()) return parsed.status();
+  const serialize::ArchiveReader& reader = parsed.value();
+  ObservedShape loaded;
+  Status s = ReadShape(reader, loaded);
+  if (!s.ok()) return s;
+  std::vector<nn::Tensor> loaded_scores(
+      static_cast<size_t>(loaded.num_timestamps));
+  for (int t = 0; t < loaded.num_timestamps; ++t) {
+    if (loaded.edges_per_timestamp[static_cast<size_t>(t)] == 0) continue;
+    Result<nn::Tensor> tensor = reader.GetTensor("scores", ScoreFieldName(t));
+    if (!tensor.ok()) return tensor.status();
+    if (tensor.value().rows() != loaded.num_nodes ||
+        tensor.value().cols() != loaded.num_nodes)
+      return Status::InvalidArgument(
+          "corrupt archive: score matrix of timestamp " + std::to_string(t) +
+          " is not num_nodes x num_nodes");
+    loaded_scores[static_cast<size_t>(t)] = std::move(tensor).value();
+  }
+  shape = std::move(loaded);
+  scores = std::move(loaded_scores);
+  return Status::Ok();
+}
+
+void FitScoresPerSnapshot(
+    const graphs::TemporalGraph& observed, const ObservedShape& shape,
+    std::vector<nn::Tensor>& scores,
+    const std::function<nn::Tensor(
+        const std::vector<graphs::TemporalEdge>&)>& fit_snapshot) {
+  scores.assign(static_cast<size_t>(shape.num_timestamps), nn::Tensor());
+  for (int t = 0; t < shape.num_timestamps; ++t) {
+    if (shape.edges_per_timestamp[static_cast<size_t>(t)] == 0) continue;
+    auto span = observed.EdgesAt(static_cast<graphs::Timestamp>(t));
+    std::vector<graphs::TemporalEdge> snap(span.begin(), span.end());
+    scores[static_cast<size_t>(t)] = fit_snapshot(snap);
+  }
+}
+
+graphs::TemporalGraph GenerateFromScores(
+    const ObservedShape& shape, const std::vector<nn::Tensor>& scores,
+    Rng& rng) {
+  TGSIM_CHECK_GT(shape.num_nodes, 0);  // Requires a Fit() or LoadState().
+  TGSIM_CHECK_EQ(scores.size(),
+                 static_cast<size_t>(shape.num_timestamps));
+  std::vector<graphs::TemporalEdge> out;
+  for (int t = 0; t < shape.num_timestamps; ++t) {
+    int64_t m_t = shape.edges_per_timestamp[static_cast<size_t>(t)];
+    if (m_t == 0) continue;
+    SampleEdgesFromScores(scores[static_cast<size_t>(t)], m_t,
+                          static_cast<graphs::Timestamp>(t), rng, &out);
+  }
+  return graphs::TemporalGraph::FromEdges(shape.num_nodes,
+                                          shape.num_timestamps,
+                                          std::move(out));
+}
+
+}  // namespace tgsim::baselines

@@ -1,0 +1,69 @@
+#ifndef TGSIM_BASELINES_STATE_IO_H_
+#define TGSIM_BASELINES_STATE_IO_H_
+
+#include <functional>
+#include <string>
+
+#include "baselines/generator.h"
+#include "serialize/serialization.h"
+
+namespace tgsim::baselines {
+
+/// Shared building blocks of the generators' SaveState/LoadState
+/// implementations, so every method writes the observed shape and (where
+/// the method's generation process walks observed structure) the support
+/// graph in one format.
+
+/// Ok when `fitted` is true, else the uniform "requires a prior Fit()"
+/// InvalidArgument every SaveState implementation reports.
+Status RequireFitted(bool fitted, const std::string& method);
+
+/// Writes `shape` as the archive section "shape" (num_nodes,
+/// num_timestamps, edges_per_timestamp).
+void WriteShape(serialize::ArchiveWriter& writer, const ObservedShape& shape);
+
+/// Reads the section written by WriteShape.
+Status ReadShape(const serialize::ArchiveReader& reader,
+                 ObservedShape& shape);
+
+/// Writes a finalized temporal graph as the archive section `section`
+/// (parallel u/v/t edge vectors plus the node/timestamp counts).
+void WriteSupportGraph(serialize::ArchiveWriter& writer,
+                       const std::string& section,
+                       const graphs::TemporalGraph& graph);
+
+/// Rebuilds the graph written by WriteSupportGraph. The result is
+/// finalized and bit-identical to the original (same edge array, hence
+/// the same adjacency indexes), so samplers built over it draw the same
+/// sequences.
+Result<graphs::TemporalGraph> ReadSupportGraph(
+    const serialize::ArchiveReader& reader, const std::string& section);
+
+/// Complete fitted state of the per-snapshot score-matrix methods
+/// (NetGAN, VGAE, Graphite, SBMGNN): one shape + one edge-score matrix per
+/// timestamp, empty where the snapshot has no edges.
+Status SaveScoreState(const ObservedShape& shape,
+                      const std::vector<nn::Tensor>& scores,
+                      std::ostream& out, const std::string& method);
+Status LoadScoreState(ObservedShape& shape, std::vector<nn::Tensor>& scores,
+                      std::istream& in);
+
+/// Shared Fit() body of the score-matrix methods: trains `fit_snapshot`
+/// on each timestamp's edges (skipping edge-free snapshots) and fills
+/// `scores` with one matrix per timestamp — the fit-once step whose
+/// output Generate and SaveState consume.
+void FitScoresPerSnapshot(
+    const graphs::TemporalGraph& observed, const ObservedShape& shape,
+    std::vector<nn::Tensor>& scores,
+    const std::function<nn::Tensor(
+        const std::vector<graphs::TemporalEdge>&)>& fit_snapshot);
+
+/// Shared Generate() body of the score-matrix methods: samples each
+/// timestamp's observed edge count from its fitted score matrix.
+graphs::TemporalGraph GenerateFromScores(
+    const ObservedShape& shape, const std::vector<nn::Tensor>& scores,
+    Rng& rng);
+
+}  // namespace tgsim::baselines
+
+#endif  // TGSIM_BASELINES_STATE_IO_H_

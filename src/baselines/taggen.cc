@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "baselines/state_io.h"
 
 namespace tgsim::baselines {
 
@@ -75,12 +78,7 @@ nn::Var TagGenGenerator::StepLoss(
   return nn::Scale(nn::Sum(picked), -1.0 / batch);
 }
 
-void TagGenGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
-  observed_ = &observed;
-  shape_.CaptureFrom(observed);
-  walk_sampler_ = std::make_unique<TemporalWalkSampler>(
-      &observed, config_.time_window);
-
+void TagGenGenerator::BuildModel(Rng& rng) {
   const int n = shape_.num_nodes;
   const int t_count = shape_.num_timestamps;
   node_emb_ = std::make_unique<nn::Embedding>(rng, n, config_.embedding_dim);
@@ -89,11 +87,30 @@ void TagGenGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
   node_out_ = std::make_unique<nn::Embedding>(rng, n, config_.embedding_dim);
   time_out_ =
       std::make_unique<nn::Embedding>(rng, t_count, config_.embedding_dim);
+}
 
+std::vector<nn::Var> TagGenGenerator::CollectParams() const {
   std::vector<nn::Var> params;
   for (const nn::Embedding* e :
        {node_emb_.get(), time_emb_.get(), node_out_.get(), time_out_.get()})
     params.insert(params.end(), e->params().begin(), e->params().end());
+  return params;
+}
+
+void TagGenGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+  // The support copy is the fitted structure generation walks on; the
+  // caller's graph is not referenced after Fit returns.
+  support_ = std::make_unique<graphs::TemporalGraph>(observed);
+  shape_.CaptureFrom(*support_);
+  walk_sampler_ = std::make_unique<TemporalWalkSampler>(
+      support_.get(), config_.time_window);
+  starts_ = std::make_unique<graphs::InitialNodeSampler>(
+      support_.get(), config_.time_window);
+
+  const int n = shape_.num_nodes;
+  const int t_count = shape_.num_timestamps;
+  BuildModel(rng);
+  std::vector<nn::Var> params = CollectParams();
   nn::Adam opt(params, config_.learning_rate);
 
   auto random_state = [&](graphs::Timestamp near_t) {
@@ -119,8 +136,8 @@ void TagGenGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
         std::vector<graphs::TemporalNodeRef> cands = {next};
         // Observed-neighbor distractors.
         std::vector<graphs::TemporalNeighbor> nbrs =
-            observed.TemporalNeighborhood(cur.node, cur.t,
-                                          config_.time_window);
+            support_->TemporalNeighborhood(cur.node, cur.t,
+                                           config_.time_window);
         int want = std::max(
             0, config_.candidates_per_step - 1 - config_.negatives_per_step);
         for (int c = 0; c < want && !nbrs.empty(); ++c) {
@@ -146,14 +163,14 @@ void TagGenGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
 }
 
 graphs::TemporalGraph TagGenGenerator::Generate(Rng& rng) {
-  TGSIM_CHECK(observed_ != nullptr);
+  TGSIM_CHECK(support_ != nullptr);  // Requires a Fit() or LoadState().
   const nn::Tensor& ne = node_emb_->table().value();
   const nn::Tensor& te = time_emb_->table().value();
   const nn::Tensor& no = node_out_->table().value();
   const nn::Tensor& to = time_out_->table().value();
   const int d = config_.embedding_dim;
 
-  graphs::InitialNodeSampler starts(observed_, config_.time_window);
+  const graphs::InitialNodeSampler& starts = *starts_;
   const int64_t budget = shape_.total_edges();
 
   std::vector<TemporalWalk> walks;
@@ -166,8 +183,8 @@ graphs::TemporalGraph TagGenGenerator::Generate(Rng& rng) {
     walk.steps.push_back(cur);
     for (int step = 0; step + 1 < config_.walk_length; ++step) {
       std::vector<graphs::TemporalNeighbor> nbrs =
-          observed_->TemporalNeighborhood(cur.node, cur.t,
-                                          config_.time_window);
+          support_->TemporalNeighborhood(cur.node, cur.t,
+                                         config_.time_window);
       if (nbrs.empty()) break;
       // Model-scored categorical step over the observed support.
       std::vector<double> weights(nbrs.size());
@@ -194,6 +211,43 @@ graphs::TemporalGraph TagGenGenerator::Generate(Rng& rng) {
   }
   return AssembleFromWalks(walks, shape_.num_nodes, shape_.num_timestamps,
                            budget, rng);
+}
+
+Status TagGenGenerator::SaveState(std::ostream& out) const {
+  Status fitted = RequireFitted(support_ != nullptr, name());
+  if (!fitted.ok()) return fitted;
+  serialize::ArchiveWriter writer(out);
+  WriteShape(writer, shape_);
+  WriteSupportGraph(writer, "support", *support_);
+  writer.BeginSection("params");
+  serialize::WriteParams(writer, CollectParams());
+  return writer.Finish();
+}
+
+Status TagGenGenerator::LoadState(std::istream& in) {
+  Result<serialize::ArchiveReader> parsed =
+      serialize::ArchiveReader::Parse(in);
+  if (!parsed.ok()) return parsed.status();
+  const serialize::ArchiveReader& reader = parsed.value();
+  ObservedShape shape;
+  Status s = ReadShape(reader, shape);
+  if (!s.ok()) return s;
+  Result<graphs::TemporalGraph> support = ReadSupportGraph(reader, "support");
+  if (!support.ok()) return support.status();
+
+  shape_ = std::move(shape);
+  // Values come from the archive; the init rng only shapes the tables.
+  Rng init(0);
+  BuildModel(init);
+  std::vector<nn::Var> params = CollectParams();
+  s = serialize::ReadParamsInto(reader, "params", params);
+  if (!s.ok()) return s;
+  support_ =
+      std::make_unique<graphs::TemporalGraph>(std::move(support).value());
+  starts_ = std::make_unique<graphs::InitialNodeSampler>(
+      support_.get(), config_.time_window);
+  walk_sampler_.reset();  // Training-only.
+  return Status::Ok();
 }
 
 }  // namespace tgsim::baselines

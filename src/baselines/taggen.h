@@ -45,6 +45,8 @@ class TagGenGenerator : public TemporalGraphGenerator {
   std::string name() const override { return "TagGen"; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   /// Transition structures over (node x time)^2 pairs; coefficient
   /// calibrated to the paper's 32 GB OOM pattern (runs DBLP and MSG, OOMs
@@ -70,10 +72,21 @@ class TagGenGenerator : public TemporalGraphGenerator {
   nn::Var StateEmbedding(const std::vector<graphs::TemporalNodeRef>& states,
                          bool output_table) const;
 
+  /// Constructs the four embedding tables from config_ + shape_ (shared by
+  /// Fit and LoadState so parameter order and shapes are fixed here).
+  void BuildModel(Rng& rng);
+  /// All trainable parameters in the fixed table order.
+  std::vector<nn::Var> CollectParams() const;
+
   TagGenConfig config_;
-  const graphs::TemporalGraph* observed_ = nullptr;
   ObservedShape shape_;
-  std::unique_ptr<TemporalWalkSampler> walk_sampler_;
+  /// Owned copy of the observed graph: TagGen's generation walks score
+  /// candidate steps over the observed temporal adjacency, so the support
+  /// is part of the fitted state (and of the serialized artifact).
+  std::unique_ptr<graphs::TemporalGraph> support_;
+  /// Fitted walk-start distribution over the support graph.
+  std::unique_ptr<graphs::InitialNodeSampler> starts_;
+  std::unique_ptr<TemporalWalkSampler> walk_sampler_;  // Training only.
   std::unique_ptr<nn::Embedding> node_emb_;
   std::unique_ptr<nn::Embedding> time_emb_;
   std::unique_ptr<nn::Embedding> node_out_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "baselines/state_io.h"
 
 namespace tgsim::baselines {
 
@@ -84,13 +87,10 @@ nn::Var TgganGenerator::Discriminate(const Unroll& u) const {
   return d_mlp_->Forward(feat);
 }
 
-void TgganGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
-  observed_ = &observed;
-  shape_.CaptureFrom(observed);
+void TgganGenerator::BuildGeneratorModel(Rng& rng) {
   const int n = shape_.num_nodes;
   const int t_count = shape_.num_timestamps;
   const int d = config_.embedding_dim;
-
   g_init_ = std::make_unique<nn::Mlp>(
       rng, std::vector<int>{config_.latent_dim, config_.hidden_dim},
       nn::Activation::kTanh, /*final_activation=*/true);
@@ -103,15 +103,10 @@ void TgganGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
   g_start_time_head_ =
       std::make_unique<nn::Linear>(rng, config_.hidden_dim, t_count);
   g_node_emb_ = std::make_unique<nn::Embedding>(rng, n, d);
+}
 
-  d_node_emb_ = std::make_unique<nn::Embedding>(rng, n, d);
-  d_time_emb_ = std::make_unique<nn::Embedding>(rng, t_count, d);
-  d_gap_emb_ = std::make_unique<nn::Embedding>(rng, NumGapClasses(), d);
-  d_mlp_ = std::make_unique<nn::Mlp>(
-      rng, std::vector<int>{d, config_.hidden_dim, 1},
-      nn::Activation::kLeakyRelu);
-
-  std::vector<nn::Var> g_params;
+std::vector<nn::Var> TgganGenerator::CollectGeneratorParams() const {
+  std::vector<nn::Var> params;
   for (const nn::Module* m : {static_cast<const nn::Module*>(g_init_.get()),
                               static_cast<const nn::Module*>(g_rnn_.get()),
                               static_cast<const nn::Module*>(g_node_head_.get()),
@@ -121,7 +116,25 @@ void TgganGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
                               static_cast<const nn::Module*>(
                                   g_start_time_head_.get()),
                               static_cast<const nn::Module*>(g_node_emb_.get())})
-    g_params.insert(g_params.end(), m->params().begin(), m->params().end());
+    params.insert(params.end(), m->params().begin(), m->params().end());
+  return params;
+}
+
+void TgganGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+  shape_.CaptureFrom(observed);
+  const int n = shape_.num_nodes;
+  const int t_count = shape_.num_timestamps;
+  const int d = config_.embedding_dim;
+
+  BuildGeneratorModel(rng);
+  d_node_emb_ = std::make_unique<nn::Embedding>(rng, n, d);
+  d_time_emb_ = std::make_unique<nn::Embedding>(rng, t_count, d);
+  d_gap_emb_ = std::make_unique<nn::Embedding>(rng, NumGapClasses(), d);
+  d_mlp_ = std::make_unique<nn::Mlp>(
+      rng, std::vector<int>{d, config_.hidden_dim, 1},
+      nn::Activation::kLeakyRelu);
+
+  std::vector<nn::Var> g_params = CollectGeneratorParams();
   std::vector<nn::Var> d_params;
   for (const nn::Module* m :
        {static_cast<const nn::Module*>(d_node_emb_.get()),
@@ -203,7 +216,7 @@ void TgganGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
 }
 
 graphs::TemporalGraph TgganGenerator::Generate(Rng& rng) {
-  TGSIM_CHECK(observed_ != nullptr);
+  TGSIM_CHECK(g_init_ != nullptr);  // Requires a Fit() or LoadState().
   const int64_t budget = shape_.total_edges();
   const int n = shape_.num_nodes;
   const int t_count = shape_.num_timestamps;
@@ -238,6 +251,40 @@ graphs::TemporalGraph TgganGenerator::Generate(Rng& rng) {
     }
   }
   return AssembleFromWalks(walks, n, t_count, budget, rng);
+}
+
+Status TgganGenerator::SaveState(std::ostream& out) const {
+  Status fitted = RequireFitted(g_init_ != nullptr, name());
+  if (!fitted.ok()) return fitted;
+  serialize::ArchiveWriter writer(out);
+  WriteShape(writer, shape_);
+  writer.BeginSection("params");
+  serialize::WriteParams(writer, CollectGeneratorParams());
+  return writer.Finish();
+}
+
+Status TgganGenerator::LoadState(std::istream& in) {
+  Result<serialize::ArchiveReader> parsed =
+      serialize::ArchiveReader::Parse(in);
+  if (!parsed.ok()) return parsed.status();
+  const serialize::ArchiveReader& reader = parsed.value();
+  ObservedShape shape;
+  Status s = ReadShape(reader, shape);
+  if (!s.ok()) return s;
+
+  shape_ = std::move(shape);
+  // Values come from the archive; the init rng only shapes the modules.
+  Rng init(0);
+  BuildGeneratorModel(init);
+  std::vector<nn::Var> params = CollectGeneratorParams();
+  s = serialize::ReadParamsInto(reader, "params", params);
+  if (!s.ok()) return s;
+  // The discriminator is not part of the serving artifact.
+  d_node_emb_.reset();
+  d_time_emb_.reset();
+  d_gap_emb_.reset();
+  d_mlp_.reset();
+  return Status::Ok();
 }
 
 }  // namespace tgsim::baselines

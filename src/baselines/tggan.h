@@ -46,6 +46,12 @@ class TgganGenerator : public TemporalGraphGenerator {
   std::string name() const override { return "TGGAN"; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  /// Serializes the shape + generator network. The discriminator exists
+  /// only to train (generation never evaluates it), so the artifact ships
+  /// the serving half; a loaded model generates, it does not resume
+  /// adversarial training.
+  Status SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
                                    int64_t t) const override {
@@ -74,8 +80,13 @@ class TgganGenerator : public TemporalGraphGenerator {
   /// node/gap assignments per step.
   nn::Var Discriminate(const Unroll& u) const;
 
+  /// Constructs the generator-side modules from config_ + shape_ (shared
+  /// by Fit and LoadState so parameter order and shapes are fixed here).
+  void BuildGeneratorModel(Rng& rng);
+  /// Generator-side trainable parameters in the fixed module order.
+  std::vector<nn::Var> CollectGeneratorParams() const;
+
   TgganConfig config_;
-  const graphs::TemporalGraph* observed_ = nullptr;
   ObservedShape shape_;
 
   // Generator.

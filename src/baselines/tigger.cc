@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "baselines/state_io.h"
 
 namespace tgsim::baselines {
 
@@ -23,12 +26,7 @@ TiggerGenerator::TiggerGenerator(TiggerConfig config) : config_(config) {}
 
 TiggerGenerator::~TiggerGenerator() = default;
 
-void TiggerGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
-  observed_ = &observed;
-  shape_.CaptureFrom(observed);
-  walk_sampler_ =
-      std::make_unique<TemporalWalkSampler>(&observed, config_.time_window);
-
+void TiggerGenerator::BuildModel(Rng& rng) {
   const int n = shape_.num_nodes;
   node_emb_ = std::make_unique<nn::Embedding>(rng, n, config_.embedding_dim);
   time_emb_ = std::make_unique<nn::Embedding>(rng, shape_.num_timestamps,
@@ -38,7 +36,9 @@ void TiggerGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
   node_head_ = std::make_unique<nn::Linear>(rng, config_.hidden_dim, n);
   gap_head_ =
       std::make_unique<nn::Linear>(rng, config_.hidden_dim, NumGapClasses());
+}
 
+std::vector<nn::Var> TiggerGenerator::CollectParams() const {
   std::vector<nn::Var> params;
   for (const nn::Module* m :
        {static_cast<const nn::Module*>(node_emb_.get()),
@@ -47,10 +47,24 @@ void TiggerGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
         static_cast<const nn::Module*>(node_head_.get()),
         static_cast<const nn::Module*>(gap_head_.get())})
     params.insert(params.end(), m->params().begin(), m->params().end());
+  return params;
+}
+
+void TiggerGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+  shape_.CaptureFrom(observed);
+  // Fit-local: a member sampler would dangle into the caller's graph
+  // after Fit returns (generators must be self-contained by then).
+  TemporalWalkSampler walk_sampler(&observed, config_.time_window);
+  starts_ = std::make_unique<graphs::InitialNodeSampler>(
+      &observed, config_.time_window);
+
+  BuildModel(rng);
+  const int n = shape_.num_nodes;
+  std::vector<nn::Var> params = CollectParams();
   nn::Adam opt(params, config_.learning_rate);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    std::vector<TemporalWalk> walks = walk_sampler_->SampleMany(
+    std::vector<TemporalWalk> walks = walk_sampler.SampleMany(
         config_.walks_per_epoch, config_.walk_length, rng);
     // Keep walks with at least one transition; align them step by step.
     walks.erase(std::remove_if(
@@ -118,8 +132,8 @@ void TiggerGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
 }
 
 graphs::TemporalGraph TiggerGenerator::Generate(Rng& rng) {
-  TGSIM_CHECK(observed_ != nullptr);
-  graphs::InitialNodeSampler starts(observed_, config_.time_window);
+  TGSIM_CHECK(starts_ != nullptr);  // Requires a Fit() or LoadState().
+  const graphs::InitialNodeSampler& starts = *starts_;
   const int64_t budget = shape_.total_edges();
   const int n = shape_.num_nodes;
 
@@ -158,6 +172,78 @@ graphs::TemporalGraph TiggerGenerator::Generate(Rng& rng) {
     walks.push_back(std::move(walk));
   }
   return AssembleFromWalks(walks, n, shape_.num_timestamps, budget, rng);
+}
+
+Status TiggerGenerator::SaveState(std::ostream& out) const {
+  Status fitted = RequireFitted(starts_ != nullptr, name());
+  if (!fitted.ok()) return fitted;
+  serialize::ArchiveWriter writer(out);
+  WriteShape(writer, shape_);
+  writer.BeginSection("starts");
+  std::vector<int64_t> nodes, times;
+  for (const graphs::TemporalNodeRef& occ : starts_->occurrences()) {
+    nodes.push_back(occ.node);
+    times.push_back(occ.t);
+  }
+  writer.WriteIntVector("node", nodes);
+  writer.WriteIntVector("time", times);
+  writer.WriteDoubleVector("weight", starts_->weights());
+  writer.BeginSection("params");
+  serialize::WriteParams(writer, CollectParams());
+  return writer.Finish();
+}
+
+Status TiggerGenerator::LoadState(std::istream& in) {
+  Result<serialize::ArchiveReader> parsed =
+      serialize::ArchiveReader::Parse(in);
+  if (!parsed.ok()) return parsed.status();
+  const serialize::ArchiveReader& reader = parsed.value();
+  ObservedShape shape;
+  Status s = ReadShape(reader, shape);
+  if (!s.ok()) return s;
+  Result<std::vector<int64_t>> nodes = reader.GetIntVector("starts", "node");
+  if (!nodes.ok()) return nodes.status();
+  Result<std::vector<int64_t>> times = reader.GetIntVector("starts", "time");
+  if (!times.ok()) return times.status();
+  Result<std::vector<double>> weights =
+      reader.GetDoubleVector("starts", "weight");
+  if (!weights.ok()) return weights.status();
+  if (nodes.value().size() != times.value().size() ||
+      nodes.value().size() != weights.value().size() ||
+      nodes.value().empty())
+    return Status::InvalidArgument(
+        "corrupt archive: TIGGER start-distribution vectors disagree");
+  std::vector<graphs::TemporalNodeRef> occurrences;
+  occurrences.reserve(nodes.value().size());
+  double total_weight = 0.0;
+  for (size_t i = 0; i < nodes.value().size(); ++i) {
+    if (nodes.value()[i] < 0 || nodes.value()[i] >= shape.num_nodes ||
+        times.value()[i] < 0 || times.value()[i] >= shape.num_timestamps ||
+        weights.value()[i] < 0.0)
+      return Status::InvalidArgument(
+          "corrupt archive: TIGGER start occurrence " + std::to_string(i) +
+          " is out of range");
+    total_weight += weights.value()[i];
+    occurrences.push_back(
+        {static_cast<graphs::NodeId>(nodes.value()[i]),
+         static_cast<graphs::Timestamp>(times.value()[i])});
+  }
+  // Degree-proportional sampling needs positive mass; zero-mass data
+  // would CHECK-abort inside Sample instead of failing the load.
+  if (!(total_weight > 0.0))
+    return Status::InvalidArgument(
+        "corrupt archive: TIGGER start distribution has no weight mass");
+
+  shape_ = std::move(shape);
+  // Values come from the archive; the init rng only shapes the structures.
+  Rng init(0);
+  BuildModel(init);
+  std::vector<nn::Var> params = CollectParams();
+  s = serialize::ReadParamsInto(reader, "params", params);
+  if (!s.ok()) return s;
+  starts_ = std::make_unique<graphs::InitialNodeSampler>(
+      std::move(occurrences), std::move(weights).value());
+  return Status::Ok();
 }
 
 }  // namespace tgsim::baselines

@@ -40,6 +40,8 @@ class TiggerGenerator : public TemporalGraphGenerator {
   std::string name() const override { return "TIGGER"; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   int64_t EstimatePaperMemoryBytes(int64_t n, int64_t m,
                                    int64_t /*t*/) const override {
@@ -52,10 +54,17 @@ class TiggerGenerator : public TemporalGraphGenerator {
   /// Number of time-gap classes: gaps in [-w, w] around the current step.
   int NumGapClasses() const { return 2 * config_.time_window + 1; }
 
+  /// Constructs the model modules from config_ + shape_ (shared by Fit and
+  /// LoadState so the parameter order and shapes are fixed in one place).
+  void BuildModel(Rng& rng);
+  /// All trainable parameters in the fixed module order.
+  std::vector<nn::Var> CollectParams() const;
+
   TiggerConfig config_;
-  const graphs::TemporalGraph* observed_ = nullptr;
   ObservedShape shape_;
-  std::unique_ptr<TemporalWalkSampler> walk_sampler_;
+  /// Fitted walk-start distribution (part of the serialized state; the
+  /// training graph is not needed at generation time).
+  std::unique_ptr<graphs::InitialNodeSampler> starts_;
   std::unique_ptr<nn::Embedding> node_emb_;
   std::unique_ptr<nn::Embedding> time_emb_;
   std::unique_ptr<nn::GruCell> gru_;

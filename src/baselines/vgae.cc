@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "baselines/score_sampling.h"
+#include "baselines/state_io.h"
 #include "nn/autograd.h"
 #include "nn/optim.h"
 
@@ -35,9 +36,19 @@ TGSIM_CONFIG_IMPLEMENT_PARAMS(VgaeConfig)
 
 VgaeGenerator::VgaeGenerator(VgaeConfig config) : config_(config) {}
 
-void VgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& /*rng*/) {
-  observed_ = &observed;
+VgaeGenerator::VgaeGenerator(VgaeConfig config, bool graphite)
+    : config_(config), graphite_(graphite) {}
+
+void VgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
   shape_.CaptureFrom(observed);
+  // Fit-once/serve-many: every snapshot model trains here, and only the
+  // decoded score matrices are kept — Generate never sees the training
+  // graph again.
+  FitScoresPerSnapshot(
+      observed, shape_, scores_,
+      [&](const std::vector<graphs::TemporalEdge>& snap) {
+        return FitSnapshotScores(snap, graphite_, rng);
+      });
 }
 
 nn::Tensor VgaeGenerator::FitSnapshotScores(
@@ -129,40 +140,18 @@ nn::Tensor VgaeGenerator::FitSnapshotScores(
 }
 
 graphs::TemporalGraph VgaeGenerator::Generate(Rng& rng) {
-  TGSIM_CHECK(observed_ != nullptr);
-  std::vector<graphs::TemporalEdge> out;
-  for (int t = 0; t < shape_.num_timestamps; ++t) {
-    int64_t m_t = shape_.edges_per_timestamp[t];
-    if (m_t == 0) continue;
-    auto span = observed_->EdgesAt(static_cast<graphs::Timestamp>(t));
-    std::vector<graphs::TemporalEdge> snap(span.begin(), span.end());
-    nn::Tensor scores = FitSnapshotScores(snap, /*graphite=*/false, rng);
-    SampleEdgesFromScores(scores, m_t, static_cast<graphs::Timestamp>(t),
-                          rng, &out);
-  }
-  return graphs::TemporalGraph::FromEdges(shape_.num_nodes,
-                                          shape_.num_timestamps,
-                                          std::move(out));
+  return GenerateFromScores(shape_, scores_, rng);
+}
+
+Status VgaeGenerator::SaveState(std::ostream& out) const {
+  return SaveScoreState(shape_, scores_, out, name());
+}
+
+Status VgaeGenerator::LoadState(std::istream& in) {
+  return LoadScoreState(shape_, scores_, in);
 }
 
 GraphiteGenerator::GraphiteGenerator(VgaeConfig config)
-    : VgaeGenerator(config) {}
-
-graphs::TemporalGraph GraphiteGenerator::Generate(Rng& rng) {
-  TGSIM_CHECK(observed_ != nullptr);
-  std::vector<graphs::TemporalEdge> out;
-  for (int t = 0; t < shape_.num_timestamps; ++t) {
-    int64_t m_t = shape_.edges_per_timestamp[t];
-    if (m_t == 0) continue;
-    auto span = observed_->EdgesAt(static_cast<graphs::Timestamp>(t));
-    std::vector<graphs::TemporalEdge> snap(span.begin(), span.end());
-    nn::Tensor scores = FitSnapshotScores(snap, /*graphite=*/true, rng);
-    SampleEdgesFromScores(scores, m_t, static_cast<graphs::Timestamp>(t),
-                          rng, &out);
-  }
-  return graphs::TemporalGraph::FromEdges(shape_.num_nodes,
-                                          shape_.num_timestamps,
-                                          std::move(out));
-}
+    : VgaeGenerator(config, /*graphite=*/true) {}
 
 }  // namespace tgsim::baselines

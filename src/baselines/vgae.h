@@ -26,7 +26,10 @@ struct VgaeConfig {
 /// VGAE (Kipf & Welling, 2016): per-snapshot variational graph autoencoder
 /// with a two-layer GCN encoder (identity features, so the first layer
 /// reduces to A_hat W1) and an inner-product decoder. Static method: trained
-/// and sampled independently per timestamp (paper Section V.B).
+/// and sampled independently per timestamp (paper Section V.B). Fit()
+/// trains every snapshot and keeps the decoded score matrices as the
+/// complete fitted state, so Generate() is a sampling pass and the model
+/// ships through SaveState/LoadState.
 class VgaeGenerator : public TemporalGraphGenerator {
  public:
   explicit VgaeGenerator(VgaeConfig config = {});
@@ -34,6 +37,8 @@ class VgaeGenerator : public TemporalGraphGenerator {
   std::string name() const override { return "VGAE"; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   /// Dense n x n adjacency + reconstruction per snapshot: the classic
   /// VGAE memory wall (only UBUNTU exceeds 32 GB at paper scale).
@@ -43,6 +48,9 @@ class VgaeGenerator : public TemporalGraphGenerator {
   }
 
  protected:
+  /// Graphite shares Fit/Generate and flips only the decoder refinement.
+  VgaeGenerator(VgaeConfig config, bool graphite);
+
   /// Trains on one snapshot and returns the dense edge-score matrix.
   /// `graphite` switches the decoder to the iterative Graphite variant.
   nn::Tensor FitSnapshotScores(
@@ -50,8 +58,11 @@ class VgaeGenerator : public TemporalGraphGenerator {
       Rng& rng) const;
 
   VgaeConfig config_;
-  const graphs::TemporalGraph* observed_ = nullptr;
+  bool graphite_ = false;
   ObservedShape shape_;
+  /// Fitted edge-score matrix per timestamp (empty tensor where the
+  /// snapshot has no edges). This is the complete generative state.
+  std::vector<nn::Tensor> scores_;
 };
 
 /// Graphite (Grover et al., ICML'19): VGAE with an iteratively refined
@@ -62,7 +73,6 @@ class GraphiteGenerator : public VgaeGenerator {
   explicit GraphiteGenerator(VgaeConfig config = {});
 
   std::string name() const override { return "Graphite"; }
-  graphs::TemporalGraph Generate(Rng& rng) override;
 };
 
 }  // namespace tgsim::baselines

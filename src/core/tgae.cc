@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
-#include "core/serialization.h"
+#include "baselines/state_io.h"
 #include "graph/bipartite.h"
+#include "serialize/serialization.h"
 
 namespace tgsim::core {
 
@@ -265,12 +267,12 @@ nn::SparseRowTargets TgaeGenerator::TargetRows(
     // Directed adjacency row A_{u^t} (Eq. 6); temporal nodes that only
     // appear as destinations fall back to their full temporal neighborhood
     // so every decoded row receives signal.
-    std::vector<graphs::TemporalNeighbor> nbrs = observed_->OutNeighborhood(
+    std::vector<graphs::TemporalNeighbor> nbrs = support_->OutNeighborhood(
         row_nodes[i].node, row_nodes[i].t, /*time_window=*/0);
     if (nbrs.empty()) {
-      nbrs = observed_->TemporalNeighborhood(row_nodes[i].node,
-                                             row_nodes[i].t,
-                                             /*time_window=*/0);
+      nbrs = support_->TemporalNeighborhood(row_nodes[i].node,
+                                            row_nodes[i].t,
+                                            /*time_window=*/0);
     }
     if (!nbrs.empty()) {
       double w = 1.0 / static_cast<double>(nbrs.size());
@@ -321,19 +323,19 @@ std::vector<nn::Scalar> TgaeGenerator::DenseLogitsRow(const nn::Tensor& rows,
   return out;
 }
 
-void TgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
-  observed_ = &observed;
-  shape_.CaptureFrom(observed);
-
+void TgaeGenerator::BuildSamplers() {
   graphs::EgoGraphConfig ego_cfg;
   ego_cfg.radius = config_.radius;
   ego_cfg.neighbor_threshold = config_.neighbor_threshold;
   ego_cfg.time_window = config_.time_window;
-  ego_sampler_ = std::make_unique<graphs::EgoGraphSampler>(&observed, ego_cfg);
+  ego_sampler_ =
+      std::make_unique<graphs::EgoGraphSampler>(support_.get(), ego_cfg);
   initial_sampler_ = std::make_unique<graphs::InitialNodeSampler>(
-      &observed, config_.time_window,
+      support_.get(), config_.time_window,
       /*uniform=*/!config_.degree_weighted_sampling);
+}
 
+void TgaeGenerator::BuildModel(Rng& rng) {
   const int n = shape_.num_nodes;
   node_emb_ = std::make_unique<nn::Embedding>(rng, n, config_.embedding_dim);
   time_emb_ = std::make_unique<nn::Embedding>(rng, shape_.num_timestamps,
@@ -372,6 +374,16 @@ void TgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
     params_.insert(params_.end(), m->params().begin(), m->params().end());
   if (!config_.tie_decoder) params_.push_back(w_dec_);
   params_.push_back(b_dec_);
+}
+
+void TgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
+  // The support copy backs training targets, ego sampling and generation;
+  // the caller's graph is not referenced after Fit returns.
+  support_ = std::make_unique<graphs::TemporalGraph>(observed);
+  shape_.CaptureFrom(*support_);
+  BuildSamplers();
+  BuildModel(rng);
+  const int n = shape_.num_nodes;
   nn::Adam opt(params_, config_.learning_rate);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
@@ -424,7 +436,7 @@ void TgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
 Status TgaeGenerator::SaveCheckpoint(const std::string& path) const {
   if (params_.empty())
     return Status::InvalidArgument("SaveCheckpoint requires a prior Fit()");
-  return SaveParameters(params_, path);
+  return serialize::SaveParameters(params_, path);
 }
 
 Status TgaeGenerator::LoadCheckpoint(const std::string& path) {
@@ -432,11 +444,44 @@ Status TgaeGenerator::LoadCheckpoint(const std::string& path) {
     return Status::InvalidArgument(
         "LoadCheckpoint requires a prior Fit() to build the parameter "
         "structures");
-  return LoadParameters(params_, path);
+  return serialize::LoadParameters(params_, path);
+}
+
+Status TgaeGenerator::SaveState(std::ostream& out) const {
+  Status fitted = baselines::RequireFitted(support_ != nullptr, name());
+  if (!fitted.ok()) return fitted;
+  serialize::ArchiveWriter writer(out);
+  baselines::WriteShape(writer, shape_);
+  baselines::WriteSupportGraph(writer, "support", *support_);
+  writer.BeginSection("params");
+  serialize::WriteParams(writer, params_);
+  return writer.Finish();
+}
+
+Status TgaeGenerator::LoadState(std::istream& in) {
+  Result<serialize::ArchiveReader> parsed =
+      serialize::ArchiveReader::Parse(in);
+  if (!parsed.ok()) return parsed.status();
+  const serialize::ArchiveReader& reader = parsed.value();
+  baselines::ObservedShape shape;
+  Status s = baselines::ReadShape(reader, shape);
+  if (!s.ok()) return s;
+  Result<graphs::TemporalGraph> support =
+      baselines::ReadSupportGraph(reader, "support");
+  if (!support.ok()) return support.status();
+
+  shape_ = std::move(shape);
+  support_ =
+      std::make_unique<graphs::TemporalGraph>(std::move(support).value());
+  BuildSamplers();
+  // Values come from the archive; the init rng only shapes the modules.
+  Rng init(0);
+  BuildModel(init);
+  return serialize::ReadParamsInto(reader, "params", params_);
 }
 
 graphs::TemporalGraph TgaeGenerator::Generate(Rng& rng) {
-  TGSIM_CHECK(observed_ != nullptr);
+  TGSIM_CHECK(support_ != nullptr);  // Requires a Fit() or LoadState().
   const int n = shape_.num_nodes;
   graphs::TemporalGraph out(n, shape_.num_timestamps);
 
@@ -446,7 +491,7 @@ graphs::TemporalGraph TgaeGenerator::Generate(Rng& rng) {
     std::vector<graphs::TemporalNodeRef> occ;
     std::vector<int> budget;
     {
-      auto span = observed_->EdgesAt(static_cast<graphs::Timestamp>(t));
+      auto span = support_->EdgesAt(static_cast<graphs::Timestamp>(t));
       std::vector<int> count(static_cast<size_t>(n), 0);
       for (const auto& e : span) ++count[static_cast<size_t>(e.u)];
       for (int u = 0; u < n; ++u) {
@@ -484,7 +529,7 @@ graphs::TemporalGraph TgaeGenerator::Generate(Rng& rng) {
         std::vector<graphs::NodeId>& support = supports[i - base];
         std::vector<bool>& is_exact = exacts[i - base];
         std::vector<graphs::TemporalNeighbor> nbrs =
-            observed_->OutNeighborhood(u, occ[i].t,
+            support_->OutNeighborhood(u, occ[i].t,
                                        config_.generation_time_window);
         std::unordered_set<graphs::NodeId> seen;
         for (const auto& nb : nbrs) {

@@ -136,8 +136,14 @@ class TgaeGenerator : public baselines::TemporalGraphGenerator {
   double last_epoch_loss() const { return last_epoch_loss_; }
   const TgaeConfig& config() const { return config_; }
 
+  /// Serializes the complete fitted state — shape, generation support
+  /// graph, trained parameters — so LoadState regenerates without the
+  /// training data (unlike the parameter-only checkpoint below).
+  Status SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
+
   /// Persists the trained parameters as a portable text checkpoint
-  /// (core/serialization.h). Requires a prior Fit().
+  /// (serialize/serialization.h). Requires a prior Fit().
   Status SaveCheckpoint(const std::string& path) const;
 
   /// Restores parameters saved by SaveCheckpoint into this model. The
@@ -187,8 +193,20 @@ class TgaeGenerator : public baselines::TemporalGraphGenerator {
   std::vector<nn::Scalar> DenseLogitsRow(const nn::Tensor& rows,
                                          int r) const;
 
+  /// Rebuilds the ego/initial samplers over the owned support graph
+  /// (shared by Fit and LoadState).
+  void BuildSamplers();
+
+  /// Constructs embeddings, encoder, variational heads and the decoder
+  /// from config_ + shape_ and fills params_ in the fixed order (shared by
+  /// Fit and LoadState; LoadState overwrites the values afterwards).
+  void BuildModel(Rng& rng);
+
   TgaeConfig config_;
-  const graphs::TemporalGraph* observed_ = nullptr;
+  /// Owned copy of the observed graph: training targets, ego sampling and
+  /// the generation-time categorical support all walk it, so it is part
+  /// of the fitted state (and of the serialized artifact).
+  std::unique_ptr<graphs::TemporalGraph> support_;
   baselines::ObservedShape shape_;
   std::unique_ptr<graphs::EgoGraphSampler> ego_sampler_;
   std::unique_ptr<graphs::InitialNodeSampler> initial_sampler_;

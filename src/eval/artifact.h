@@ -1,0 +1,55 @@
+#ifndef TGSIM_EVAL_ARTIFACT_H_
+#define TGSIM_EVAL_ARTIFACT_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/generator.h"
+#include "common/status.h"
+#include "config/param_map.h"
+
+namespace tgsim::eval {
+
+/// Registry-backed model artifacts: a fitted generator saved as one
+/// self-describing file. The artifact embeds the registry method name and
+/// the parameter overlay the generator was constructed with, followed by
+/// the generator's own fitted state (SaveState), so LoadArtifact rebuilds
+/// a serving-ready generator with nothing but the file — fit once, ship
+/// the artifact, generate many times (no training data needed).
+///
+/// File layout: two serialize:: archives back to back. The first holds the
+/// descriptor (section "artifact": format version, method, params); the
+/// second is whatever the method's SaveState writes.
+
+/// Bump when the descriptor layout changes incompatibly. Method-state
+/// compatibility is governed by serialize::kArchiveFormatVersion plus each
+/// generator's own section contract.
+inline constexpr int kArtifactVersion = 1;
+
+/// A loaded artifact: the descriptor plus the reconstructed generator.
+struct LoadedArtifact {
+  std::string method;       // Registry name, e.g. "TGAE".
+  config::ParamMap params;  // Construction overlay (may carry `preset`).
+  std::unique_ptr<baselines::TemporalGraphGenerator> generator;
+};
+
+/// Saves `gen` (which must have been fitted) to `path`. `method` must be
+/// the registered name the generator was built from and `params` the
+/// parameter overlay passed to MakeGenerator — LoadArtifact replays both
+/// to reconstruct an identically configured generator. Unknown method
+/// names return NotFound with a nearest-name suggestion; an unfitted
+/// generator surfaces the method's own InvalidArgument.
+Status SaveArtifact(const baselines::TemporalGraphGenerator& gen,
+                    const std::string& method,
+                    const config::ParamMap& params, const std::string& path);
+
+/// Loads an artifact written by SaveArtifact: reads the descriptor,
+/// constructs the generator through the registry (NotFound with a
+/// suggestion for unknown methods — never a CHECK) and restores its state.
+/// The loaded generator's Generate(seed) is bit-identical to the fitted
+/// original's.
+Result<LoadedArtifact> LoadArtifact(const std::string& path);
+
+}  // namespace tgsim::eval
+
+#endif  // TGSIM_EVAL_ARTIFACT_H_

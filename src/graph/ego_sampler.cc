@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 namespace tgsim::graphs {
 
@@ -74,9 +75,18 @@ EgoGraph EgoGraphSampler::Sample(TemporalNodeRef center, Rng& rng) const {
   return ego;
 }
 
+InitialNodeSampler::InitialNodeSampler(std::vector<TemporalNodeRef> occurrences,
+                                       std::vector<double> weights,
+                                       bool uniform)
+    : uniform_(uniform),
+      occurrences_(std::move(occurrences)),
+      weights_(std::move(weights)) {
+  TGSIM_CHECK_EQ(occurrences_.size(), weights_.size());
+}
+
 InitialNodeSampler::InitialNodeSampler(const TemporalGraph* graph,
                                        int time_window, bool uniform)
-    : graph_(graph), uniform_(uniform) {
+    : uniform_(uniform) {
   TGSIM_CHECK(graph != nullptr);
   TGSIM_CHECK(graph->finalized());
   // Enumerate distinct node occurrences and their temporal degrees.

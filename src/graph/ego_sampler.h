@@ -72,6 +72,14 @@ class InitialNodeSampler {
   InitialNodeSampler(const TemporalGraph* graph, int time_window,
                      bool uniform = false);
 
+  /// Rebuilds a sampler from a previously extracted distribution
+  /// (occurrences() / weights()): the serialization path of the fitted
+  /// generators. Sampling from the rebuilt sampler is bit-identical to
+  /// the graph-built original. Sizes must match and weights must carry
+  /// positive total mass unless `uniform` is set.
+  InitialNodeSampler(std::vector<TemporalNodeRef> occurrences,
+                     std::vector<double> weights, bool uniform = false);
+
   /// Draws n_s temporal nodes (with replacement across draws).
   std::vector<TemporalNodeRef> Sample(int n_s, Rng& rng) const;
 
@@ -80,8 +88,10 @@ class InitialNodeSampler {
     return occurrences_;
   }
 
+  /// Temporal degree per occurrence (the Eq. 2 sampling weights).
+  const std::vector<double>& weights() const { return weights_; }
+
  private:
-  const TemporalGraph* graph_;
   bool uniform_;
   std::vector<TemporalNodeRef> occurrences_;
   std::vector<double> weights_;  // temporal degree per occurrence

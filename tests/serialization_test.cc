@@ -1,6 +1,10 @@
-#include "core/serialization.h"
+#include "serialize/serialization.h"
 
+#include <cmath>
 #include <filesystem>
+#include <limits>
+#include <locale>
+#include <sstream>
 #include <string>
 
 #include "core/tgae.h"
@@ -10,6 +14,11 @@
 
 namespace tgsim::core {
 namespace {
+
+using serialize::ArchiveReader;
+using serialize::ArchiveWriter;
+using serialize::LoadParameters;
+using serialize::SaveParameters;
 
 /// Gives each test its own scratch directory under the gtest temp root and
 /// removes it afterwards, so round-trip tests never observe each other's
@@ -94,6 +103,207 @@ TEST_F(SerializationTest, RejectsGarbageFile) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(LoadParameters(params, "/nonexistent.ckpt").code(),
             StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Sectioned archive (ArchiveWriter / ArchiveReader).
+// ---------------------------------------------------------------------------
+
+TEST(ArchiveTest, RoundTripsEveryFieldKind) {
+  Rng rng(6);
+  nn::Tensor tensor = nn::Tensor::Randn(rng, 3, 2);
+  std::stringstream stream;
+  ArchiveWriter writer(stream);
+  writer.BeginSection("alpha");
+  writer.WriteInt("count", -42);
+  writer.WriteDouble("rate", 0.12345678901234567);
+  writer.WriteString("label", "two words\nand a newline");
+  writer.WriteIntVector("ids", {1, -2, 3});
+  writer.WriteDoubleVector("weights", {0.5, 1.5});
+  writer.BeginSection("beta");
+  writer.WriteTensor("w", tensor);
+  ASSERT_TRUE(writer.Finish().ok());
+
+  Result<ArchiveReader> parsed = ArchiveReader::Parse(stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ArchiveReader& reader = parsed.value();
+  EXPECT_EQ(reader.SectionNames(),
+            (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(reader.GetInt("alpha", "count").value(), -42);
+  EXPECT_DOUBLE_EQ(reader.GetDouble("alpha", "rate").value(),
+                   0.12345678901234567);
+  EXPECT_EQ(reader.GetString("alpha", "label").value(),
+            "two words\nand a newline");
+  EXPECT_EQ(reader.GetIntVector("alpha", "ids").value(),
+            (std::vector<int64_t>{1, -2, 3}));
+  EXPECT_EQ(reader.GetDoubleVector("alpha", "weights").value(),
+            (std::vector<double>{0.5, 1.5}));
+  nn::Tensor loaded = reader.GetTensor("beta", "w").value();
+  ASSERT_TRUE(loaded.SameShape(tensor));
+  for (int64_t i = 0; i < tensor.size(); ++i)
+    EXPECT_DOUBLE_EQ(loaded.data()[i], tensor.data()[i]);
+}
+
+TEST(ArchiveTest, RoundTripsNonFiniteDoubles) {
+  // A diverged model (NaN/Inf weights) must still round-trip: operator<<
+  // emits "nan"/"inf" tokens, and the reader parses them with from_chars
+  // (classic-locale stream extraction would reject them as truncation).
+  const double inf = std::numeric_limits<double>::infinity();
+  nn::Tensor tensor(1, 3);
+  tensor.at(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  tensor.at(0, 1) = inf;
+  tensor.at(0, 2) = -inf;
+  std::stringstream stream;
+  ArchiveWriter writer(stream);
+  writer.BeginSection("s");
+  writer.WriteTensor("w", tensor);
+  writer.WriteDouble("d", -inf);
+  ASSERT_TRUE(writer.Finish().ok());
+
+  Result<ArchiveReader> parsed = ArchiveReader::Parse(stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  nn::Tensor loaded = parsed.value().GetTensor("s", "w").value();
+  EXPECT_TRUE(std::isnan(loaded.at(0, 0)));
+  EXPECT_EQ(loaded.at(0, 1), inf);
+  EXPECT_EQ(loaded.at(0, 2), -inf);
+  EXPECT_EQ(parsed.value().GetDouble("s", "d").value(), -inf);
+}
+
+TEST(ArchiveTest, SupportsTrailingPayloadAfterEnd) {
+  // SaveArtifact writes the descriptor archive, then the generator's own
+  // archive in the same stream: Parse must stop at `end`.
+  std::stringstream stream;
+  ArchiveWriter writer(stream);
+  writer.BeginSection("s");
+  writer.WriteInt("x", 1);
+  ASSERT_TRUE(writer.Finish().ok());
+  stream << "trailing payload";
+  Result<ArchiveReader> parsed = ArchiveReader::Parse(stream);
+  ASSERT_TRUE(parsed.ok());
+  std::string rest;
+  std::getline(stream >> std::ws, rest);
+  EXPECT_EQ(rest, "trailing payload");
+}
+
+TEST(ArchiveTest, MissingFieldIsNotFoundAndWrongTypeIsInvalid) {
+  std::stringstream stream;
+  ArchiveWriter writer(stream);
+  writer.BeginSection("s");
+  writer.WriteInt("x", 1);
+  ASSERT_TRUE(writer.Finish().ok());
+  Result<ArchiveReader> parsed = ArchiveReader::Parse(stream);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().GetInt("s", "missing").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(parsed.value().GetInt("nope", "x").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(parsed.value().GetDouble("s", "x").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ArchiveTest, RejectsBadMagicVersionMismatchAndTruncation) {
+  {
+    std::stringstream stream("not-an-archive 1\nend\n");
+    EXPECT_EQ(ArchiveReader::Parse(stream).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    std::stringstream stream("tgsim-archive 999\nend\n");
+    Status s = ArchiveReader::Parse(stream).status();
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("version 999"), std::string::npos);
+  }
+  {
+    // No `end` terminator: a partially written file must not parse.
+    std::stringstream stream("tgsim-archive 1\nsection s\ni64 x 1\n");
+    Status s = ArchiveReader::Parse(stream).status();
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("truncated"), std::string::npos);
+  }
+  {
+    // Vector cut off mid-payload.
+    std::stringstream stream("tgsim-archive 1\nsection s\nvi64 v 3 1 2");
+    EXPECT_EQ(ArchiveReader::Parse(stream).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Locale independence: checkpoints and archives must round-trip under a
+// comma-decimal global locale (regression: un-imbued streams rendered 0.5
+// as "0,5", corrupting the file).
+// ---------------------------------------------------------------------------
+
+/// Installs a comma-decimal global locale for the test's scope, if the
+/// host has one; restores the previous global locale on destruction.
+class CommaLocaleScope {
+ public:
+  CommaLocaleScope() {
+    for (const char* name :
+         {"de_DE.UTF-8", "fr_FR.UTF-8", "de_DE.utf8", "fr_FR.utf8", "de_DE",
+          "fr_FR"}) {
+      try {
+        std::locale candidate(name);
+        if (std::use_facet<std::numpunct<char>>(candidate)
+                .decimal_point() != ',')
+          continue;
+        previous_ = std::locale::global(candidate);
+        installed_ = true;
+        return;
+      } catch (const std::runtime_error&) {
+        continue;  // Locale not available on this host; try the next.
+      }
+    }
+  }
+  ~CommaLocaleScope() {
+    if (installed_) std::locale::global(previous_);
+  }
+  bool installed() const { return installed_; }
+
+ private:
+  bool installed_ = false;
+  std::locale previous_;
+};
+
+TEST_F(SerializationTest, CheckpointRoundTripsUnderCommaDecimalLocale) {
+  CommaLocaleScope comma_locale;
+  if (!comma_locale.installed())
+    GTEST_SKIP() << "no comma-decimal locale available on this host";
+
+  Rng rng(8);
+  std::vector<nn::Var> params = {
+      nn::Var::Param(nn::Tensor::Randn(rng, 2, 3))};
+  std::string path = Path("comma.ckpt");
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+  Rng rng2(9);
+  std::vector<nn::Var> fresh = {
+      nn::Var::Param(nn::Tensor::Randn(rng2, 2, 3))};
+  ASSERT_TRUE(LoadParameters(fresh, path).ok());
+  for (int64_t i = 0; i < params[0].value().size(); ++i)
+    EXPECT_DOUBLE_EQ(fresh[0].value().data()[i],
+                     params[0].value().data()[i]);
+}
+
+TEST(ArchiveTest, RoundTripsUnderCommaDecimalLocale) {
+  CommaLocaleScope comma_locale;
+  if (!comma_locale.installed())
+    GTEST_SKIP() << "no comma-decimal locale available on this host";
+
+  std::stringstream stream;
+  // A stringstream created under the comma locale adopts it — exactly the
+  // hazard the archive's classic-locale imbue must neutralize.
+  ArchiveWriter writer(stream);
+  writer.BeginSection("s");
+  writer.WriteDouble("half", 0.5);
+  writer.WriteDoubleVector("v", {1.25, -2.75});
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(stream.str().find(','), std::string::npos)
+      << "comma leaked into the archive: " << stream.str();
+  Result<ArchiveReader> parsed = ArchiveReader::Parse(stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed.value().GetDouble("s", "half").value(), 0.5);
+  EXPECT_EQ(parsed.value().GetDoubleVector("s", "v").value(),
+            (std::vector<double>{1.25, -2.75}));
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 #include "datasets/io.h"
 #include "datasets/synthetic.h"
 #include "gtest/gtest.h"
+#include "parallel/thread_pool.h"
 #include "tools/tgsim_cli.h"
 
 namespace tgsim {
@@ -231,6 +232,113 @@ TEST(TgsimCliTest, EvalRejectsUnknownMethodAndDataset) {
   EXPECT_EQ(RunCli({"eval", "--methods", "E-R", "--datasets", "Nowhere"})
                 .code,
             1);
+}
+
+// ---------------------------------------------------------------------------
+// Model artifacts: tgsim fit + tgsim generate --model.
+// ---------------------------------------------------------------------------
+
+TEST(TgsimCliTest, FitThenGenerateFromModelMatchesDirectRun) {
+  // Fit-once/serve-many end to end: `fit` then `generate --model` must
+  // write the exact edge list of a single in-process `generate` run with
+  // the same seed (the two halves consume independent seed streams).
+  std::string model_path = TempPath("cli_model.tgsim");
+  std::string from_model = TempPath("cli_from_model.txt");
+  std::string direct = TempPath("cli_direct.txt");
+
+  CliResult fit = RunCli({"fit", "--method", "TagGen", "--preset", "fast",
+                          "--param", "epochs=1", "--synthetic", "DBLP",
+                          "--scale", "0.03", "--output", model_path,
+                          "--seed", "11"});
+  ASSERT_EQ(fit.code, 0) << fit.out;
+  EXPECT_NE(fit.out.find("wrote model artifact"), std::string::npos);
+
+  CliResult gen = RunCli({"generate", "--model", model_path, "--output",
+                          from_model, "--seed", "11"});
+  ASSERT_EQ(gen.code, 0) << gen.out;
+  EXPECT_NE(gen.out.find("method TagGen"), std::string::npos) << gen.out;
+
+  CliResult both = RunCli({"generate", "--method", "TagGen", "--preset",
+                           "fast", "--param", "epochs=1", "--synthetic",
+                           "DBLP", "--scale", "0.03", "--output", direct,
+                           "--seed", "11"});
+  ASSERT_EQ(both.code, 0) << both.out;
+
+  Result<graphs::TemporalGraph> a = datasets::LoadEdgeList(from_model);
+  Result<graphs::TemporalGraph> b = datasets::LoadEdgeList(direct);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().num_edges(), b.value().num_edges());
+  for (size_t i = 0; i < a.value().edges().size(); ++i)
+    EXPECT_TRUE(a.value().edges()[i] == b.value().edges()[i])
+        << "edge " << i;
+}
+
+TEST(TgsimCliTest, GenerateModelRejectsConflictingFlags) {
+  // --model with --method is a usage error; with dataset or construction
+  // flags it is a runtime error (the artifact embeds all of them).
+  EXPECT_EQ(RunCli({"generate", "--model", "m.tgsim", "--method", "E-R",
+                    "--output", TempPath("x.txt")})
+                .code,
+            2);
+  EXPECT_EQ(RunCli({"generate", "--model", "m.tgsim", "--synthetic", "DBLP",
+                    "--output", TempPath("x.txt")})
+                .code,
+            1);
+  EXPECT_EQ(RunCli({"generate", "--model", "m.tgsim", "--preset", "fast",
+                    "--output", TempPath("x.txt")})
+                .code,
+            1);
+}
+
+TEST(TgsimCliTest, GenerateFromMissingOrGarbageModelFails) {
+  EXPECT_EQ(RunCli({"generate", "--model", TempPath("no_such.tgsim"),
+                    "--output", TempPath("x.txt")})
+                .code,
+            1);
+  std::string garbage = TempPath("garbage.tgsim");
+  FILE* f = fopen(garbage.c_str(), "w");
+  fputs("not an artifact\n", f);
+  fclose(f);
+  EXPECT_EQ(RunCli({"generate", "--model", garbage, "--output",
+                    TempPath("x.txt")})
+                .code,
+            1);
+}
+
+TEST(TgsimCliTest, FitRequiresMethodAndOutput) {
+  EXPECT_EQ(RunCli({"fit", "--method", "E-R"}).code, 2);
+  EXPECT_EQ(RunCli({"fit", "--output", TempPath("m.tgsim")}).code, 2);
+  EXPECT_EQ(RunCli({"fit", "--method", "NoSuch", "--synthetic", "DBLP",
+                    "--output", TempPath("m.tgsim")})
+                .code,
+            1);
+}
+
+// ---------------------------------------------------------------------------
+// --threads: thread control without TGSIM_NUM_THREADS plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(TgsimCliTest, ThreadsFlagResizesTheGlobalPool) {
+  std::string out_path = TempPath("cli_threads.txt");
+  CliResult r = RunCli({"generate", "--method", "E-R", "--synthetic", "DBLP",
+                        "--scale", "0.03", "--output", out_path, "--seed",
+                        "7", "--threads", "3"});
+  EXPECT_EQ(r.code, 0) << r.out;
+  EXPECT_EQ(parallel::ThreadPool::GlobalThreads(), 3);
+  // Restore a deterministic default for the rest of the process.
+  parallel::ThreadPool::SetGlobalThreads(
+      parallel::ThreadPool::DefaultNumThreads());
+}
+
+TEST(TgsimCliTest, ThreadsFlagRejectsBadValues) {
+  EXPECT_EQ(RunCli({"generate", "--method", "E-R", "--synthetic", "DBLP",
+                    "--output", TempPath("x.txt"), "--threads", "0"})
+                .code,
+            2);
+  EXPECT_EQ(RunCli({"generate", "--method", "E-R", "--synthetic", "DBLP",
+                    "--output", TempPath("x.txt"), "--threads", "lots"})
+                .code,
+            2);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <string>
@@ -12,11 +13,13 @@
 #include "config/param_map.h"
 #include "datasets/io.h"
 #include "datasets/synthetic.h"
+#include "eval/artifact.h"
 #include "eval/registry.h"
 #include "eval/runner.h"
 #include "eval/table_printer.h"
 #include "graph/temporal_graph.h"
 #include "metrics/graph_stats.h"
+#include "parallel/thread_pool.h"
 
 namespace tgsim::cli {
 
@@ -29,7 +32,10 @@ constexpr char kUsage[] =
     "\n"
     "Commands:\n"
     "  methods   List registered generator methods and their parameters.\n"
-    "  generate  Fit a method on a dataset and write a synthetic edge list.\n"
+    "  fit       Fit a method on a dataset and save the trained model\n"
+    "            artifact (fit once, then `generate --model` many times).\n"
+    "  generate  Write a synthetic edge list, fitting on a dataset or\n"
+    "            loading a trained artifact (--model).\n"
     "  eval      Run a (methods x datasets) matrix and print paper-style "
     "tables.\n"
     "  stats     Print shape and Table III statistics of a dataset.\n"
@@ -47,16 +53,33 @@ constexpr char kUsage[] =
     "                       preset and over --config assignments.\n"
     "  --config PATH        `key = value` file applied before --param.\n"
     "\n"
+    "Runtime:\n"
+    "  --threads N        Global thread-pool size (wins over the\n"
+    "                     TGSIM_NUM_THREADS environment variable).\n"
+    "\n"
     "Run `tgsim <command> --help` for per-command options.\n";
+
+constexpr char kFitUsage[] =
+    "usage: tgsim fit --method NAME --output MODEL.tgsim\n"
+    "         (--input PATH | --synthetic NAME [--scale S])\n"
+    "         [--preset fast|paper] [--param key=value ...] [--config FILE]\n"
+    "         [--seed N]\n"
+    "Fits NAME on the dataset and saves the trained simulator as a\n"
+    "self-describing artifact (method + parameters + fitted state).\n"
+    "`tgsim generate --model MODEL.tgsim` then generates without the\n"
+    "training data; with the same --seed it reproduces an in-process\n"
+    "fit+generate run exactly.\n";
 
 constexpr char kGenerateUsage[] =
     "usage: tgsim generate --method NAME --output PATH\n"
     "         (--input PATH | --synthetic NAME [--scale S])\n"
     "         [--preset fast|paper] [--param key=value ...] [--config FILE]\n"
     "         [--seed N]\n"
-    "Fits NAME on the dataset, simulates one graph with the observed\n"
-    "shape, and writes it as a `u v t` edge list (reloadable with\n"
-    "LoadEdgeList / --input).\n";
+    "   or: tgsim generate --model MODEL.tgsim --output PATH [--seed N]\n"
+    "Simulates one graph with the observed shape and writes it as a\n"
+    "`u v t` edge list (reloadable with LoadEdgeList / --input). The first\n"
+    "form fits NAME on the dataset; the second loads a `tgsim fit`\n"
+    "artifact and needs no dataset at all.\n";
 
 constexpr char kEvalUsage[] =
     "usage: tgsim eval [--methods A,B|all]\n"
@@ -92,7 +115,8 @@ const std::vector<std::string>& ValueFlags() {
       new std::vector<std::string>{
           "--input",  "--synthetic", "--scale",  "--seed",    "--method",
           "--output", "--preset",    "--param",  "--config",  "--methods",
-          "--datasets", "--stride",  "--motif-delta", "--max-triples"};
+          "--datasets", "--stride",  "--motif-delta", "--max-triples",
+          "--model",  "--threads"};
   return *kValueFlags;
 }
 
@@ -299,14 +323,44 @@ int RunMethods(const ParsedArgs& args) {
 }
 
 // ---------------------------------------------------------------------------
-// tgsim generate
+// tgsim fit / generate
 // ---------------------------------------------------------------------------
 
-int RunGenerate(const ParsedArgs& args) {
+/// Builds the registry generator named by --method with the layered
+/// parameters; prints the schema on a construction error.
+Result<std::unique_ptr<baselines::TemporalGraphGenerator>> BuildCliGenerator(
+    const std::string& method, const config::ParamMap& params) {
+  auto generator = eval::MakeGenerator(method, params);
+  if (!generator.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 generator.status().ToString().c_str());
+    const eval::MethodSpec* spec = eval::FindMethod(method);
+    if (spec != nullptr && !spec->schema.empty())
+      std::fprintf(stderr, "parameters of %s:\n%s", method.c_str(),
+                   spec->schema.Describe().c_str());
+  }
+  return generator;
+}
+
+/// Independent deterministic streams for the fit and generate halves of a
+/// run. `tgsim fit` consumes only the fit stream and `tgsim generate
+/// --model` only the generate stream, so fit-once + generate-from-artifact
+/// reproduces a single in-process fit+generate run with the same --seed.
+struct SeedStreams {
+  Rng fit;
+  Rng generate;
+};
+
+SeedStreams MakeSeedStreams(uint64_t seed) {
+  std::vector<Rng> split = Rng(seed).Split(2);
+  return SeedStreams{split[0], split[1]};
+}
+
+int RunFit(const ParsedArgs& args) {
   const std::string* method = FindFlag(args, "--method");
   const std::string* output = FindFlag(args, "--output");
   if (method == nullptr || output == nullptr) {
-    std::fprintf(stderr, "%s", kGenerateUsage);
+    std::fprintf(stderr, "%s", kFitUsage);
     return 2;
   }
   Result<int64_t> seed = ParseIntFlag(args, "--seed", 7);
@@ -314,22 +368,13 @@ int RunGenerate(const ParsedArgs& args) {
     std::fprintf(stderr, "error: %s\n", seed.status().ToString().c_str());
     return 1;
   }
-
   Result<config::ParamMap> params = BuildParams(args);
   if (!params.ok()) {
     std::fprintf(stderr, "error: %s\n", params.status().ToString().c_str());
     return 1;
   }
-  auto generator = eval::MakeGenerator(*method, params.value());
-  if (!generator.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 generator.status().ToString().c_str());
-    const eval::MethodSpec* spec = eval::FindMethod(*method);
-    if (spec != nullptr && !spec->schema.empty())
-      std::fprintf(stderr, "parameters of %s:\n%s", method->c_str(),
-                   spec->schema.Describe().c_str());
-    return 1;
-  }
+  auto generator = BuildCliGenerator(*method, params.value());
+  if (!generator.ok()) return 1;
 
   Result<graphs::TemporalGraph> observed =
       LoadDataset(args, static_cast<uint64_t>(seed.value()));
@@ -340,15 +385,98 @@ int RunGenerate(const ParsedArgs& args) {
   }
   PrintGraphShape("observed", observed.value());
 
-  Rng rng(static_cast<uint64_t>(seed.value()));
+  SeedStreams streams = MakeSeedStreams(static_cast<uint64_t>(seed.value()));
   Stopwatch fit_watch;
-  generator.value()->Fit(observed.value(), rng);
+  generator.value()->Fit(observed.value(), streams.fit);
   double fit_s = fit_watch.ElapsedSeconds();
+
+  Status save = eval::SaveArtifact(*generator.value(), *method,
+                                   params.value(), *output);
+  if (!save.ok()) {
+    std::fprintf(stderr, "error: %s\n", save.ToString().c_str());
+    return 1;
+  }
+  std::printf("fit %.2fs\n", fit_s);
+  std::printf("wrote model artifact %s (method %s)\n", output->c_str(),
+              method->c_str());
+  return 0;
+}
+
+int RunGenerate(const ParsedArgs& args) {
+  const std::string* method = FindFlag(args, "--method");
+  const std::string* model = FindFlag(args, "--model");
+  const std::string* output = FindFlag(args, "--output");
+  if (output == nullptr || (method == nullptr) == (model == nullptr)) {
+    std::fprintf(stderr, "%s", kGenerateUsage);
+    return 2;
+  }
+  Result<int64_t> seed = ParseIntFlag(args, "--seed", 7);
+  if (!seed.ok()) {
+    std::fprintf(stderr, "error: %s\n", seed.status().ToString().c_str());
+    return 1;
+  }
+  SeedStreams streams = MakeSeedStreams(static_cast<uint64_t>(seed.value()));
+
+  std::unique_ptr<baselines::TemporalGraphGenerator> generator;
+  double prepare_s = 0.0;
+  const char* prepare_label = "fit";
+  if (model != nullptr) {
+    // The artifact is self-describing: dataset and construction flags
+    // would be silently ignored, so reject them instead.
+    for (const char* flag :
+         {"--input", "--synthetic", "--scale", "--preset", "--param",
+          "--config"}) {
+      if (FindFlag(args, flag) != nullptr) {
+        std::fprintf(stderr,
+                     "error: %s does not combine with --model (the "
+                     "artifact embeds the method, parameters and shape)\n",
+                     flag);
+        return 1;
+      }
+    }
+    prepare_label = "load";
+    Stopwatch load_watch;
+    Result<eval::LoadedArtifact> loaded = eval::LoadArtifact(*model);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    prepare_s = load_watch.ElapsedSeconds();
+    std::printf("loaded %s (method %s%s%s)\n", model->c_str(),
+                loaded.value().method.c_str(),
+                loaded.value().params.empty() ? "" : ", ",
+                loaded.value().params.ToString().c_str());
+    generator = std::move(loaded).value().generator;
+  } else {
+    Result<config::ParamMap> params = BuildParams(args);
+    if (!params.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   params.status().ToString().c_str());
+      return 1;
+    }
+    auto built = BuildCliGenerator(*method, params.value());
+    if (!built.ok()) return 1;
+    generator = std::move(built).value();
+
+    Result<graphs::TemporalGraph> observed =
+        LoadDataset(args, static_cast<uint64_t>(seed.value()));
+    if (!observed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   observed.status().ToString().c_str());
+      return 1;
+    }
+    PrintGraphShape("observed", observed.value());
+    Stopwatch fit_watch;
+    generator->Fit(observed.value(), streams.fit);
+    prepare_s = fit_watch.ElapsedSeconds();
+  }
+
   Stopwatch gen_watch;
-  graphs::TemporalGraph generated = generator.value()->Generate(rng);
+  graphs::TemporalGraph generated = generator->Generate(streams.generate);
   double gen_s = gen_watch.ElapsedSeconds();
   PrintGraphShape("generated", generated);
-  std::printf("fit %.2fs, generate %.2fs\n", fit_s, gen_s);
+  std::printf("%s %.2fs, generate %.2fs\n", prepare_label, prepare_s, gen_s);
 
   Status save = datasets::SaveEdgeList(generated, *output);
   if (!save.ok()) {
@@ -603,13 +731,33 @@ int Run(const std::vector<std::string>& args) {
   }
   if (HasSwitch(parsed.value(), "--help")) {
     if (command == "methods") std::printf("%s", kMethodsUsage);
+    else if (command == "fit") std::printf("%s", kFitUsage);
     else if (command == "generate") std::printf("%s", kGenerateUsage);
     else if (command == "eval") std::printf("%s", kEvalUsage);
     else if (command == "stats") std::printf("%s", kStatsUsage);
     else std::printf("%s", kUsage);
     return 0;
   }
+  // Thread control without env plumbing: --threads resizes the global
+  // pool before any parallel region runs, winning over TGSIM_NUM_THREADS
+  // (SetGlobalThreads replaces whatever the env default would build).
+  if (const std::string* threads_raw = FindFlag(parsed.value(), "--threads")) {
+    Result<int64_t> threads = ParseIntFlag(parsed.value(), "--threads", 0);
+    if (!threads.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   threads.status().ToString().c_str());
+      return 2;
+    }
+    if (threads.value() < 1 || threads.value() > 1024) {
+      std::fprintf(stderr, "error: --threads must be in [1, 1024] (got %s)\n",
+                   threads_raw->c_str());
+      return 2;
+    }
+    parallel::ThreadPool::SetGlobalThreads(
+        static_cast<int>(threads.value()));
+  }
   if (command == "methods") return RunMethods(parsed.value());
+  if (command == "fit") return RunFit(parsed.value());
   if (command == "generate") return RunGenerate(parsed.value());
   if (command == "eval") return RunEval(parsed.value());
   if (command == "stats") return RunStats(parsed.value());
