@@ -1,9 +1,8 @@
 #include "common/status.h"
 
 namespace tgsim {
-namespace {
 
-const char* CodeName(StatusCode code) {
+std::string StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "Ok";
@@ -23,11 +22,19 @@ const char* CodeName(StatusCode code) {
   return "Unknown";
 }
 
-}  // namespace
+StatusCode StatusCodeFromName(const std::string& name) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kIoError, StatusCode::kOutOfRange,
+        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
+    if (StatusCodeName(code) == name) return code;
+  }
+  return StatusCode::kInternal;
+}
 
 std::string Status::ToString() const {
   if (ok()) return "Ok";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   if (!message_.empty()) {
     out += ": ";
     out += message_;

@@ -61,6 +61,14 @@ class Status {
   std::string message_;
 };
 
+/// Stable wire name of a code: "Ok", "InvalidArgument", "NotFound", ...
+/// (the serve protocol ships these in error replies; keep them in sync
+/// with StatusCodeFromName).
+std::string StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName; kInternal for names no build knows.
+StatusCode StatusCodeFromName(const std::string& name);
+
 /// Result<T> is either a value or an error Status. Access to the value of a
 /// failed result is a checked programming error.
 template <typename T>

@@ -105,11 +105,15 @@ Result<graphs::TemporalGraph> LoadEdgeList(const std::string& path) {
 Status SaveEdgeList(const graphs::TemporalGraph& g, const std::string& path) {
   std::ofstream out(path);
   if (!out.is_open()) return Status::IoError("cannot write: " + path);
+  WriteEdgeList(g, out);
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+void WriteEdgeList(const graphs::TemporalGraph& g, std::ostream& out) {
   out << "# " << g.num_nodes() << " " << g.num_timestamps() << "\n";
   for (const graphs::TemporalEdge& e : g.edges())
     out << e.u << " " << e.v << " " << e.t << "\n";
-  if (!out.good()) return Status::IoError("write failed: " + path);
-  return Status::Ok();
 }
 
 }  // namespace tgsim::datasets

@@ -1,6 +1,7 @@
 #ifndef TGSIM_DATASETS_IO_H_
 #define TGSIM_DATASETS_IO_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "common/status.h"
@@ -23,6 +24,11 @@ Result<graphs::TemporalGraph> LoadEdgeList(const std::string& path);
 /// Writes the graph in the same format (with header) so that
 /// LoadEdgeList(SaveEdgeList(g)) round-trips.
 Status SaveEdgeList(const graphs::TemporalGraph& g, const std::string& path);
+
+/// Stream form of SaveEdgeList: writes the identical bytes to `out`
+/// (SaveEdgeList delegates here). The serve daemon uses this to build the
+/// generate-reply payload, which must byte-match a `tgsim generate` file.
+void WriteEdgeList(const graphs::TemporalGraph& g, std::ostream& out);
 
 }  // namespace tgsim::datasets
 

@@ -80,6 +80,11 @@ Status SaveArtifact(const baselines::TemporalGraphGenerator& gen,
   return written;
 }
 
+SeedStreams MakeSeedStreams(uint64_t seed) {
+  std::vector<Rng> split = Rng(seed).Split(2);
+  return SeedStreams{split[0], split[1]};
+}
+
 Result<LoadedArtifact> LoadArtifact(const std::string& path) {
   std::ifstream in(path);
   if (!in.is_open())

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "baselines/generator.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "config/param_map.h"
 
@@ -49,6 +50,19 @@ Status SaveArtifact(const baselines::TemporalGraphGenerator& gen,
 /// The loaded generator's Generate(seed) is bit-identical to the fitted
 /// original's.
 Result<LoadedArtifact> LoadArtifact(const std::string& path);
+
+/// Independent deterministic streams for the fit and generate halves of a
+/// run, derived as Rng(seed).Split(2). `tgsim fit` consumes only the fit
+/// stream; `tgsim generate --model` and the serve daemon consume only the
+/// generate stream — which is what makes fit-once + generate-from-artifact
+/// byte-reproduce a single in-process fit+generate run with the same seed,
+/// whether the generate half runs in the CLI or behind `tgsim serve`.
+struct SeedStreams {
+  Rng fit;
+  Rng generate;
+};
+
+SeedStreams MakeSeedStreams(uint64_t seed);
 
 }  // namespace tgsim::eval
 

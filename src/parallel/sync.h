@@ -1,0 +1,23 @@
+#ifndef TGSIM_PARALLEL_SYNC_H_
+#define TGSIM_PARALLEL_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// The repository's lock surface. ROADMAP layering says only src/parallel
+/// may spawn threads or take locks; modules that need mutual exclusion for
+/// state shared with parallel/ tasks (e.g. serve's model cache) take their
+/// locks through these aliases instead of including <mutex> directly, so
+/// every lock in the tree is grep-able under the parallel:: namespace and
+/// swept by the TSan CI job.
+
+namespace tgsim::parallel {
+
+using Mutex = std::mutex;
+using MutexLock = std::lock_guard<std::mutex>;
+using UniqueLock = std::unique_lock<std::mutex>;
+using CondVar = std::condition_variable;
+
+}  // namespace tgsim::parallel
+
+#endif  // TGSIM_PARALLEL_SYNC_H_

@@ -1,0 +1,25 @@
+#ifndef TGSIM_SERVE_CLIENT_H_
+#define TGSIM_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+
+namespace tgsim::serve {
+
+/// One-shot raw call: connects to the daemon's Unix-domain socket, writes
+/// `frame` + '\n', and returns the single reply line (without the
+/// newline). IoError on connect/write/read failures.
+Result<std::string> CallRaw(const std::string& socket_path,
+                            const std::string& frame);
+
+/// Typed one-shot call: RenderRequest + CallRaw + ParseReply. Error
+/// replies come back as their embedded Status (e.g. NotFound for an
+/// unknown model), transport failures as IoError.
+Result<Json> Call(const std::string& socket_path, const Request& request);
+
+}  // namespace tgsim::serve
+
+#endif  // TGSIM_SERVE_CLIENT_H_

@@ -1,0 +1,165 @@
+#include "serve/model_cache.h"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "common/check.h"
+#include "config/param_map.h"
+#include "eval/artifact.h"
+
+namespace tgsim::serve {
+
+namespace {
+
+/// Artifact file size (the model's budget charge), or an IoError.
+Result<int64_t> ArtifactBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open())
+    return Status::IoError("cannot open artifact: " + path);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IoError("cannot size artifact: " + path);
+  return static_cast<int64_t>(size);
+}
+
+}  // namespace
+
+ModelCache::ModelCache(std::vector<ModelSpec> models, int64_t byte_budget)
+    : byte_budget_(byte_budget) {
+  TGSIM_CHECK_GT(byte_budget, 0);
+  slots_.reserve(models.size());
+  for (ModelSpec& spec : models) {
+    Slot slot;
+    slot.stats.name = spec.name;
+    slot.spec = std::move(spec);
+    slots_.push_back(std::move(slot));
+  }
+}
+
+Status ModelCache::Preload() {
+  parallel::MutexLock lock(mu_);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].spec.name.empty())
+      return Status::InvalidArgument("model names must be non-empty");
+    for (size_t j = i + 1; j < slots_.size(); ++j) {
+      if (slots_[i].spec.name == slots_[j].spec.name)
+        return Status::InvalidArgument("duplicate model name '" +
+                                       slots_[i].spec.name + "'");
+    }
+  }
+  for (Slot& slot : slots_) {
+    if (slot.resident != nullptr) continue;
+    Status loaded = LoadSlotLocked(slot);
+    if (!loaded.ok())
+      return Status(loaded.code(),
+                    "model '" + slot.spec.name + "': " + loaded.message());
+  }
+  return Status::Ok();
+}
+
+ModelCache::Slot* ModelCache::FindSlotLocked(const std::string& name) {
+  for (Slot& slot : slots_)
+    if (slot.spec.name == name) return &slot;
+  return nullptr;
+}
+
+Status ModelCache::LoadSlotLocked(Slot& slot) {
+  Result<int64_t> bytes = ArtifactBytes(slot.spec.path);
+  if (!bytes.ok()) return bytes.status();
+  if (bytes.value() > byte_budget_)
+    return Status::ResourceExhausted(
+        "artifact needs " + std::to_string(bytes.value()) +
+        " bytes but the cache budget is " + std::to_string(byte_budget_) +
+        " bytes");
+
+  // Evict strictly-least-traffic residents until the newcomer fits. The
+  // order is deterministic: ascending requests, ties least-recently-used.
+  while (resident_bytes_ + bytes.value() > byte_budget_) {
+    Slot* victim = nullptr;
+    for (Slot& candidate : slots_) {
+      if (candidate.resident == nullptr) continue;
+      if (victim == nullptr ||
+          candidate.stats.requests < victim->stats.requests ||
+          (candidate.stats.requests == victim->stats.requests &&
+           candidate.last_use_seq < victim->last_use_seq))
+        victim = &candidate;
+    }
+    // The admission check above guarantees the newcomer fits an empty
+    // cache, so a victim always exists while we are over budget.
+    TGSIM_CHECK(victim != nullptr);
+    resident_bytes_ -= victim->resident->bytes;
+    victim->resident.reset();  // In-flight requests keep their shared_ptr.
+    victim->stats.resident = false;
+    victim->stats.evictions += 1;
+  }
+
+  Result<eval::LoadedArtifact> loaded = eval::LoadArtifact(slot.spec.path);
+  if (!loaded.ok()) return loaded.status();
+  auto model = std::make_shared<CachedModel>();
+  model->generator = std::move(loaded).value().generator;
+  model->method = loaded.value().method;
+  model->bytes = bytes.value();
+  slot.resident = std::move(model);
+  slot.stats.method = slot.resident->method;
+  slot.stats.resident = true;
+  slot.stats.bytes = bytes.value();
+  slot.stats.loads += 1;
+  resident_bytes_ += bytes.value();
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<CachedModel>> ModelCache::Acquire(
+    const std::string& name) {
+  parallel::MutexLock lock(mu_);
+  Slot* slot = FindSlotLocked(name);
+  if (slot == nullptr) {
+    std::string message = "unknown model '" + name + "'";
+    std::vector<std::string> names;
+    names.reserve(slots_.size());
+    for (const Slot& s : slots_) names.push_back(s.spec.name);
+    std::string suggestion = config::NearestName(name, names);
+    if (!suggestion.empty())
+      message += "; did you mean '" + suggestion + "'?";
+    return Status::NotFound(message);
+  }
+  slot->stats.requests += 1;
+  slot->last_use_seq = ++use_counter_;
+  if (slot->resident == nullptr) {
+    Status loaded = LoadSlotLocked(*slot);
+    if (!loaded.ok())
+      return Status(loaded.code(),
+                    "model '" + name + "': " + loaded.message());
+  }
+  return slot->resident;
+}
+
+void ModelCache::RecordGenerate(const std::string& name, double seconds) {
+  parallel::MutexLock lock(mu_);
+  Slot* slot = FindSlotLocked(name);
+  if (slot == nullptr) return;
+  slot->stats.generates += 1;
+  slot->stats.busy_seconds += seconds;
+}
+
+std::vector<ModelStats> ModelCache::Snapshot() const {
+  parallel::MutexLock lock(mu_);
+  std::vector<ModelStats> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) out.push_back(slot.stats);
+  return out;
+}
+
+int64_t ModelCache::resident_bytes() const {
+  parallel::MutexLock lock(mu_);
+  return resident_bytes_;
+}
+
+std::vector<std::string> ModelCache::ModelNames() const {
+  parallel::MutexLock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(slots_.size());
+  for (const Slot& slot : slots_) names.push_back(slot.spec.name);
+  return names;
+}
+
+}  // namespace tgsim::serve

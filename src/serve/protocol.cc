@@ -1,0 +1,177 @@
+#include "serve/protocol.h"
+
+#include <limits>
+#include <vector>
+
+#include "config/param_map.h"
+
+namespace tgsim::serve {
+
+namespace {
+
+const std::vector<std::string>& KnownOps() {
+  static const std::vector<std::string>* kOps =
+      new std::vector<std::string>{"generate", "stats", "list", "shutdown"};
+  return *kOps;
+}
+
+Status UnknownKeyError(const std::string& key,
+                       const std::vector<std::string>& known) {
+  std::string message = "unknown request key '" + key + "'";
+  std::string suggestion = config::NearestName(key, known);
+  if (!suggestion.empty()) message += "; did you mean '" + suggestion + "'?";
+  return Status::InvalidArgument(message);
+}
+
+}  // namespace
+
+std::string RequestOpName(RequestOp op) {
+  switch (op) {
+    case RequestOp::kGenerate:
+      return "generate";
+    case RequestOp::kStats:
+      return "stats";
+    case RequestOp::kList:
+      return "list";
+    case RequestOp::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+Result<Request> ParseRequest(const std::string& frame,
+                             size_t max_frame_bytes) {
+  if (frame.size() > max_frame_bytes)
+    return Status::ResourceExhausted(
+        "request frame of " + std::to_string(frame.size()) +
+        " bytes exceeds the " + std::to_string(max_frame_bytes) +
+        "-byte limit");
+  Result<Json> parsed = Json::Parse(frame);
+  if (!parsed.ok())
+    return Status::InvalidArgument("malformed request: " +
+                                   parsed.status().message());
+  const Json& root = parsed.value();
+  if (!root.is_object())
+    return Status::InvalidArgument(
+        "malformed request: frame must be a JSON object");
+
+  // The version gate comes first so a newer client's request is rejected
+  // for the right reason even if it also carries keys we do not know.
+  if (const Json* protocol = root.Find("protocol")) {
+    if (!protocol->is_int())
+      return Status::InvalidArgument(
+          "request field 'protocol' must be an integer");
+    if (protocol->AsInt() > kServeProtocolVersion)
+      return Status::InvalidArgument(
+          "request speaks protocol version " +
+          std::to_string(protocol->AsInt()) + "; this server speaks " +
+          std::to_string(kServeProtocolVersion));
+  }
+
+  const Json* op_field = root.Find("op");
+  if (op_field == nullptr)
+    return Status::InvalidArgument("request is missing the 'op' field");
+  if (!op_field->is_string())
+    return Status::InvalidArgument("request field 'op' must be a string");
+  const std::string& op_name = op_field->AsString();
+
+  Request request;
+  bool known_op = false;
+  for (RequestOp op : {RequestOp::kGenerate, RequestOp::kStats,
+                       RequestOp::kList, RequestOp::kShutdown}) {
+    if (RequestOpName(op) == op_name) {
+      request.op = op;
+      known_op = true;
+      break;
+    }
+  }
+  if (!known_op) {
+    std::string message = "unknown op '" + op_name + "'";
+    std::string suggestion = config::NearestName(op_name, KnownOps());
+    if (!suggestion.empty())
+      message += "; did you mean '" + suggestion + "'?";
+    return Status::InvalidArgument(message);
+  }
+
+  std::vector<std::string> allowed = {"op", "protocol"};
+  if (request.op == RequestOp::kGenerate) {
+    allowed.push_back("model");
+    allowed.push_back("seed");
+  }
+  for (const auto& [key, value] : root.Members()) {
+    bool known_key = false;
+    for (const std::string& k : allowed) known_key = known_key || k == key;
+    if (!known_key) return UnknownKeyError(key, allowed);
+  }
+
+  if (request.op == RequestOp::kGenerate) {
+    const Json* model = root.Find("model");
+    if (model == nullptr || !model->is_string() || model->AsString().empty())
+      return Status::InvalidArgument(
+          "generate requires a non-empty string 'model' field");
+    request.model = model->AsString();
+    if (const Json* seed = root.Find("seed")) {
+      if (!seed->is_int() || seed->AsInt() < 0)
+        return Status::InvalidArgument(
+            "request field 'seed' must be a non-negative integer");
+      request.seed = static_cast<uint64_t>(seed->AsInt());
+    }
+  }
+  return request;
+}
+
+std::string RenderRequest(const Request& request) {
+  Json root = Json::Object();
+  root.Set("op", Json::Str(RequestOpName(request.op)));
+  root.Set("protocol", Json::Int(kServeProtocolVersion));
+  if (request.op == RequestOp::kGenerate) {
+    root.Set("model", Json::Str(request.model));
+    // A seed beyond int64 cannot ride the integer wire form; the CLI
+    // parses seeds through GetInt64 so this cannot happen in practice.
+    root.Set("seed", Json::Int(static_cast<int64_t>(request.seed)));
+  }
+  return root.Serialize();
+}
+
+Json MakeOkReply() {
+  Json reply = Json::Object();
+  reply.Set("ok", Json::Bool(true));
+  reply.Set("protocol", Json::Int(kServeProtocolVersion));
+  return reply;
+}
+
+Json MakeErrorReply(const Status& status) {
+  Json reply = Json::Object();
+  reply.Set("ok", Json::Bool(false));
+  reply.Set("protocol", Json::Int(kServeProtocolVersion));
+  reply.Set("code", Json::Str(StatusCodeName(status.code())));
+  reply.Set("error", Json::Str(status.message()));
+  return reply;
+}
+
+Result<Json> ParseReply(const std::string& frame) {
+  Result<Json> parsed = Json::Parse(frame);
+  if (!parsed.ok())
+    return Status::IoError("malformed reply frame: " +
+                           parsed.status().message());
+  const Json& root = parsed.value();
+  const Json* ok = root.Find("ok");
+  if (ok == nullptr || !ok->is_bool())
+    return Status::IoError("reply frame is missing the 'ok' field");
+  if (!ok->AsBool()) {
+    const Json* code = root.Find("code");
+    const Json* error = root.Find("error");
+    StatusCode status_code = StatusCodeFromName(
+        code != nullptr ? code->AsStringOr("Internal") : "Internal");
+    // An ok:false reply claiming code "Ok" is nonsense; keep the Status a
+    // genuine error (Result CHECKs that error statuses are not kOk).
+    if (status_code == StatusCode::kOk) status_code = StatusCode::kInternal;
+    return Status(status_code,
+                  error != nullptr
+                      ? error->AsStringOr("unspecified server error")
+                      : "unspecified server error");
+  }
+  return parsed;
+}
+
+}  // namespace tgsim::serve

@@ -1,0 +1,72 @@
+#ifndef TGSIM_SERVE_PROTOCOL_H_
+#define TGSIM_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "serve/json.h"
+
+namespace tgsim::serve {
+
+/// The tgsim serve wire protocol: one JSON object per line ("frame") in
+/// each direction over a local stream socket; the same Request/reply pair
+/// backs the in-process Server::Handle API.
+///
+/// Requests:
+///   {"op":"generate","model":NAME,"seed":N}   seed optional (default 7)
+///   {"op":"stats"} | {"op":"list"} | {"op":"shutdown"}
+///   Every request may carry "protocol":N; a request speaking a newer
+///   protocol than this build is rejected (Status-typed reply, never a
+///   guess at compatibility).
+///
+/// Replies always carry "ok" (bool) and "protocol" (int). Success replies
+/// add op-specific fields ("payload" holds generate's edge-list bytes,
+/// byte-identical to a `tgsim generate --model` output file). Error
+/// replies carry "code" (a StatusCodeName) and "error" (the message); the
+/// server never closes the connection on a handled error and never
+/// crashes on malformed input.
+
+/// Bump on any incompatible change to request or reply layout (ROADMAP
+/// invariant; readers reject newer versions with Status errors).
+inline constexpr int kServeProtocolVersion = 1;
+
+/// Hard cap on one request frame; a longer line is answered with a
+/// ResourceExhausted reply and the connection is closed (the stream can no
+/// longer be framed reliably).
+inline constexpr size_t kDefaultMaxFrameBytes = size_t{1} << 20;
+
+enum class RequestOp { kGenerate, kStats, kList, kShutdown };
+
+/// Wire name of an op ("generate", "stats", "list", "shutdown").
+std::string RequestOpName(RequestOp op);
+
+struct Request {
+  RequestOp op = RequestOp::kList;
+  std::string model;  // generate only: configured model name.
+  uint64_t seed = 7;  // generate only.
+};
+
+/// Parses one request frame. Enforces the frame-size cap, full JSON
+/// validity, known op names (nearest-name suggestion on typos), known keys
+/// only, typed fields, and the protocol version gate. Never throws.
+Result<Request> ParseRequest(const std::string& frame,
+                             size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// Renders a request as one frame (no trailing newline).
+std::string RenderRequest(const Request& request);
+
+/// {"ok":true,"protocol":1} — callers Set() op-specific fields onto it.
+Json MakeOkReply();
+
+/// {"ok":false,"protocol":1,"code":...,"error":...}.
+Json MakeErrorReply(const Status& status);
+
+/// Client-side reply check: parses the frame, then converts an ok:false
+/// reply into its embedded Status. Malformed reply frames are IoError.
+Result<Json> ParseReply(const std::string& frame);
+
+}  // namespace tgsim::serve
+
+#endif  // TGSIM_SERVE_PROTOCOL_H_

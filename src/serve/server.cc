@@ -1,0 +1,387 @@
+#include "serve/server.h"
+
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "datasets/io.h"
+#include "eval/artifact.h"
+#include "graph/temporal_graph.h"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace tgsim::serve {
+
+namespace {
+
+/// Closes an accepted connection when the last reference goes away — even
+/// if the connection task is dropped unrun by a draining TaskQueue.
+struct FdGuard {
+  explicit FdGuard(int fd) : fd(fd) {}
+  ~FdGuard() {
+#ifndef _WIN32
+    if (fd >= 0) ::close(fd);
+#endif
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  int fd;
+};
+
+}  // namespace
+
+Server::Server(ServeOptions options) : options_(std::move(options)) {}
+
+Result<std::unique_ptr<Server>> Server::Create(ServeOptions options) {
+  if (options.models.empty())
+    return Status::InvalidArgument("serve needs at least one --model");
+  if (options.workers < 1 || options.workers > 1024)
+    return Status::InvalidArgument("workers must be in [1, 1024]");
+  if (options.max_pending < 1)
+    return Status::InvalidArgument("max_pending must be >= 1");
+  if (options.cache_budget_bytes <= 0)
+    return Status::InvalidArgument("cache budget must be positive");
+  if (options.max_frame_bytes < 64)
+    return Status::InvalidArgument("max_frame_bytes must be >= 64");
+
+  std::unique_ptr<Server> server(new Server(std::move(options)));
+  server->cache_ = std::make_unique<ModelCache>(
+      server->options_.models, server->options_.cache_budget_bytes);
+  Status preloaded = server->cache_->Preload();
+  if (!preloaded.ok()) return preloaded;
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+// ---------------------------------------------------------------------------
+// Request handling (in-process API; the socket front end funnels here).
+// ---------------------------------------------------------------------------
+
+Json Server::Handle(const Request& request) {
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
+  // Shutdown stays answerable during a drain (idempotent); everything else
+  // is refused so the daemon quiesces instead of racing its own teardown.
+  if (draining() && request.op != RequestOp::kShutdown)
+    return MakeErrorReply(Status::ResourceExhausted(
+        "server is draining; request rejected"));
+  switch (request.op) {
+    case RequestOp::kGenerate:
+      return HandleGenerate(request);
+    case RequestOp::kStats:
+      return HandleStats();
+    case RequestOp::kList:
+      return HandleList();
+    case RequestOp::kShutdown:
+      return HandleShutdown();
+  }
+  return MakeErrorReply(Status::Internal("unhandled request op"));
+}
+
+std::string Server::HandleFrame(const std::string& frame) {
+  Result<Request> request = ParseRequest(frame, options_.max_frame_bytes);
+  if (!request.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    return MakeErrorReply(request.status()).Serialize();
+  }
+  return Handle(request.value()).Serialize();
+}
+
+Json Server::HandleGenerate(const Request& request) {
+  Result<std::shared_ptr<CachedModel>> model = cache_->Acquire(request.model);
+  if (!model.ok()) return MakeErrorReply(model.status());
+
+  Stopwatch latency;
+  std::optional<graphs::TemporalGraph> generated;
+  try {
+    // One generate per model instance at a time: Generate mutates scratch
+    // state. The rng stream is the artifact generate stream, so the reply
+    // payload byte-matches `tgsim generate --model PATH --seed N`.
+    parallel::MutexLock lock(model.value()->mu);
+    Rng rng = eval::MakeSeedStreams(request.seed).generate;
+    generated = model.value()->generator->Generate(rng);
+  } catch (const std::exception& e) {
+    return MakeErrorReply(Status::Internal(
+        std::string("generate failed: ") + e.what()));
+  }
+  std::ostringstream payload;
+  datasets::WriteEdgeList(*generated, payload);
+  cache_->RecordGenerate(request.model, latency.ElapsedSeconds());
+
+  Json reply = MakeOkReply();
+  reply.Set("model", Json::Str(request.model));
+  reply.Set("method", Json::Str(model.value()->method));
+  reply.Set("seed", Json::Int(static_cast<int64_t>(request.seed)));
+  reply.Set("nodes", Json::Int(generated->num_nodes()));
+  reply.Set("edges", Json::Int(generated->num_edges()));
+  reply.Set("timestamps", Json::Int(generated->num_timestamps()));
+  reply.Set("payload", Json::Str(std::move(payload).str()));
+  return reply;
+}
+
+Json Server::HandleStats() {
+  const double uptime = uptime_.ElapsedSeconds();
+  Json reply = MakeOkReply();
+  reply.Set("uptime_s", Json::Double(uptime));
+  reply.Set("requests",
+            Json::Int(total_requests_.load(std::memory_order_relaxed)));
+  reply.Set("protocol_errors",
+            Json::Int(protocol_errors_.load(std::memory_order_relaxed)));
+  reply.Set("cache_budget_bytes", Json::Int(cache_->byte_budget()));
+  reply.Set("resident_bytes", Json::Int(cache_->resident_bytes()));
+  Json models = Json::Array();
+  for (const ModelStats& stats : cache_->Snapshot()) {
+    Json row = Json::Object();
+    row.Set("name", Json::Str(stats.name));
+    row.Set("method", Json::Str(stats.method));
+    row.Set("resident", Json::Bool(stats.resident));
+    row.Set("bytes", Json::Int(stats.bytes));
+    row.Set("requests", Json::Int(stats.requests));
+    row.Set("loads", Json::Int(stats.loads));
+    row.Set("evictions", Json::Int(stats.evictions));
+    row.Set("generates", Json::Int(stats.generates));
+    row.Set("qps", Json::Double(
+        uptime > 0 ? static_cast<double>(stats.requests) / uptime : 0.0));
+    row.Set("mean_latency_s",
+            Json::Double(stats.generates > 0
+                             ? stats.busy_seconds / stats.generates
+                             : 0.0));
+    models.Append(std::move(row));
+  }
+  reply.Set("models", std::move(models));
+  return reply;
+}
+
+Json Server::HandleList() {
+  Json reply = MakeOkReply();
+  reply.Set("draining", Json::Bool(draining()));
+  Json models = Json::Array();
+  for (const ModelStats& stats : cache_->Snapshot()) {
+    Json row = Json::Object();
+    row.Set("name", Json::Str(stats.name));
+    row.Set("method", Json::Str(stats.method));
+    row.Set("resident", Json::Bool(stats.resident));
+    models.Append(std::move(row));
+  }
+  reply.Set("models", std::move(models));
+  return reply;
+}
+
+Json Server::HandleShutdown() {
+  BeginDrain();
+  Json reply = MakeOkReply();
+  reply.Set("draining", Json::Bool(true));
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle.
+// ---------------------------------------------------------------------------
+
+void Server::BeginDrain() {
+  bool expected = false;
+  if (draining_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+#ifndef _WIN32
+    // Closing the listener makes a blocked accept() return, so the accept
+    // loop observes the drain without polling.
+    const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+#endif
+  }
+  {
+    parallel::MutexLock lock(drain_mu_);
+  }
+  drain_cv_.notify_all();
+}
+
+void Server::Wait() {
+  parallel::UniqueLock lock(drain_mu_);
+  drain_cv_.wait(lock, [this] { return draining(); });
+}
+
+void Server::Stop() {
+  BeginDrain();
+  {
+    parallel::MutexLock lock(drain_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Drain order matters: first stop admitting connections (the listener
+  // task exits on the closed fd), then drain the per-connection workers
+  // (each exits at its next frame boundary or read timeout).
+  if (listener_queue_ != nullptr) listener_queue_->Shutdown();
+  if (conn_queue_ != nullptr) conn_queue_->Shutdown();
+#ifndef _WIN32
+  if (!socket_path_.empty()) std::remove(socket_path_.c_str());
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Socket front end (POSIX local stream socket).
+// ---------------------------------------------------------------------------
+
+#ifndef _WIN32
+
+namespace {
+
+/// send() the whole buffer, riding out EINTR; MSG_NOSIGNAL so a client
+/// hangup surfaces as EPIPE instead of killing the daemon.
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status Server::Listen(const std::string& socket_path) {
+  if (listener_queue_ != nullptr)
+    return Status::InvalidArgument("server is already listening");
+  if (draining())
+    return Status::InvalidArgument("server is draining");
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    return Status::InvalidArgument(
+        "socket path longer than " +
+        std::to_string(sizeof(addr.sun_path) - 1) + " bytes: " + socket_path);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status::IoError(std::string("socket(): ") + std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  std::remove(socket_path.c_str());  // Replace a stale socket file.
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("bind(" + socket_path +
+                           "): " + std::strerror(err));
+  }
+  if (::listen(fd, 128) < 0) {
+    const int err = errno;
+    ::close(fd);
+    std::remove(socket_path.c_str());
+    return Status::IoError("listen(" + socket_path +
+                           "): " + std::strerror(err));
+  }
+
+  socket_path_ = socket_path;
+  listen_fd_.store(fd, std::memory_order_release);
+  conn_queue_ = std::make_unique<parallel::TaskQueue>(options_.workers,
+                                                      options_.max_pending);
+  listener_queue_ = std::make_unique<parallel::TaskQueue>(1, 1);
+  listener_queue_->Submit([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Server::AcceptLoop() {
+  while (!draining()) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) return;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener closed by BeginDrain, or a fatal accept error.
+    }
+    // Poll the drain flag every 200 ms even when the client is silent, so
+    // a shutdown never waits on an idle connection.
+    timeval timeout{};
+    timeout.tv_usec = 200 * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    auto guard = std::make_shared<FdGuard>(fd);
+    // Bounded backpressure: this blocks when all workers are busy and the
+    // pending backlog is full. A drain while blocked rejects the task;
+    // the guard then closes the connection unserved.
+    conn_queue_->Submit([this, guard] { ServeConnection(guard->fd); });
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      std::string frame = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!frame.empty() && frame.back() == '\r') frame.pop_back();
+      Result<Request> request =
+          ParseRequest(frame, options_.max_frame_bytes);
+      std::string reply;
+      if (!request.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        reply = MakeErrorReply(request.status()).Serialize();
+      } else {
+        reply = Handle(request.value()).Serialize();
+      }
+      reply.push_back('\n');
+      if (!WriteAll(fd, reply)) return;
+      if (request.ok() && request.value().op == RequestOp::kShutdown)
+        return;  // The drain is underway; this connection is done.
+      continue;
+    }
+    if (buffer.size() > options_.max_frame_bytes) {
+      // The line never terminated inside the cap: after an error reply the
+      // stream cannot be re-framed, so the connection closes (the server
+      // itself stays up — the protocol tests pin this).
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::string reply =
+          MakeErrorReply(Status::ResourceExhausted(
+                             "unterminated frame exceeds the " +
+                             std::to_string(options_.max_frame_bytes) +
+                             "-byte limit; closing connection"))
+              .Serialize();
+      reply.push_back('\n');
+      WriteAll(fd, reply);
+      return;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return;  // EOF: client closed.
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (draining()) return;  // Idle connection during a drain.
+        continue;
+      }
+      if (errno == EINTR) continue;
+      return;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+#else  // _WIN32
+
+Status Server::Listen(const std::string&) {
+  return Status::Internal("tgsim serve sockets require a POSIX platform");
+}
+
+void Server::AcceptLoop() {}
+void Server::ServeConnection(int) {}
+
+#endif  // _WIN32
+
+}  // namespace tgsim::serve

@@ -3,12 +3,16 @@
 // and the determinism sweep asserting bit-identical Tensor / metric / eval
 // outputs at 1, 2 and 8 threads.
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/tgae.h"
@@ -20,6 +24,7 @@
 #include "nn/autograd.h"
 #include "nn/tensor.h"
 #include "parallel/parallel_for.h"
+#include "parallel/task_queue.h"
 #include "parallel/thread_pool.h"
 
 namespace tgsim {
@@ -513,6 +518,129 @@ TEST(BlockedMatMulTest, MatchesReferenceOnDenseAndSparseInputs) {
               << m << "x" << k << "x" << n << " @ " << threads << " threads";
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool::Submit (the future-returning half of the async layer).
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolSubmitTest, PropagatesValuesVoidAndExceptions) {
+  ThreadPool pool(4);
+  std::future<int> value = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(value.get(), 42);
+
+  std::atomic<bool> ran{false};
+  std::future<void> side_effect = pool.Submit([&] { ran.store(true); });
+  side_effect.get();
+  EXPECT_TRUE(ran.load());
+
+  std::future<int> boom =
+      pool.Submit([]() -> int { throw std::runtime_error("kaboom"); });
+  EXPECT_THROW(
+      {
+        try {
+          boom.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "kaboom");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPoolSubmitTest, RunsInlineOnSingleThreadPool) {
+  // A pool of 1 spawns no workers, so Submit must execute on the calling
+  // thread before returning — the serial fallback stays deterministic.
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::future<std::thread::id> where =
+      pool.Submit([] { return std::this_thread::get_id(); });
+  ASSERT_EQ(where.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(where.get(), caller);
+}
+
+// ---------------------------------------------------------------------------
+// TaskQueue: the bounded async queue behind the serve daemon.
+// ---------------------------------------------------------------------------
+
+TEST(TaskQueueTest, PropagatesResultsAndExceptions) {
+  parallel::TaskQueue queue(2, 8);
+  std::future<int> value = queue.Submit([] { return 19; });
+  EXPECT_EQ(value.get(), 19);
+  std::future<void> boom =
+      queue.Submit([] { throw std::invalid_argument("bad task"); });
+  EXPECT_THROW(boom.get(), std::invalid_argument);
+}
+
+/// Blocks the queue's single worker until `gate` flips, so the test can
+/// stack up pending tasks deterministically.
+std::future<void> BlockWorker(parallel::TaskQueue& queue,
+                              std::atomic<bool>& gate) {
+  std::future<void> blocker = queue.Submit([&gate] {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  // Wait for the worker to dequeue the blocker so later submissions sit in
+  // the pending queue rather than racing it.
+  while (queue.pending() != 0) std::this_thread::yield();
+  return blocker;
+}
+
+TEST(TaskQueueTest, CancelBeforeExecutionThrowsTaskCancelledError) {
+  parallel::TaskQueue queue(1, 8);
+  std::atomic<bool> gate{false};
+  std::future<void> blocker = BlockWorker(queue, gate);
+
+  parallel::CancelToken token;
+  std::atomic<bool> cancelled_ran{false};
+  std::future<void> cancelled =
+      queue.Submit([&] { cancelled_ran.store(true); }, token);
+  std::future<int> survivor = queue.Submit([] { return 1; });
+  token.Cancel();
+
+  gate.store(true, std::memory_order_release);
+  blocker.get();
+  EXPECT_THROW(cancelled.get(), parallel::TaskCancelledError);
+  EXPECT_FALSE(cancelled_ran.load());
+  EXPECT_EQ(survivor.get(), 1);  // Cancellation only skips its own task.
+}
+
+TEST(TaskQueueTest, ShutdownDrainsAcceptedTasksInFifoOrder) {
+  std::array<int, 5> order{};
+  std::atomic<int> next{0};
+  {
+    parallel::TaskQueue queue(1, 8);
+    std::atomic<bool> gate{false};
+    std::future<void> blocker = BlockWorker(queue, gate);
+    std::vector<std::future<void>> accepted;
+    for (int i = 0; i < 5; ++i)
+      accepted.push_back(queue.Submit([&, i] { order[next++] = i; }));
+    gate.store(true, std::memory_order_release);
+    queue.Shutdown();  // Must run all five accepted tasks before joining.
+    EXPECT_TRUE(queue.shutting_down());
+    for (std::future<void>& f : accepted) f.get();  // None rejected.
+
+    // Admission is closed: blocking Submit rejects via the future,
+    // TrySubmit sheds the task outright.
+    std::future<int> rejected = queue.Submit([] { return 3; });
+    EXPECT_THROW(rejected.get(), parallel::TaskRejectedError);
+    EXPECT_FALSE(queue.TrySubmit([] { return 4; }).has_value());
+  }
+  ASSERT_EQ(next.load(), 5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[i], i);  // FIFO drain.
+}
+
+TEST(TaskQueueTest, TrySubmitShedsLoadWhenFull) {
+  parallel::TaskQueue queue(1, 1);
+  std::atomic<bool> gate{false};
+  std::future<void> blocker = BlockWorker(queue, gate);
+  std::optional<std::future<int>> accepted =
+      queue.TrySubmit([] { return 1; });
+  ASSERT_TRUE(accepted.has_value());  // Fills the single pending slot.
+  EXPECT_FALSE(queue.TrySubmit([] { return 2; }).has_value());
+  gate.store(true, std::memory_order_release);
+  blocker.get();
+  EXPECT_EQ(accepted->get(), 1);
 }
 
 }  // namespace

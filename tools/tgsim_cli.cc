@@ -1,6 +1,7 @@
 #include "tools/tgsim_cli.h"
 
 #include <cstdio>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -20,6 +21,8 @@
 #include "graph/temporal_graph.h"
 #include "metrics/graph_stats.h"
 #include "parallel/thread_pool.h"
+#include "serve/client.h"
+#include "serve/server.h"
 
 namespace tgsim::cli {
 
@@ -39,6 +42,9 @@ constexpr char kUsage[] =
     "  eval      Run a (methods x datasets) matrix and print paper-style "
     "tables.\n"
     "  stats     Print shape and Table III statistics of a dataset.\n"
+    "  serve     Run (or query) the model-serving daemon: preloaded\n"
+    "            artifacts answering generate requests over a local "
+    "socket.\n"
     "\n"
     "Dataset selection (generate/eval/stats):\n"
     "  --input PATH       Edge-list file (`u v t` per line; datasets/io.h).\n"
@@ -99,6 +105,25 @@ constexpr char kStatsUsage[] =
     "Prints the dataset shape and the seven Table III statistics of the\n"
     "accumulated graph.\n";
 
+constexpr char kServeUsage[] =
+    "usage: tgsim serve --socket PATH --model NAME=MODEL.tgsim ...\n"
+    "         [--budget-mb N] [--workers N] [--max-pending N]\n"
+    "   or: tgsim serve --socket PATH --call generate --name NAME\n"
+    "         [--seed N] [--output PATH]\n"
+    "   or: tgsim serve --socket PATH (--call stats|list|shutdown | "
+    "--status)\n"
+    "Daemon mode preloads every --model artifact (NAME=PATH, repeatable)\n"
+    "into a byte-budgeted cache and serves line-delimited JSON requests on\n"
+    "a Unix-domain socket until a shutdown request drains it. Client mode\n"
+    "(--call/--status) sends one request to a running daemon; a generate\n"
+    "reply's payload is the same edge list `tgsim generate --model` writes\n"
+    "for that seed, and --output saves it byte-for-byte.\n"
+    "  --budget-mb N    Model-cache budget in MiB (default 1024); least-\n"
+    "                   traffic models are evicted and reloaded on demand.\n"
+    "  --workers N      Concurrent connection workers (default 4).\n"
+    "  --max-pending N  Accepted-connection backlog bound (default 64).\n"
+    "  --status         Shorthand for --call stats.\n";
+
 constexpr char kMethodsUsage[] =
     "usage: tgsim methods [--verbose] [--method NAME]\n"
     "Lists registered generator methods; --verbose (or --method NAME)\n"
@@ -116,14 +141,15 @@ const std::vector<std::string>& ValueFlags() {
           "--input",  "--synthetic", "--scale",  "--seed",    "--method",
           "--output", "--preset",    "--param",  "--config",  "--methods",
           "--datasets", "--stride",  "--motif-delta", "--max-triples",
-          "--model",  "--threads"};
+          "--model",  "--threads",   "--socket", "--budget-mb",
+          "--workers", "--max-pending", "--call", "--name"};
   return *kValueFlags;
 }
 
 const std::vector<std::string>& SwitchFlags() {
   static const std::vector<std::string>* kSwitches =
       new std::vector<std::string>{"--help", "--verbose", "--motif-mmd",
-                                   "--paper-scale"};
+                                   "--paper-scale", "--status"};
   return *kSwitches;
 }
 
@@ -342,20 +368,6 @@ Result<std::unique_ptr<baselines::TemporalGraphGenerator>> BuildCliGenerator(
   return generator;
 }
 
-/// Independent deterministic streams for the fit and generate halves of a
-/// run. `tgsim fit` consumes only the fit stream and `tgsim generate
-/// --model` only the generate stream, so fit-once + generate-from-artifact
-/// reproduces a single in-process fit+generate run with the same --seed.
-struct SeedStreams {
-  Rng fit;
-  Rng generate;
-};
-
-SeedStreams MakeSeedStreams(uint64_t seed) {
-  std::vector<Rng> split = Rng(seed).Split(2);
-  return SeedStreams{split[0], split[1]};
-}
-
 int RunFit(const ParsedArgs& args) {
   const std::string* method = FindFlag(args, "--method");
   const std::string* output = FindFlag(args, "--output");
@@ -385,7 +397,8 @@ int RunFit(const ParsedArgs& args) {
   }
   PrintGraphShape("observed", observed.value());
 
-  SeedStreams streams = MakeSeedStreams(static_cast<uint64_t>(seed.value()));
+  eval::SeedStreams streams =
+      eval::MakeSeedStreams(static_cast<uint64_t>(seed.value()));
   Stopwatch fit_watch;
   generator.value()->Fit(observed.value(), streams.fit);
   double fit_s = fit_watch.ElapsedSeconds();
@@ -415,7 +428,8 @@ int RunGenerate(const ParsedArgs& args) {
     std::fprintf(stderr, "error: %s\n", seed.status().ToString().c_str());
     return 1;
   }
-  SeedStreams streams = MakeSeedStreams(static_cast<uint64_t>(seed.value()));
+  eval::SeedStreams streams =
+      eval::MakeSeedStreams(static_cast<uint64_t>(seed.value()));
 
   std::unique_ptr<baselines::TemporalGraphGenerator> generator;
   double prepare_s = 0.0;
@@ -715,6 +729,182 @@ int RunStats(const ParsedArgs& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// tgsim serve
+// ---------------------------------------------------------------------------
+
+/// Client mode: one request to a running daemon over its socket.
+int RunServeClient(const ParsedArgs& args, const std::string& socket) {
+  const std::string* call = FindFlag(args, "--call");
+  const std::string op_name =
+      HasSwitch(args, "--status") ? "stats" : (call ? *call : "");
+
+  serve::Request request;
+  bool known_op = false;
+  for (serve::RequestOp op :
+       {serve::RequestOp::kGenerate, serve::RequestOp::kStats,
+        serve::RequestOp::kList, serve::RequestOp::kShutdown}) {
+    if (serve::RequestOpName(op) == op_name) {
+      request.op = op;
+      known_op = true;
+      break;
+    }
+  }
+  if (!known_op) {
+    std::fprintf(stderr,
+                 "error: --call takes generate, stats, list or shutdown "
+                 "(got '%s')\n",
+                 op_name.c_str());
+    return 1;
+  }
+  if (request.op == serve::RequestOp::kGenerate) {
+    const std::string* name = FindFlag(args, "--name");
+    if (name == nullptr || name->empty()) {
+      std::fprintf(stderr,
+                   "error: --call generate needs --name MODEL (a name the "
+                   "daemon was started with)\n");
+      return 1;
+    }
+    request.model = *name;
+    Result<int64_t> seed = ParseIntFlag(args, "--seed", 7);
+    if (!seed.ok() || seed.value() < 0) {
+      std::fprintf(stderr, "error: --seed must be a non-negative integer\n");
+      return 1;
+    }
+    request.seed = static_cast<uint64_t>(seed.value());
+  }
+
+  Result<serve::Json> reply = serve::Call(socket, request);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "error: %s\n", reply.status().ToString().c_str());
+    return 1;
+  }
+  const std::string* output = FindFlag(args, "--output");
+  if (request.op == serve::RequestOp::kGenerate && output != nullptr) {
+    const serve::Json* payload = reply.value().Find("payload");
+    if (payload == nullptr || !payload->is_string()) {
+      std::fprintf(stderr, "error: generate reply has no payload field\n");
+      return 1;
+    }
+    std::ofstream out(*output, std::ios::binary);
+    out << payload->AsString();
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", output->c_str());
+      return 1;
+    }
+    const serve::Json* nodes = reply.value().Find("nodes");
+    const serve::Json* edges = reply.value().Find("edges");
+    std::printf("wrote %s (%lld nodes, %lld temporal edges, seed %llu)\n",
+                output->c_str(),
+                static_cast<long long>(nodes ? nodes->AsIntOr(0) : 0),
+                static_cast<long long>(edges ? edges->AsIntOr(0) : 0),
+                static_cast<unsigned long long>(request.seed));
+    return 0;
+  }
+  std::printf("%s\n", reply.value().Serialize().c_str());
+  return 0;
+}
+
+int RunServe(const ParsedArgs& args) {
+  const std::string* socket = FindFlag(args, "--socket");
+  if (socket == nullptr) {
+    std::fprintf(stderr, "%s", kServeUsage);
+    return 2;
+  }
+  if (FindFlag(args, "--call") != nullptr || HasSwitch(args, "--status"))
+    return RunServeClient(args, *socket);
+
+  std::vector<std::string> model_flags = FlagValues(args, "--model");
+  if (model_flags.empty()) {
+    std::fprintf(stderr, "%s", kServeUsage);
+    return 2;
+  }
+  serve::ServeOptions options;
+  for (const std::string& binding : model_flags) {
+    const size_t eq = binding.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == binding.size()) {
+      std::fprintf(stderr,
+                   "error: --model takes NAME=PATH in daemon mode (got "
+                   "'%s')\n",
+                   binding.c_str());
+      return 1;
+    }
+    options.models.push_back(
+        serve::ModelSpec{binding.substr(0, eq), binding.substr(eq + 1)});
+  }
+  Result<int64_t> budget_mb = ParseIntFlag(args, "--budget-mb", 1024);
+  Result<int64_t> workers = ParseIntFlag(args, "--workers", 4);
+  Result<int64_t> max_pending = ParseIntFlag(args, "--max-pending", 64);
+  for (const Status& s : {budget_mb.ok() ? Status::Ok() : budget_mb.status(),
+                          workers.ok() ? Status::Ok() : workers.status(),
+                          max_pending.ok() ? Status::Ok()
+                                           : max_pending.status()}) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (budget_mb.value() < 1 ||
+      budget_mb.value() > (int64_t{1} << 40) / (1024 * 1024)) {
+    std::fprintf(stderr, "error: --budget-mb must be in [1, 2^20]\n");
+    return 1;
+  }
+  if (workers.value() < 1 || workers.value() > 1024) {
+    std::fprintf(stderr, "error: --workers must be in [1, 1024]\n");
+    return 1;
+  }
+  if (max_pending.value() < 1 || max_pending.value() > 65536) {
+    std::fprintf(stderr, "error: --max-pending must be in [1, 65536]\n");
+    return 1;
+  }
+  options.cache_budget_bytes = budget_mb.value() * 1024 * 1024;
+  options.workers = static_cast<int>(workers.value());
+  options.max_pending = static_cast<size_t>(max_pending.value());
+
+  Result<std::unique_ptr<serve::Server>> server =
+      serve::Server::Create(std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  Status listening = server.value()->Listen(*socket);
+  if (!listening.ok()) {
+    std::fprintf(stderr, "error: %s\n", listening.ToString().c_str());
+    return 1;
+  }
+  std::printf("tgsim serve: protocol v%d on %s (budget %lld MiB, "
+              "%d workers)\n",
+              serve::kServeProtocolVersion, socket->c_str(),
+              static_cast<long long>(budget_mb.value()),
+              server.value()->options().workers);
+  for (const serve::ModelStats& stats : server.value()->cache().Snapshot())
+    std::printf("  model %-16s method=%s bytes=%lld\n", stats.name.c_str(),
+                stats.method.c_str(), static_cast<long long>(stats.bytes));
+  std::printf("ready; send {\"op\":\"shutdown\"} (or `tgsim serve --socket "
+              "%s --call shutdown`) to stop\n",
+              socket->c_str());
+  std::fflush(stdout);
+
+  server.value()->Wait();
+
+  // Final counter dump: the drain rejects stats requests, so read the
+  // cache directly rather than going through Handle().
+  std::printf("draining: %lld requests, %lld protocol errors\n",
+              static_cast<long long>(server.value()->total_requests()),
+              static_cast<long long>(server.value()->protocol_errors()));
+  for (const serve::ModelStats& stats : server.value()->cache().Snapshot())
+    std::printf("  model %-16s requests=%lld generates=%lld loads=%lld "
+                "evictions=%lld\n",
+                stats.name.c_str(),
+                static_cast<long long>(stats.requests),
+                static_cast<long long>(stats.generates),
+                static_cast<long long>(stats.loads),
+                static_cast<long long>(stats.evictions));
+  server.value()->Stop();
+  std::printf("stopped\n");
+  return 0;
+}
+
 }  // namespace
 
 int Run(const std::vector<std::string>& args) {
@@ -735,6 +925,7 @@ int Run(const std::vector<std::string>& args) {
     else if (command == "generate") std::printf("%s", kGenerateUsage);
     else if (command == "eval") std::printf("%s", kEvalUsage);
     else if (command == "stats") std::printf("%s", kStatsUsage);
+    else if (command == "serve") std::printf("%s", kServeUsage);
     else std::printf("%s", kUsage);
     return 0;
   }
@@ -761,6 +952,7 @@ int Run(const std::vector<std::string>& args) {
   if (command == "generate") return RunGenerate(parsed.value());
   if (command == "eval") return RunEval(parsed.value());
   if (command == "stats") return RunStats(parsed.value());
+  if (command == "serve") return RunServe(parsed.value());
   std::fprintf(stderr, "error: unknown command '%s'\n\n%s", command.c_str(),
                kUsage);
   return 2;
