@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gates CI on the generation-benchmark trajectory.
+
+Usage: check_bench_regression.py COMMITTED.json FRESH.json [--min-ratio R]
+
+Two checks, both against items_per_second:
+
+1. Trajectory: every benchmark present in the committed BENCH_generation.json
+   must exist in the fresh run and reach at least R (default 0.25) of its
+   committed throughput. The bar is deliberately loose — CI machines differ
+   from the machine that produced the committed file — but a 4x collapse on
+   the same binary marks a real algorithmic regression (e.g. an O(1) draw
+   silently degrading to a scan), not hardware noise.
+
+2. Acceptance ratios (same-machine, hardware-independent): the fresh run
+   itself must show the shipped sampler paths beating their pre-conversion
+   `...Ref` replicas —
+     - BM_DymondDrawLoopAlias/1048576 >= 5x BM_DymondDrawLoopCdfRef/1048576
+       (the ISSUE bar: >= 5x edges/sec on a generation-heavy method at
+       n >= 1e5), and
+     - BM_WalkStartsAlias >= 5x BM_WalkStartsCdfRebuildRef (the TIGGER /
+       TagGen per-walk start path; in practice this is orders of magnitude).
+"""
+
+import argparse
+import json
+import sys
+
+HARD_RATIO_GATES = [
+    ("BM_DymondDrawLoopAlias/1048576", "BM_DymondDrawLoopCdfRef/1048576", 5.0),
+    ("BM_WalkStartsAlias", "BM_WalkStartsCdfRebuildRef", 5.0),
+]
+
+
+def load_items_per_second(path):
+    with open(path) as f:
+        runs = json.load(f).get("benchmarks", [])
+    return {
+        b["name"]: b["items_per_second"]
+        for b in runs
+        if "items_per_second" in b and b.get("run_type", "iteration") == "iteration"
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("committed")
+    parser.add_argument("fresh")
+    parser.add_argument("--min-ratio", type=float, default=0.25)
+    args = parser.parse_args()
+
+    committed = load_items_per_second(args.committed)
+    fresh = load_items_per_second(args.fresh)
+    if not committed:
+        print(f"error: no items_per_second entries in {args.committed}")
+        return 1
+
+    failures = []
+    for name, base in sorted(committed.items()):
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        ratio = fresh[name] / base
+        status = "ok" if ratio >= args.min_ratio else "REGRESSION"
+        print(f"{name}: {ratio:.2f}x of committed throughput [{status}]")
+        if ratio < args.min_ratio:
+            failures.append(
+                f"{name}: {ratio:.2f}x of committed items/sec "
+                f"(floor {args.min_ratio:.2f}x)")
+
+    for new, ref, floor in HARD_RATIO_GATES:
+        if new not in fresh or ref not in fresh or fresh[ref] <= 0:
+            failures.append(f"speedup gate {new} vs {ref}: benchmarks missing")
+            continue
+        speedup = fresh[new] / fresh[ref]
+        status = "ok" if speedup >= floor else "BELOW FLOOR"
+        print(f"{new} vs {ref}: {speedup:.1f}x (floor {floor}x) [{status}]")
+        if speedup < floor:
+            failures.append(
+                f"speedup gate {new} vs {ref}: {speedup:.1f}x < {floor}x")
+
+    if failures:
+        print("\nbench regression check FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench regression check passed "
+          f"({len(committed)} benchmarks, {len(HARD_RATIO_GATES)} ratio gates)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
-# Runs the micro-kernel benchmarks and writes BENCH_kernels.json — the
-# machine-readable perf artifact CI uploads on every run, so the kernel
-# performance trajectory is tracked over time.
+# Runs the micro-kernel and generation benchmarks and writes
+# BENCH_kernels.json + BENCH_generation.json — the machine-readable perf
+# artifacts CI uploads on every run, so the kernel and generation-path
+# performance trajectories are tracked over time.
 #
-# Usage: bench/run_bench.sh [build-dir] [output.json]
+# Usage: bench/run_bench.sh [build-dir] [kernels.json] [generation.json]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_kernels.json}"
+GEN_OUT="${3:-BENCH_generation.json}"
 BIN="${BUILD_DIR}/bench/bench_micro_kernels"
+GEN_BIN="${BUILD_DIR}/bench/bench_generation"
 
-if [[ ! -x "${BIN}" ]]; then
-  echo "error: ${BIN} not found or not executable." >&2
+if [[ ! -x "${BIN}" || ! -x "${GEN_BIN}" ]]; then
+  echo "error: ${BIN} or ${GEN_BIN} not found or not executable." >&2
   echo "Configure with Google Benchmark installed (libbenchmark-dev) and" >&2
   echo "build first:  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
   exit 1
@@ -24,11 +27,19 @@ fi
 
 echo "Wrote ${OUT}"
 
-# Dense-vs-sparse decode speedup summary: BM_DecodeDense/<n>/<rows> over
-# BM_DecodeSparse/<n>/<rows> from the JSON just written, so the artifact's
-# headline number (the sparse-decoder win) is visible in the CI log too.
+"${GEN_BIN}" \
+  --benchmark_out="${GEN_OUT}" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo "Wrote ${GEN_OUT}"
+
+# Headline summaries in the CI log: the dense-vs-sparse decode speedup from
+# the kernel suite, artifact round-trip latency, and the sampler-conversion
+# speedups (shipped path vs its ...Ref pre-conversion replica) from the
+# generation suite.
 if command -v python3 > /dev/null; then
-  python3 - "${OUT}" <<'EOF'
+  python3 - "${OUT}" "${GEN_OUT}" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     runs = json.load(f).get("benchmarks", [])
@@ -53,7 +64,29 @@ for b in artifact:
     size = b.get("artifact_bytes")
     size_str = f", {size / 1e6:.1f} MB" if size else ""
     print(f"  {b['name']}: {b['real_time'] / 1e6:.1f} ms{size_str}")
+
+with open(sys.argv[2]) as f:
+    gen_runs = json.load(f).get("benchmarks", [])
+ips = {b["name"]: b["items_per_second"]
+       for b in gen_runs if "items_per_second" in b}
+SAMPLER_PAIRS = [  # (shipped, pre-conversion reference)
+    ("BM_DymondDrawLoopAlias", "BM_DymondDrawLoopCdfRef"),
+    ("BM_WalkStartsAlias", "BM_WalkStartsCdfRebuildRef"),
+    ("BM_WithoutReplacementTree", "BM_WithoutReplacementRescanRef"),
+    ("BM_DrawAlias", "BM_DrawCdfRef"),
+]
+lines = []
+for new, ref in SAMPLER_PAIRS:
+    for name, value in sorted(ips.items()):
+        if name != new and not name.startswith(new + "/"):
+            continue
+        ref_name = name.replace(new, ref, 1)
+        if ref_name in ips and ips[ref_name] > 0:
+            lines.append(f"  {name}: {value / ips[ref_name]:.1f}x")
+if lines:
+    print("sampler speedup (items/sec vs pre-conversion reference):")
+    print("\n".join(lines))
 EOF
 else
-  echo "python3 not found; skipping decode speedup summary" >&2
+  echo "python3 not found; skipping speedup summaries" >&2
 fi

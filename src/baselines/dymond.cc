@@ -40,16 +40,11 @@ void DymondGenerator::Fit(const graphs::TemporalGraph& observed, Rng& /*rng*/) {
   node_activity_.assign(static_cast<size_t>(shape_.num_nodes), 0.0);
   for (graphs::NodeId u = 0; u < shape_.num_nodes; ++u)
     node_activity_[static_cast<size_t>(u)] = whole.Degree(u) + 0.25;
-  RebuildActivityCdf();
+  RebuildActivitySampler();
 }
 
-void DymondGenerator::RebuildActivityCdf() {
-  activity_cdf_.resize(node_activity_.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < node_activity_.size(); ++i) {
-    acc += node_activity_[i];
-    activity_cdf_[i] = acc;
-  }
+void DymondGenerator::RebuildActivitySampler() {
+  activity_alias_ = sampling::AliasTable(node_activity_);
 }
 
 Status DymondGenerator::SaveState(std::ostream& out) const {
@@ -68,6 +63,8 @@ Status DymondGenerator::SaveState(std::ostream& out) const {
   writer.WriteIntVector("wedges", wedges);
   writer.WriteIntVector("singles", singles);
   writer.WriteDoubleVector("node_activity", node_activity_);
+  // Ship the fitted alias table so LoadState skips the O(n) rebuild.
+  serialize::WriteAliasTable(writer, "activity", activity_alias_);
   return writer.Finish();
 }
 
@@ -107,22 +104,29 @@ Status DymondGenerator::LoadState(std::istream& in) {
     mix_[t].singles = singles.value()[t];
   }
   node_activity_ = std::move(activity).value();
-  RebuildActivityCdf();
+  if (reader.HasField("motifs", "activity_prob")) {
+    Result<sampling::AliasTable> table =
+        serialize::ReadAliasTable(reader, "motifs", "activity");
+    if (!table.ok()) return table.status();
+    if (table.value().size() != node_activity_.size())
+      return Status::InvalidArgument(
+          "corrupt archive: DYMOND activity alias table disagrees with "
+          "node_activity");
+    activity_alias_ = std::move(table).value();
+  } else {
+    // Pre-alias artifact: rebuild from the weights (bit-identical — the
+    // alias build is deterministic and the weights round-trip exactly).
+    RebuildActivitySampler();
+  }
   return Status::Ok();
 }
 
 graphs::TemporalGraph DymondGenerator::Generate(Rng& rng) {
   TGSIM_CHECK_GT(shape_.num_nodes, 0);
   graphs::TemporalGraph g(shape_.num_nodes, shape_.num_timestamps);
-  const double total = activity_cdf_.back();
 
   auto draw_node = [&]() -> graphs::NodeId {
-    double r = rng.Uniform() * total;
-    size_t idx = static_cast<size_t>(
-        std::lower_bound(activity_cdf_.begin(), activity_cdf_.end(), r) -
-        activity_cdf_.begin());
-    if (idx >= activity_cdf_.size()) idx = activity_cdf_.size() - 1;
-    return static_cast<graphs::NodeId>(idx);
+    return static_cast<graphs::NodeId>(activity_alias_.Draw(rng));
   };
   auto draw_distinct = [&](graphs::NodeId a) {
     graphs::NodeId b = draw_node();

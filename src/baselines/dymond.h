@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "baselines/generator.h"
+#include "sampling/samplers.h"
 
 namespace tgsim::baselines {
 
@@ -31,9 +32,11 @@ class DymondGenerator : public TemporalGraphGenerator {
   }
 
  private:
-  /// Rebuilds activity_cdf_ from node_activity_ (shared by Fit and
-  /// LoadState so the loaded sampler is bit-identical to the fitted one).
-  void RebuildActivityCdf();
+  /// Rebuilds activity_alias_ from node_activity_ (shared by Fit and the
+  /// LoadState fallback so a rebuilt sampler is bit-identical to the
+  /// fitted one; artifacts carry the alias parts so loads normally skip
+  /// this).
+  void RebuildActivitySampler();
 
   ObservedShape shape_;
   /// Per-timestamp motif mix: how many triangles / wedges / single edges
@@ -45,7 +48,9 @@ class DymondGenerator : public TemporalGraphGenerator {
   };
   std::vector<MotifMix> mix_;
   std::vector<double> node_activity_;  // Degree-based placement weights.
-  std::vector<double> activity_cdf_;
+  /// O(1) node draws over node_activity_ — every motif placement during
+  /// generation goes through this table.
+  sampling::AliasTable activity_alias_;
 };
 
 }  // namespace tgsim::baselines

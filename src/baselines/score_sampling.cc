@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "sampling/samplers.h"
 
 namespace tgsim::baselines {
 
@@ -16,28 +17,30 @@ void SampleEdgesFromScores(const nn::Tensor& scores, int64_t count,
   TGSIM_CHECK_EQ(scores.cols(), n);
   if (count <= 0) return;
 
-  // Flat CDF over off-diagonal entries.
-  std::vector<double> cdf(static_cast<size_t>(scores.size()));
+  // Flat weights over off-diagonal entries; the alias table makes every
+  // attempted draw O(1) instead of an O(log n^2) binary search over an
+  // n^2-entry CDF.
+  std::vector<double> weights(static_cast<size_t>(scores.size()));
   double acc = 0.0;
   for (int r = 0; r < n; ++r) {
+    const double* score_row = scores.row(r);
+    double* w_row = weights.data() + static_cast<size_t>(r) * n;
     for (int c = 0; c < n; ++c) {
-      double w = r == c ? 0.0 : std::max(0.0, scores.at(r, c));
+      double w = r == c ? 0.0 : std::max(0.0, score_row[c]);
       acc += w;
-      cdf[static_cast<size_t>(r) * n + c] = acc;
+      w_row[c] = w;
     }
   }
 
   std::unordered_set<int64_t> taken;
   int64_t emitted = 0;
   if (acc > 0.0) {
+    const sampling::AliasTable alias(weights);
     int64_t attempts = 0;
     const int64_t max_attempts = 20 * count + 100;
     while (emitted < count && attempts < max_attempts) {
       ++attempts;
-      double r = rng.Uniform() * acc;
-      size_t flat = static_cast<size_t>(
-          std::lower_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
-      if (flat >= cdf.size()) flat = cdf.size() - 1;
+      size_t flat = alias.Draw(rng);
       auto u = static_cast<graphs::NodeId>(flat / static_cast<size_t>(n));
       auto v = static_cast<graphs::NodeId>(flat % static_cast<size_t>(n));
       if (u == v) continue;

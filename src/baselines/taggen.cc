@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "baselines/state_io.h"
+#include "nn/kernels.h"
+#include "sampling/samplers.h"
 
 namespace tgsim::baselines {
 
@@ -181,28 +183,33 @@ graphs::TemporalGraph TagGenGenerator::Generate(Rng& rng) {
     graphs::TemporalNodeRef cur = starts.Sample(1, rng)[0];
     TemporalWalk walk;
     walk.steps.push_back(cur);
+    std::vector<double> cur_emb(static_cast<size_t>(d));
     for (int step = 0; step + 1 < config_.walk_length; ++step) {
       std::vector<graphs::TemporalNeighbor> nbrs =
           support_->TemporalNeighborhood(cur.node, cur.t,
                                          config_.time_window);
       if (nbrs.empty()) break;
-      // Model-scored categorical step over the observed support.
+      // Model-scored categorical step over the observed support. The
+      // current-step embedding is shared by every candidate, so hoist it
+      // out of the candidate loop; the per-candidate logit is then one
+      // vectorizable dot against the candidate's node + time rows.
+      const double* ne_row = ne.row(cur.node);
+      const double* te_row = te.row(cur.t);
+      for (int k = 0; k < d; ++k) cur_emb[static_cast<size_t>(k)] =
+          ne_row[k] + te_row[k];
       std::vector<double> weights(nbrs.size());
       double max_logit = -1e300;
       std::vector<double> logits(nbrs.size());
       for (size_t c = 0; c < nbrs.size(); ++c) {
-        double dot = 0.0;
-        for (int k = 0; k < d; ++k) {
-          double e_cur = ne.at(cur.node, k) + te.at(cur.t, k);
-          double e_cand = no.at(nbrs[c].node, k) + to.at(nbrs[c].t, k);
-          dot += e_cur * e_cand;
-        }
+        double dot = nn::kernels::DotSum2(cur_emb.data(),
+                                          no.row(nbrs[c].node),
+                                          to.row(nbrs[c].t), d);
         logits[c] = dot;
         max_logit = std::max(max_logit, dot);
       }
       for (size_t c = 0; c < nbrs.size(); ++c)
         weights[c] = std::exp(logits[c] - max_logit);
-      size_t pick = rng.WeightedChoice(weights);
+      size_t pick = sampling::WeightedPick(weights, rng);
       cur = {nbrs[pick].node, nbrs[pick].t};
       walk.steps.push_back(cur);
     }

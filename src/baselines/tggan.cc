@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "baselines/state_io.h"
+#include "sampling/samplers.h"
 
 namespace tgsim::baselines {
 
@@ -223,11 +224,9 @@ graphs::TemporalGraph TgganGenerator::Generate(Rng& rng) {
 
   std::vector<TemporalWalk> walks;
   int64_t projected = 0;
+  // Sample straight off the softmax row — no per-element copies.
   auto sample_row = [&](const nn::Tensor& probs, int row) {
-    std::vector<double> w(static_cast<size_t>(probs.cols()));
-    for (int c = 0; c < probs.cols(); ++c)
-      w[static_cast<size_t>(c)] = probs.at(row, c);
-    return static_cast<int>(rng.WeightedChoice(w));
+    return static_cast<int>(sampling::WeightedPick(probs.RowSpan(row), rng));
   };
   while (projected < budget) {
     Unroll u = RunGenerator(config_.batch_walks, rng);

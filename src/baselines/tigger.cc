@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "baselines/state_io.h"
+#include "sampling/samplers.h"
 
 namespace tgsim::baselines {
 
@@ -150,18 +151,14 @@ graphs::TemporalGraph TiggerGenerator::Generate(Rng& rng) {
       nn::Var x = nn::Add(node_emb_->Forward({cur.node}),
                           time_emb_->Forward({cur.t}));
       h = gru_->Forward(x, h);
-      nn::Tensor node_logits = node_head_->Forward(h).value();
-      nn::Tensor node_probs = node_logits.SoftmaxRows();
-      std::vector<double> w(static_cast<size_t>(n));
-      for (int c = 0; c < n; ++c)
-        w[static_cast<size_t>(c)] = node_probs.at(0, c);
-      auto next_node = static_cast<graphs::NodeId>(rng.WeightedChoice(w));
+      // Sample straight off the softmax rows — no per-element copies.
+      nn::Tensor node_probs = node_head_->Forward(h).value().SoftmaxRows();
+      auto next_node = static_cast<graphs::NodeId>(
+          sampling::WeightedPick(node_probs.RowSpan(0), rng));
 
       nn::Tensor gap_probs = gap_head_->Forward(h).value().SoftmaxRows();
-      std::vector<double> gw(static_cast<size_t>(NumGapClasses()));
-      for (int c = 0; c < NumGapClasses(); ++c)
-        gw[static_cast<size_t>(c)] = gap_probs.at(0, c);
-      int gap = static_cast<int>(rng.WeightedChoice(gw)) -
+      int gap = static_cast<int>(
+                    sampling::WeightedPick(gap_probs.RowSpan(0), rng)) -
                 config_.time_window;
       int next_t = std::clamp(cur.t + gap, 0, shape_.num_timestamps - 1);
 
@@ -188,6 +185,8 @@ Status TiggerGenerator::SaveState(std::ostream& out) const {
   writer.WriteIntVector("node", nodes);
   writer.WriteIntVector("time", times);
   writer.WriteDoubleVector("weight", starts_->weights());
+  // Ship the fitted alias table so LoadState skips the O(n) rebuild.
+  serialize::WriteAliasTable(writer, "starts", starts_->alias());
   writer.BeginSection("params");
   serialize::WriteParams(writer, CollectParams());
   return writer.Finish();
@@ -241,8 +240,23 @@ Status TiggerGenerator::LoadState(std::istream& in) {
   std::vector<nn::Var> params = CollectParams();
   s = serialize::ReadParamsInto(reader, "params", params);
   if (!s.ok()) return s;
-  starts_ = std::make_unique<graphs::InitialNodeSampler>(
-      std::move(occurrences), std::move(weights).value());
+  if (reader.HasField("starts", "starts_prob")) {
+    Result<sampling::AliasTable> table =
+        serialize::ReadAliasTable(reader, "starts", "starts");
+    if (!table.ok()) return table.status();
+    if (table.value().size() != occurrences.size())
+      return Status::InvalidArgument(
+          "corrupt archive: TIGGER starts alias table disagrees with the "
+          "occurrence count");
+    starts_ = std::make_unique<graphs::InitialNodeSampler>(
+        std::move(occurrences), std::move(weights).value(),
+        std::move(table).value());
+  } else {
+    // Pre-alias artifact: rebuild from the weights (bit-identical — the
+    // alias build is deterministic and the weights round-trip exactly).
+    starts_ = std::make_unique<graphs::InitialNodeSampler>(
+        std::move(occurrences), std::move(weights).value());
+  }
   return Status::Ok();
 }
 

@@ -7,6 +7,8 @@
 
 #include "baselines/state_io.h"
 #include "graph/bipartite.h"
+#include "nn/kernels.h"
+#include "sampling/samplers.h"
 #include "serialize/serialization.h"
 
 namespace tgsim::core {
@@ -305,13 +307,13 @@ std::vector<nn::Scalar> TgaeGenerator::DenseLogitsRow(const nn::Tensor& rows,
   const nn::Tensor& bias = b_dec_.value();
   std::vector<nn::Scalar> out(static_cast<size_t>(n), 0.0);
   if (config_.tie_decoder) {
+    // kernels::Dot keeps the ascending-k chain, so these logits stay
+    // bit-identical to the MatMul columns of the dense decode (the
+    // sparse-vs-dense generation pin depends on it).
     const nn::Tensor& table = node_emb_->table().value();
-    for (int v = 0; v < n; ++v) {
-      nn::Scalar acc = 0.0;
-      const nn::Scalar* e = table.row(v);
-      for (int k = 0; k < d; ++k) acc += h[k] * e[k];
-      out[static_cast<size_t>(v)] = acc + bias.at(0, v);
-    }
+    for (int v = 0; v < n; ++v)
+      out[static_cast<size_t>(v)] =
+          nn::kernels::Dot(h, table.row(v), d) + bias.at(0, v);
   } else {
     const nn::Tensor& w = w_dec_.value();
     for (int v = 0; v < n; ++v) {
@@ -600,14 +602,14 @@ graphs::TemporalGraph TgaeGenerator::Generate(Rng& rng) {
                   ? DenseLogitsRow(batch.rows.value(), row)
                   : std::vector<nn::Scalar>(logits.row(row),
                                             logits.row(row) + n);
-          nn::Scalar m = p[0];
-          for (size_t v = 1; v < p.size(); ++v) m = std::max(m, p[v]);
+          const nn::Scalar m =
+              nn::kernels::RowMax(p.data(), static_cast<int>(p.size()));
           nn::Scalar z = 0.0;
           for (size_t v = 0; v < p.size(); ++v) {
             p[v] = std::exp(p[v] - m);
             z += p[v];
           }
-          for (size_t v = 0; v < p.size(); ++v) p[v] /= z;
+          nn::kernels::DivRow(p.data(), z, static_cast<int>(p.size()));
           return p;
         };
 
@@ -619,19 +621,19 @@ graphs::TemporalGraph TgaeGenerator::Generate(Rng& rng) {
             std::min(wanted, static_cast<int>(support.size()));
         std::vector<bool> taken(static_cast<size_t>(n), false);
         taken[static_cast<size_t>(u)] = true;
+        // Sum-tree draws: O(log s) per draw + consume, replacing the old
+        // O(s) WeightedChoice scan followed by an O(s) all-zero rescan on
+        // every draw. Internal sums are exact child sums, so total()
+        // reaches exactly 0.0 once every entry is consumed — the loop
+        // needs no epsilon and no rescan.
+        sampling::TreeSampler tree(weights);
         for (int d = 0; d < from_support; ++d) {
-          size_t pick = rng.WeightedChoice(weights);
+          size_t pick = tree.Draw(rng);
           graphs::NodeId v = support[pick];
           out.AddEdge(u, v, static_cast<graphs::Timestamp>(t));
           taken[static_cast<size_t>(v)] = true;
-          weights[pick] = 0.0;
-          bool all_zero = true;
-          for (double w : weights)
-            if (w > 0.0) {
-              all_zero = false;
-              break;
-            }
-          if (all_zero) {
+          tree.Update(pick, 0.0);
+          if (!(tree.total() > 0.0)) {
             from_support = d + 1;
             break;
           }
@@ -643,24 +645,27 @@ graphs::TemporalGraph TgaeGenerator::Generate(Rng& rng) {
           // with replacement, reproducing duplicate temporal edges; only
           // an empty support falls back to the full score row.
           if (!support.empty()) {
-            weights = support_weights();
+            const sampling::TreeSampler replay(support_weights());
             for (int d = from_support; d < wanted; ++d) {
-              graphs::NodeId v = support[rng.WeightedChoice(weights)];
+              graphs::NodeId v = support[replay.Draw(rng)];
               out.AddEdge(u, v, static_cast<graphs::Timestamp>(t));
             }
           } else {
             std::vector<nn::Scalar> probs = full_row_probs();
             std::vector<double> full(static_cast<size_t>(n));
-            for (int v = 0; v < n; ++v)
-              full[static_cast<size_t>(v)] =
-                  taken[static_cast<size_t>(v)]
-                      ? 0.0
-                      : probs[static_cast<size_t>(v)];
+            // Running remaining-mass counter: subtracting each consumed
+            // entry replaces the old O(n) re-sum before every draw.
+            double remaining = 0.0;
+            for (int v = 0; v < n; ++v) {
+              const double w = taken[static_cast<size_t>(v)]
+                                   ? 0.0
+                                   : probs[static_cast<size_t>(v)];
+              full[static_cast<size_t>(v)] = w;
+              remaining += w;
+            }
             for (int d = from_support; d < wanted; ++d) {
-              double total = 0.0;
-              for (double w : full) total += w;
               graphs::NodeId v;
-              if (total <= 1e-15) {
+              if (remaining <= 1e-15) {
                 // All remaining probability mass sits on taken nodes:
                 // draw uniformly and scan to the next untaken node, so a
                 // collision can never emit a duplicate destination or a
@@ -669,10 +674,12 @@ graphs::TemporalGraph TgaeGenerator::Generate(Rng& rng) {
                     taken,
                     static_cast<int>(rng.UniformInt(static_cast<int64_t>(n)))));
               } else {
-                v = static_cast<graphs::NodeId>(rng.WeightedChoice(full));
+                v = static_cast<graphs::NodeId>(
+                    sampling::WeightedPick(full, rng));
               }
               out.AddEdge(u, v, static_cast<graphs::Timestamp>(t));
               taken[static_cast<size_t>(v)] = true;
+              remaining -= full[static_cast<size_t>(v)];
               full[static_cast<size_t>(v)] = 0.0;
             }
           }

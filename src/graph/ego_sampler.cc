@@ -82,6 +82,19 @@ InitialNodeSampler::InitialNodeSampler(std::vector<TemporalNodeRef> occurrences,
       occurrences_(std::move(occurrences)),
       weights_(std::move(weights)) {
   TGSIM_CHECK_EQ(occurrences_.size(), weights_.size());
+  if (!uniform_ && !weights_.empty())
+    alias_ = sampling::AliasTable(weights_);
+}
+
+InitialNodeSampler::InitialNodeSampler(std::vector<TemporalNodeRef> occurrences,
+                                       std::vector<double> weights,
+                                       sampling::AliasTable table)
+    : uniform_(false),
+      occurrences_(std::move(occurrences)),
+      weights_(std::move(weights)),
+      alias_(std::move(table)) {
+  TGSIM_CHECK_EQ(occurrences_.size(), weights_.size());
+  TGSIM_CHECK_EQ(alias_.size(), weights_.size());
 }
 
 InitialNodeSampler::InitialNodeSampler(const TemporalGraph* graph,
@@ -103,6 +116,11 @@ InitialNodeSampler::InitialNodeSampler(const TemporalGraph* graph,
       i = j;
     }
   }
+  // Every enumerated occurrence has at least one in-window neighbor (the
+  // edge that created it), so the total mass is positive whenever the
+  // graph has edges.
+  if (!uniform_ && !weights_.empty())
+    alias_ = sampling::AliasTable(weights_);
 }
 
 std::vector<TemporalNodeRef> InitialNodeSampler::Sample(int n_s,
@@ -117,22 +135,10 @@ std::vector<TemporalNodeRef> InitialNodeSampler::Sample(int n_s,
     }
     return out;
   }
-  // Degree-proportional sampling (Eq. 2) via the alias-free CDF method:
-  // build the cumulative weights once, then binary-search per draw.
-  std::vector<double> cdf(weights_.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < weights_.size(); ++i) {
-    acc += weights_[i];
-    cdf[i] = acc;
-  }
-  TGSIM_CHECK_GT(acc, 0.0);
-  for (int i = 0; i < n_s; ++i) {
-    double r = rng.Uniform() * acc;
-    size_t idx = static_cast<size_t>(
-        std::lower_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
-    if (idx >= occurrences_.size()) idx = occurrences_.size() - 1;
-    out.push_back(occurrences_[idx]);
-  }
+  // Degree-proportional sampling (Eq. 2): O(1) per draw off the alias
+  // table built at construction.
+  for (int i = 0; i < n_s; ++i)
+    out.push_back(occurrences_[alias_.Draw(rng)]);
   return out;
 }
 

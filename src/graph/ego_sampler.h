@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "graph/temporal_graph.h"
 #include "graph/types.h"
+#include "sampling/samplers.h"
 
 namespace tgsim::graphs {
 
@@ -67,6 +68,11 @@ class EgoGraphSampler {
 /// n_s temporal nodes with probability proportional to their temporal
 /// degree; with `uniform` set it degenerates to uniform sampling over node
 /// occurrences (the TGAE-n ablation variant).
+///
+/// The degree distribution is fixed at construction, so the sampler builds
+/// a `sampling::AliasTable` once and every draw is O(1) — this sits on the
+/// per-walk path of TIGGER/TagGen generation, which previously paid an
+/// O(occurrences) CDF rebuild per Sample call.
 class InitialNodeSampler {
  public:
   InitialNodeSampler(const TemporalGraph* graph, int time_window,
@@ -80,6 +86,13 @@ class InitialNodeSampler {
   InitialNodeSampler(std::vector<TemporalNodeRef> occurrences,
                      std::vector<double> weights, bool uniform = false);
 
+  /// Like the data constructor, but adopts an alias table restored from an
+  /// artifact (serialize::ReadAliasTable) instead of rebuilding it. The
+  /// table's size must match the occurrence count.
+  InitialNodeSampler(std::vector<TemporalNodeRef> occurrences,
+                     std::vector<double> weights,
+                     sampling::AliasTable table);
+
   /// Draws n_s temporal nodes (with replacement across draws).
   std::vector<TemporalNodeRef> Sample(int n_s, Rng& rng) const;
 
@@ -91,10 +104,15 @@ class InitialNodeSampler {
   /// Temporal degree per occurrence (the Eq. 2 sampling weights).
   const std::vector<double>& weights() const { return weights_; }
 
+  /// The alias table behind degree-weighted draws (empty when `uniform`),
+  /// exposed so fitted generators can serialize it with the artifact.
+  const sampling::AliasTable& alias() const { return alias_; }
+
  private:
   bool uniform_;
   std::vector<TemporalNodeRef> occurrences_;
   std::vector<double> weights_;  // temporal degree per occurrence
+  sampling::AliasTable alias_;   // built once over weights_ (unless uniform)
 };
 
 }  // namespace tgsim::graphs

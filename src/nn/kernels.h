@@ -1,0 +1,129 @@
+#ifndef TGSIM_NN_KERNELS_H_
+#define TGSIM_NN_KERNELS_H_
+
+#include <cmath>
+
+#include "nn/tensor.h"
+
+#if defined(_MSC_VER)
+#define TGSIM_RESTRICT __restrict
+#else
+#define TGSIM_RESTRICT __restrict__
+#endif
+
+namespace tgsim::nn::kernels {
+
+/// Row-level microkernels shared by the Tensor math and the generators'
+/// hand-rolled logit/softmax loops. Everything here is written so the
+/// compiler can vectorize it WITHOUT -ffast-math, which means every kernel
+/// must keep the exact IEEE semantics of the plain serial loop it
+/// replaces:
+///
+///  - Sums keep a single strictly ascending-index, left-associated
+///    accumulation chain (no multiple accumulators): FP addition is not
+///    associative, and the determinism contract pins outputs bit-identical
+///    to the serial reference at any thread count.
+///  - Max reductions MAY use independent lanes: IEEE max over non-NaN
+///    values is associative and commutative, so any combination order
+///    yields the same value.
+///  - Per-element maps (exp, divide, axpy) vectorize freely: each output
+///    element is an independent exact IEEE operation.
+
+/// Maximum over x[0..n), n >= 1. Four independent lanes let the compiler
+/// keep the comparison loop in SIMD registers; max is exact, so this is
+/// bit-identical to the serial scan (up to the sign of equal zeros, which
+/// every caller feeds through exp()).
+inline Scalar RowMax(const Scalar* TGSIM_RESTRICT x, int n) {
+  TGSIM_DCHECK(n >= 1);
+  if (n < 8) {
+    Scalar m = x[0];
+    for (int i = 1; i < n; ++i) m = x[i] > m ? x[i] : m;
+    return m;
+  }
+  Scalar m0 = x[0], m1 = x[1], m2 = x[2], m3 = x[3];
+  int i = 4;
+  for (; i + 3 < n; i += 4) {
+    m0 = x[i] > m0 ? x[i] : m0;
+    m1 = x[i + 1] > m1 ? x[i + 1] : m1;
+    m2 = x[i + 2] > m2 ? x[i + 2] : m2;
+    m3 = x[i + 3] > m3 ? x[i + 3] : m3;
+  }
+  for (; i < n; ++i) m0 = x[i] > m0 ? x[i] : m0;
+  m0 = m1 > m0 ? m1 : m0;
+  m2 = m3 > m2 ? m3 : m2;
+  return m2 > m0 ? m2 : m0;
+}
+
+/// dst[i] = exp(x[i] - m); returns the ascending-index sum of dst.
+/// The exp calls are per-element exact; the sum keeps the serial chain.
+inline Scalar ExpRowSum(const Scalar* TGSIM_RESTRICT x, Scalar m,
+                        Scalar* TGSIM_RESTRICT dst, int n) {
+  Scalar z = 0.0;
+  for (int i = 0; i < n; ++i) {
+    dst[i] = std::exp(x[i] - m);
+    z += dst[i];
+  }
+  return z;
+}
+
+/// x[i] /= z for i in [0, n): exact per-element IEEE division (kept as a
+/// division, never a reciprocal multiply), freely vectorizable.
+inline void DivRow(Scalar* TGSIM_RESTRICT x, Scalar z, int n) {
+  for (int i = 0; i < n; ++i) x[i] /= z;
+}
+
+/// Ascending-index dot product: sum_k a[k] * b[k], single left-associated
+/// chain — bit-identical to the naive loop (and to the k-accumulation of
+/// a MatMul output column, which the TGAE sparse/dense pin relies on).
+inline Scalar Dot(const Scalar* TGSIM_RESTRICT a,
+                  const Scalar* TGSIM_RESTRICT b, int n) {
+  Scalar s = 0.0;
+  for (int k = 0; k < n; ++k) s += a[k] * b[k];
+  return s;
+}
+
+/// Ascending-index sum_k a[k] * (b1[k] + b2[k]) — the TagGen transition
+/// logit against a candidate embedding split into node + time halves.
+inline Scalar DotSum2(const Scalar* TGSIM_RESTRICT a,
+                      const Scalar* TGSIM_RESTRICT b1,
+                      const Scalar* TGSIM_RESTRICT b2, int n) {
+  Scalar s = 0.0;
+  for (int k = 0; k < n; ++k) s += a[k] * (b1[k] + b2[k]);
+  return s;
+}
+
+/// o[j] += a * b[j]: one rank-1 row update of the ikj MatMul kernel.
+inline void AxpyRow(Scalar a, const Scalar* TGSIM_RESTRICT b,
+                    Scalar* TGSIM_RESTRICT o, int n) {
+  for (int j = 0; j < n; ++j) o[j] += a * b[j];
+}
+
+/// Four fused rank-1 row updates:
+///   o[j] = (((o[j] + a0*b0[j]) + a1*b1[j]) + a2*b2[j]) + a3*b3[j].
+/// C++ `+` is left-associative, so per output element this is exactly the
+/// chain four sequential AxpyRow passes would produce — bit-identical to
+/// the unrolled-by-1 kernel — while touching o[] once instead of four
+/// times (the MatMul inner loop is memory-bound on o/b traffic).
+inline void Axpy4Row(Scalar a0, const Scalar* TGSIM_RESTRICT b0, Scalar a1,
+                     const Scalar* TGSIM_RESTRICT b1, Scalar a2,
+                     const Scalar* TGSIM_RESTRICT b2, Scalar a3,
+                     const Scalar* TGSIM_RESTRICT b3,
+                     Scalar* TGSIM_RESTRICT o, int n) {
+  for (int j = 0; j < n; ++j)
+    o[j] = o[j] + a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+}
+
+/// Stabilized softmax of one contiguous row into a distinct destination
+/// (src and dst must not alias). The row sums to 1 afterwards. Composition
+/// of the three kernels above — bit-identical to Tensor::SoftmaxRows on
+/// the same row.
+inline void SoftmaxRow(const Scalar* TGSIM_RESTRICT src,
+                       Scalar* TGSIM_RESTRICT dst, int n) {
+  const Scalar m = RowMax(src, n);
+  const Scalar z = ExpRowSum(src, m, dst, n);
+  DivRow(dst, z, n);
+}
+
+}  // namespace tgsim::nn::kernels
+
+#endif  // TGSIM_NN_KERNELS_H_

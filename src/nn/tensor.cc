@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/memory_tracker.h"
+#include "nn/kernels.h"
 #include "parallel/parallel_for.h"
 
 namespace tgsim::nn {
@@ -209,6 +210,10 @@ Tensor Tensor::MatMul(const Tensor& other) const {
   // is owned by exactly one panel, and within a row the k accumulation
   // order is ascending regardless of blocking — so the result is
   // bit-identical for any thread count (and to the unblocked serial loop).
+  // The inner k loop is unrolled by 4 through kernels::Axpy4Row, which
+  // fuses four rank-1 row updates into one pass over the output row; its
+  // per-element chain is left-associated in ascending k, so the unroll
+  // changes memory traffic, not results.
   parallel::ParallelFor(
       0, rows_, kMatMulRowPanel, [&](int64_t i0, int64_t i1) {
         for (int k0 = 0; k0 < cols_; k0 += kMatMulKBlock) {
@@ -216,11 +221,15 @@ Tensor Tensor::MatMul(const Tensor& other) const {
           for (int64_t i = i0; i < i1; ++i) {
             const Scalar* a_row = row(static_cast<int>(i));
             Scalar* o_row = out.row(static_cast<int>(i));
-            for (int k = k0; k < k1; ++k) {
-              const Scalar a = a_row[k];
-              const Scalar* b_row = other.row(k);
-              for (int j = 0; j < n; ++j) o_row[j] += a * b_row[j];
+            int k = k0;
+            for (; k + 3 < k1; k += 4) {
+              kernels::Axpy4Row(a_row[k], other.row(k), a_row[k + 1],
+                                other.row(k + 1), a_row[k + 2],
+                                other.row(k + 2), a_row[k + 3],
+                                other.row(k + 3), o_row, n);
             }
+            for (; k < k1; ++k)
+              kernels::AxpyRow(a_row[k], other.row(k), o_row, n);
           }
         }
       });
@@ -293,16 +302,7 @@ Tensor Tensor::SoftmaxRows() const {
   parallel::ParallelFor(0, rows_, row_grain, [&](int64_t r0, int64_t r1) {
     for (int64_t ri = r0; ri < r1; ++ri) {
       const int r = static_cast<int>(ri);
-      const Scalar* src = row(r);
-      Scalar* dst = out.row(r);
-      Scalar m = src[0];
-      for (int c = 1; c < cols_; ++c) m = std::max(m, src[c]);
-      Scalar z = 0.0;
-      for (int c = 0; c < cols_; ++c) {
-        dst[c] = std::exp(src[c] - m);
-        z += dst[c];
-      }
-      for (int c = 0; c < cols_; ++c) dst[c] /= z;
+      kernels::SoftmaxRow(row(r), out.row(r), cols_);
     }
   });
   return out;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,17 @@ class Tensor {
   Scalar* row(int r) { return data_ + static_cast<size_t>(r) * cols_; }
   const Scalar* row(int r) const {
     return data_ + static_cast<size_t>(r) * cols_;
+  }
+  /// Contiguous view of row r — hands a whole softmax/logit row to the
+  /// sampling layer without the element-by-element at(0, c) copies the
+  /// generators used to make.
+  std::span<Scalar> RowSpan(int r) {
+    TGSIM_DCHECK(r >= 0 && r < rows_);
+    return {row(r), static_cast<size_t>(cols_)};
+  }
+  std::span<const Scalar> RowSpan(int r) const {
+    TGSIM_DCHECK(r >= 0 && r < rows_);
+    return {row(r), static_cast<size_t>(cols_)};
   }
 
   // -- In-place updates -------------------------------------------------

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "nn/autograd.h"
 #include "nn/tensor.h"
+#include "sampling/samplers.h"
 
 /// Model-artifact serialization (serialize tier; see ROADMAP layering:
 /// common -> ... -> nn -> serialize -> baselines -> core). The sectioned
@@ -143,6 +144,24 @@ class ArchiveReader {
   std::vector<std::string> section_order_;
   std::map<std::string, std::map<std::string, Field>> sections_;
 };
+
+/// Writes an alias table's slot arrays as two vector fields of the
+/// archive's current section (`<prefix>_prob` / `<prefix>_alias`), so a
+/// fitted generator's fixed sampling distribution ships inside the
+/// artifact and LoadState can skip the O(n) rebuild. Pair with
+/// ReadAliasTable.
+void WriteAliasTable(ArchiveWriter& writer, const std::string& prefix,
+                     const sampling::AliasTable& table);
+
+/// Reassembles an alias table written by WriteAliasTable. NotFound when
+/// the fields are absent (older artifacts — callers fall back to
+/// rebuilding from the serialized weights), InvalidArgument on corrupt
+/// slot data. Because the alias build is deterministic and the archive
+/// round-trips doubles exactly, a loaded table draws bit-identically to
+/// one rebuilt from the weights.
+Result<sampling::AliasTable> ReadAliasTable(const ArchiveReader& reader,
+                                            const std::string& section,
+                                            const std::string& prefix);
 
 /// Writes a parameter set as consecutive tensor fields (`count`, `p0`,
 /// `p1`, ...) of the archive's current section. Pair with ReadParamsInto.
