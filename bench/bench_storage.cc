@@ -1,0 +1,108 @@
+// Storage-path benchmarks (google-benchmark): edge sampling from sparse
+// top-k score rows against a faithful replica of the flat O(n^2) alias
+// discipline it replaced, plus the peak-RSS readout that motivated the
+// sparse container. Writes BENCH_storage.json via bench/run_bench.sh; CI
+// gates fresh runs with bench/check_bench_regression.py.
+//
+// Naming convention matches bench_generation.cc: a `...Ref` benchmark
+// re-implements the pre-conversion code path (one alias table over all
+// n^2 off-diagonal weights, rebuilt per generation call) so the sparse
+// speedup is measurable on the same machine from one binary.
+//
+// Registration order matters for the RSS counter: ru_maxrss is a
+// process-lifetime high-water mark, so the sparse benchmarks run first
+// and their peak_rss_mb reading is not inflated by the dense replica.
+
+#include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/score_sampling.h"
+#include "common/rng.h"
+#include "graph/types.h"
+#include "nn/tensor.h"
+#include "sampling/samplers.h"
+#include "storage/sparse_rows.h"
+
+namespace {
+
+using namespace tgsim;
+
+double PeakRssMb() {
+  struct rusage usage = {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB on Linux.
+}
+
+/// Dense score matrix with the uniform positives of an untrained decoder.
+nn::Tensor MakeScores(int n, uint64_t seed) {
+  Rng rng(seed);
+  nn::Tensor scores(n, n);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c) scores.at(r, c) = rng.Uniform();
+  return scores;
+}
+
+// ---------------------------------------------------------------------------
+// Sparse path (shipped): top-k rows built once at fit time, then O(n + nnz)
+// alias build + draws per generation call.
+// ---------------------------------------------------------------------------
+
+void BM_SparseScoreSampling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto topk = static_cast<int64_t>(state.range(1));
+  const int64_t count = 4 * n;  // Edge budget scales like a real snapshot.
+  storage::SparseScoreRows rows =
+      storage::SparseScoreRows::FromDense(MakeScores(n, 6), topk);
+  Rng rng(8);
+  std::vector<graphs::TemporalEdge> out;
+  for (auto _ : state) {
+    out.clear();
+    baselines::SampleEdgesFromScores(rows.View(), count, 0, rng, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * count);  // edges/sec
+  state.counters["peak_rss_mb"] = PeakRssMb();
+  state.counters["nnz"] = static_cast<double>(rows.View().nnz());
+}
+BENCHMARK(BM_SparseScoreSampling)
+    ->Args({1024, 64})
+    ->Args({4096, 64})
+    ->Args({4096, 256});
+
+// ---------------------------------------------------------------------------
+// Dense replica (pre-conversion): every generation call flattened the n^2
+// off-diagonal weights and built one alias table over all of them.
+// ---------------------------------------------------------------------------
+
+void BM_DenseScoreSamplingRef(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int64_t count = 4 * n;
+  const nn::Tensor scores = MakeScores(n, 6);
+  Rng rng(8);
+  std::vector<graphs::TemporalEdge> out;
+  for (auto _ : state) {
+    std::vector<double> weights(static_cast<size_t>(n) * n, 0.0);
+    for (int r = 0; r < n; ++r)
+      for (int c = 0; c < n; ++c)
+        if (r != c && scores.at(r, c) > 0.0)
+          weights[static_cast<size_t>(r) * n + c] = scores.at(r, c);
+    sampling::AliasTable table(weights);
+    out.clear();
+    while (static_cast<int64_t>(out.size()) < count) {
+      const auto flat = static_cast<int64_t>(table.Draw(rng));
+      out.push_back({static_cast<graphs::NodeId>(flat / n),
+                     static_cast<graphs::NodeId>(flat % n), 0});
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+  state.counters["peak_rss_mb"] = PeakRssMb();
+}
+BENCHMARK(BM_DenseScoreSamplingRef)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

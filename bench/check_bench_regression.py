@@ -1,25 +1,33 @@
 #!/usr/bin/env python3
-"""Gates CI on the generation-benchmark trajectory.
+"""Gates CI on the committed benchmark trajectories.
 
-Usage: check_bench_regression.py COMMITTED.json FRESH.json [--min-ratio R]
+Usage: check_bench_regression.py COMMITTED.json FRESH.json \
+           [COMMITTED.json FRESH.json ...] [--min-ratio R]
 
-Two checks, both against items_per_second:
+Positional arguments are (committed, fresh) file pairs — one per
+benchmark suite (BENCH_generation.json, BENCH_kernels.json,
+BENCH_storage.json). Two checks:
 
-1. Trajectory: every benchmark present in the committed BENCH_generation.json
+1. Trajectory (per pair): every benchmark present in the committed file
    must exist in the fresh run and reach at least R (default 0.25) of its
-   committed throughput. The bar is deliberately loose — CI machines differ
-   from the machine that produced the committed file — but a 4x collapse on
-   the same binary marks a real algorithmic regression (e.g. an O(1) draw
-   silently degrading to a scan), not hardware noise.
+   committed throughput. Throughput is items_per_second when the
+   benchmark reports it, else 1/real_time. The bar is deliberately loose
+   — CI machines differ from the machine that produced the committed file
+   — but a 4x collapse on the same binary marks a real algorithmic
+   regression (e.g. an O(1) draw silently degrading to a scan, or a
+   sparse path quietly densifying), not hardware noise.
 
-2. Acceptance ratios (same-machine, hardware-independent): the fresh run
-   itself must show the shipped sampler paths beating their pre-conversion
-   `...Ref` replicas —
+2. Acceptance ratios (same-machine, hardware-independent, evaluated
+   against the union of all fresh runs): the shipped paths must beat
+   their pre-conversion `...Ref` replicas —
      - BM_DymondDrawLoopAlias/1048576 >= 5x BM_DymondDrawLoopCdfRef/1048576
-       (the ISSUE bar: >= 5x edges/sec on a generation-heavy method at
-       n >= 1e5), and
+       (the PR-7 bar: >= 5x edges/sec on a generation-heavy method at
+       n >= 1e5),
      - BM_WalkStartsAlias >= 5x BM_WalkStartsCdfRebuildRef (the TIGGER /
-       TagGen per-walk start path; in practice this is orders of magnitude).
+       TagGen per-walk start path; in practice orders of magnitude), and
+     - BM_SparseScoreSampling/4096/64 >= 5x BM_DenseScoreSamplingRef/4096
+       (the PR-8 storage bar: sparse top-k rows vs the flat n^2 alias
+       rebuild they replaced).
 """
 
 import argparse
@@ -29,63 +37,79 @@ import sys
 HARD_RATIO_GATES = [
     ("BM_DymondDrawLoopAlias/1048576", "BM_DymondDrawLoopCdfRef/1048576", 5.0),
     ("BM_WalkStartsAlias", "BM_WalkStartsCdfRebuildRef", 5.0),
+    ("BM_SparseScoreSampling/4096/64", "BM_DenseScoreSamplingRef/4096", 5.0),
 ]
 
 
-def load_items_per_second(path):
+def load_throughput(path):
     with open(path) as f:
         runs = json.load(f).get("benchmarks", [])
-    return {
-        b["name"]: b["items_per_second"]
-        for b in runs
-        if "items_per_second" in b and b.get("run_type", "iteration") == "iteration"
-    }
+    out = {}
+    for b in runs:
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        if "items_per_second" in b:
+            out[b["name"]] = b["items_per_second"]
+        elif b.get("real_time", 0) > 0:
+            out[b["name"]] = 1.0 / b["real_time"]
+    return out
 
 
 def main():
     parser = argparse.ArgumentParser()
-    parser.add_argument("committed")
-    parser.add_argument("fresh")
+    parser.add_argument("files", nargs="+",
+                        help="committed/fresh JSON file pairs")
     parser.add_argument("--min-ratio", type=float, default=0.25)
     args = parser.parse_args()
-
-    committed = load_items_per_second(args.committed)
-    fresh = load_items_per_second(args.fresh)
-    if not committed:
-        print(f"error: no items_per_second entries in {args.committed}")
-        return 1
+    if len(args.files) % 2 != 0:
+        print("error: expected COMMITTED FRESH file pairs")
+        return 2
 
     failures = []
-    for name, base in sorted(committed.items()):
-        if name not in fresh:
-            failures.append(f"{name}: missing from fresh run")
+    all_fresh = {}
+    for committed_path, fresh_path in zip(args.files[::2], args.files[1::2]):
+        committed = load_throughput(committed_path)
+        fresh = load_throughput(fresh_path)
+        all_fresh.update(fresh)
+        if not committed:
+            failures.append(f"no benchmark entries in {committed_path}")
             continue
-        ratio = fresh[name] / base
-        status = "ok" if ratio >= args.min_ratio else "REGRESSION"
-        print(f"{name}: {ratio:.2f}x of committed throughput [{status}]")
-        if ratio < args.min_ratio:
-            failures.append(
-                f"{name}: {ratio:.2f}x of committed items/sec "
-                f"(floor {args.min_ratio:.2f}x)")
+        print(f"== {committed_path} vs {fresh_path} ==")
+        for name, base in sorted(committed.items()):
+            if name not in fresh:
+                failures.append(f"{name}: missing from fresh run")
+                continue
+            ratio = fresh[name] / base
+            status = "ok" if ratio >= args.min_ratio else "REGRESSION"
+            print(f"{name}: {ratio:.2f}x of committed throughput [{status}]")
+            if ratio < args.min_ratio:
+                failures.append(
+                    f"{name}: {ratio:.2f}x of committed throughput "
+                    f"(floor {args.min_ratio:.2f}x)")
 
+    gates = 0
     for new, ref, floor in HARD_RATIO_GATES:
-        if new not in fresh or ref not in fresh or fresh[ref] <= 0:
-            failures.append(f"speedup gate {new} vs {ref}: benchmarks missing")
+        if new not in all_fresh or ref not in all_fresh or all_fresh[ref] <= 0:
+            # A suite may legitimately be absent from this invocation (e.g.
+            # gating only the generation pair); gate what is present.
             continue
-        speedup = fresh[new] / fresh[ref]
+        gates += 1
+        speedup = all_fresh[new] / all_fresh[ref]
         status = "ok" if speedup >= floor else "BELOW FLOOR"
         print(f"{new} vs {ref}: {speedup:.1f}x (floor {floor}x) [{status}]")
         if speedup < floor:
             failures.append(
                 f"speedup gate {new} vs {ref}: {speedup:.1f}x < {floor}x")
+    if gates == 0:
+        failures.append("no speedup gate had both benchmarks in a fresh run")
 
     if failures:
         print("\nbench regression check FAILED:")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("\nbench regression check passed "
-          f"({len(committed)} benchmarks, {len(HARD_RATIO_GATES)} ratio gates)")
+    print(f"\nbench regression check passed "
+          f"({len(args.files) // 2} suites, {gates} ratio gates)")
     return 0
 
 

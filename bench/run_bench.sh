@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
-# Runs the micro-kernel and generation benchmarks and writes
-# BENCH_kernels.json + BENCH_generation.json — the machine-readable perf
-# artifacts CI uploads on every run, so the kernel and generation-path
-# performance trajectories are tracked over time.
+# Runs the micro-kernel, generation, and storage benchmarks and writes
+# BENCH_kernels.json + BENCH_generation.json + BENCH_storage.json — the
+# machine-readable perf artifacts CI uploads on every run, so the kernel,
+# generation-path, and storage-path performance trajectories are tracked
+# over time.
 #
-# Usage: bench/run_bench.sh [build-dir] [kernels.json] [generation.json]
+# Usage: bench/run_bench.sh [build-dir] [kernels.json] [generation.json] [storage.json]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_kernels.json}"
 GEN_OUT="${3:-BENCH_generation.json}"
+STORAGE_OUT="${4:-BENCH_storage.json}"
 BIN="${BUILD_DIR}/bench/bench_micro_kernels"
 GEN_BIN="${BUILD_DIR}/bench/bench_generation"
+STORAGE_BIN="${BUILD_DIR}/bench/bench_storage"
 
-if [[ ! -x "${BIN}" || ! -x "${GEN_BIN}" ]]; then
-  echo "error: ${BIN} or ${GEN_BIN} not found or not executable." >&2
+if [[ ! -x "${BIN}" || ! -x "${GEN_BIN}" || ! -x "${STORAGE_BIN}" ]]; then
+  echo "error: ${BIN}, ${GEN_BIN}, or ${STORAGE_BIN} not found or not executable." >&2
   echo "Configure with Google Benchmark installed (libbenchmark-dev) and" >&2
   echo "build first:  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
   exit 1
@@ -34,12 +37,19 @@ echo "Wrote ${OUT}"
 
 echo "Wrote ${GEN_OUT}"
 
+"${STORAGE_BIN}" \
+  --benchmark_out="${STORAGE_OUT}" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo "Wrote ${STORAGE_OUT}"
+
 # Headline summaries in the CI log: the dense-vs-sparse decode speedup from
 # the kernel suite, artifact round-trip latency, and the sampler-conversion
 # speedups (shipped path vs its ...Ref pre-conversion replica) from the
 # generation suite.
 if command -v python3 > /dev/null; then
-  python3 - "${OUT}" "${GEN_OUT}" <<'EOF'
+  python3 - "${OUT}" "${GEN_OUT}" "${STORAGE_OUT}" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     runs = json.load(f).get("benchmarks", [])
@@ -86,6 +96,18 @@ for new, ref in SAMPLER_PAIRS:
 if lines:
     print("sampler speedup (items/sec vs pre-conversion reference):")
     print("\n".join(lines))
+
+with open(sys.argv[3]) as f:
+    storage_runs = json.load(f).get("benchmarks", [])
+by_name = {b["name"]: b for b in storage_runs if "items_per_second" in b}
+sparse = by_name.get("BM_SparseScoreSampling/4096/64")
+dense = by_name.get("BM_DenseScoreSamplingRef/4096")
+if sparse and dense and dense["items_per_second"] > 0:
+    print("storage edge sampling at n=4096 (sparse top-64 vs dense replica):")
+    print(f"  edges/sec: {sparse['items_per_second'] / dense['items_per_second']:.1f}x")
+    sparse_rss, dense_rss = sparse.get("peak_rss_mb"), dense.get("peak_rss_mb")
+    if sparse_rss and dense_rss:
+        print(f"  peak RSS: {sparse_rss:.0f} MB sparse vs {dense_rss:.0f} MB dense")
 EOF
 else
   echo "python3 not found; skipping speedup summaries" >&2

@@ -47,6 +47,20 @@ class TemporalGraphGenerator {
   /// Generate(seed) is bit-identical to the fitted original's.
   virtual Status LoadState(std::istream& in);
 
+  /// Path-aware LoadState overload: `path` names the file `in` reads from
+  /// ("" when the state only exists in memory). Methods whose state
+  /// carries a trailing binary payload (the score methods' BlockFile)
+  /// override this to mmap blocks from `path` on demand instead of
+  /// materializing them; the default delegates to the 1-arg form, so
+  /// existing methods need no change.
+  virtual Status LoadState(std::istream& in, const std::string& path);
+
+  /// Bytes of fitted state held resident in memory, or -1 when the method
+  /// does not track it (callers fall back to the artifact file size). The
+  /// serve ModelCache charges its byte budget with this, so an mmap-backed
+  /// score model is billed for its bookkeeping, not its on-disk blocks.
+  virtual int64_t ResidentStateBytes() const { return -1; }
+
   /// Whether the method trains a neural model (the paper separates simple
   /// model-based from learning-based approaches; E-R/B-A report no GPU
   /// memory in Fig. 6).

@@ -4,8 +4,10 @@
 #include <vector>
 
 #include "baselines/generator.h"
+#include "baselines/state_io.h"
 #include "config/param_map.h"
 #include "nn/tensor.h"
+#include "storage/score_store.h"
 
 namespace tgsim::baselines {
 
@@ -13,6 +15,9 @@ struct NetGanConfig {
   int rank = 16;
   int epochs = 60;
   double learning_rate = 5e-2;
+  /// Stored score entries per row (0 = keep every positive entry — the
+  /// paper-exact default; preset=fast truncates). See ScoreStore.
+  int64_t score_topk = 0;
 
   void DefineParams(config::ParamBinder& binder);
   Status ApplyParams(const config::ParamMap& params);
@@ -27,8 +32,8 @@ struct NetGanConfig {
 /// entropy against the observed transition distribution, then sample edges
 /// from the stationary-weighted edge scores. Being a static method, it is
 /// applied independently to every timestamp (paper Section V.B). Fit()
-/// trains every snapshot model and keeps only the resulting score
-/// matrices — the fitted distributions — so Generate() is a cheap sampling
+/// trains every snapshot model and keeps only the resulting sparse score
+/// rows — the fitted distributions — so Generate() is a cheap sampling
 /// pass and the whole state ships through SaveState/LoadState.
 class NetGanGenerator : public TemporalGraphGenerator {
  public:
@@ -39,10 +44,13 @@ class NetGanGenerator : public TemporalGraphGenerator {
   graphs::TemporalGraph Generate(Rng& rng) override;
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
+  Status LoadState(std::istream& in, const std::string& path) override;
+  int64_t ResidentStateBytes() const override;
 
   /// Dense n x n score matrix per trained snapshot + per-timestamp walk
   /// buffers; reproduces the paper's OOM pattern (BITCOIN-* and UBUNTU out,
-  /// MATH/EMAIL in).
+  /// MATH/EMAIL in). Models the *original* implementation — this
+  /// reproduction's sparse store stays O(nnz).
   int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
                                    int64_t t) const override {
     return 8 * n * n + 8 * n * t * t;
@@ -50,15 +58,15 @@ class NetGanGenerator : public TemporalGraphGenerator {
 
  private:
   /// Fits the low-rank transition model for one snapshot and returns the
-  /// edge score matrix.
-  nn::Tensor FitSnapshotScores(
+  /// active-node score submatrix.
+  SnapshotScores FitSnapshotScores(
       const std::vector<graphs::TemporalEdge>& edges, Rng& rng) const;
 
   NetGanConfig config_;
   ObservedShape shape_;
-  /// Fitted edge-score matrix per timestamp (empty tensor where the
-  /// snapshot has no edges). This is the complete generative state.
-  std::vector<nn::Tensor> scores_;
+  /// Fitted sparse score rows per timestamp (absent where the snapshot
+  /// has no edges). This is the complete generative state.
+  storage::ScoreStore store_;
 };
 
 }  // namespace tgsim::baselines

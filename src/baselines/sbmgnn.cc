@@ -15,6 +15,8 @@ void SbmGnnConfig::DefineParams(config::ParamBinder& binder) {
   binder.Bind("num_blocks", &num_blocks, "overlapping SBM blocks");
   binder.Bind("epochs", &epochs, "training epochs per snapshot");
   binder.Bind("learning_rate", &learning_rate, "Adam learning rate");
+  binder.Bind("score_topk", &score_topk,
+              "stored score entries per row (0 = all positive entries)");
 }
 
 TGSIM_CONFIG_IMPLEMENT_PARAMS(SbmGnnConfig)
@@ -24,16 +26,16 @@ SbmGnnGenerator::SbmGnnGenerator(SbmGnnConfig config) : config_(config) {}
 void SbmGnnGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
   shape_.CaptureFrom(observed);
   // Fit-once/serve-many: every snapshot model trains here, and only the
-  // decoded score matrices are kept — Generate never sees the training
-  // graph again.
+  // decoded sparse score rows are kept — Generate never sees the
+  // training graph again.
   FitScoresPerSnapshot(
-      observed, shape_, scores_,
+      observed, shape_, config_.score_topk, store_,
       [&](const std::vector<graphs::TemporalEdge>& snap) {
         return FitSnapshotScores(snap, rng);
       });
 }
 
-nn::Tensor SbmGnnGenerator::FitSnapshotScores(
+SnapshotScores SbmGnnGenerator::FitSnapshotScores(
     const std::vector<graphs::TemporalEdge>& edges, Rng& rng) const {
   const int n = shape_.num_nodes;
   std::vector<int> active;
@@ -46,7 +48,7 @@ nn::Tensor SbmGnnGenerator::FitSnapshotScores(
     for (int u = 0; u < n; ++u)
       if (seen[static_cast<size_t>(u)]) active.push_back(u);
   }
-  if (active.size() < 2) return nn::Tensor(n, n);
+  if (active.size() < 2) return {};
   const int na = static_cast<int>(active.size());
   std::vector<int> remap(static_cast<size_t>(n), -1);
   for (int i = 0; i < na; ++i) remap[static_cast<size_t>(active[i])] = i;
@@ -96,25 +98,37 @@ nn::Tensor SbmGnnGenerator::FitSnapshotScores(
   }
 
   nn::Tensor logits = forward().value();
-  nn::Tensor scores(n, n);
+  SnapshotScores out;
+  out.scores = nn::Tensor(na, na);
   for (int i = 0; i < na; ++i)
     for (int j = 0; j < na; ++j)
       if (i != j)
-        scores.at(active[i], active[j]) =
-            1.0 / (1.0 + std::exp(-logits.at(i, j)));
-  return scores;
+        out.scores.at(i, j) = 1.0 / (1.0 + std::exp(-logits.at(i, j)));
+  out.active = std::move(active);
+  return out;
 }
 
 graphs::TemporalGraph SbmGnnGenerator::Generate(Rng& rng) {
-  return GenerateFromScores(shape_, scores_, rng);
+  return GenerateFromScores(shape_, store_, rng);
 }
 
 Status SbmGnnGenerator::SaveState(std::ostream& out) const {
-  return SaveScoreState(shape_, scores_, out, name());
+  return SaveScoreState(shape_, store_, config_.score_topk, out, name());
 }
 
 Status SbmGnnGenerator::LoadState(std::istream& in) {
-  return LoadScoreState(shape_, scores_, in);
+  return LoadState(in, "");
+}
+
+Status SbmGnnGenerator::LoadState(std::istream& in,
+                                  const std::string& path) {
+  return LoadScoreState(shape_, store_, in, path, config_.score_topk);
+}
+
+int64_t SbmGnnGenerator::ResidentStateBytes() const {
+  return static_cast<int64_t>(sizeof(*this)) + store_.ResidentBytes() +
+         static_cast<int64_t>(shape_.edges_per_timestamp.capacity() *
+                              sizeof(int64_t));
 }
 
 }  // namespace tgsim::baselines

@@ -4,8 +4,10 @@
 #include <vector>
 
 #include "baselines/generator.h"
+#include "baselines/state_io.h"
 #include "config/param_map.h"
 #include "nn/tensor.h"
+#include "storage/score_store.h"
 
 namespace tgsim::baselines {
 
@@ -14,6 +16,9 @@ struct SbmGnnConfig {
   int num_blocks = 8;
   int epochs = 40;
   double learning_rate = 1e-2;
+  /// Stored score entries per row (0 = keep every positive entry — the
+  /// paper-exact default; preset=fast truncates). See ScoreStore.
+  int64_t score_topk = 0;
 
   void DefineParams(config::ParamBinder& binder);
   Status ApplyParams(const config::ParamMap& params);
@@ -35,21 +40,23 @@ class SbmGnnGenerator : public TemporalGraphGenerator {
   graphs::TemporalGraph Generate(Rng& rng) override;
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
+  Status LoadState(std::istream& in, const std::string& path) override;
+  int64_t ResidentStateBytes() const override;
 
   int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
                                    int64_t /*t*/) const override {
-    return 8 * n * n;  // Dense reconstruction, like VGAE.
+    return 8 * n * n;  // Dense reconstruction, like VGAE (original impl).
   }
 
  private:
-  nn::Tensor FitSnapshotScores(
+  SnapshotScores FitSnapshotScores(
       const std::vector<graphs::TemporalEdge>& edges, Rng& rng) const;
 
   SbmGnnConfig config_;
   ObservedShape shape_;
-  /// Fitted edge-score matrix per timestamp (empty tensor where the
-  /// snapshot has no edges). This is the complete generative state.
-  std::vector<nn::Tensor> scores_;
+  /// Fitted sparse score rows per timestamp (absent where the snapshot
+  /// has no edges). This is the complete generative state.
+  storage::ScoreStore store_;
 };
 
 }  // namespace tgsim::baselines

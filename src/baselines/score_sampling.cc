@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -9,42 +10,76 @@
 
 namespace tgsim::baselines {
 
-void SampleEdgesFromScores(const nn::Tensor& scores, int64_t count,
-                           graphs::Timestamp t, Rng& rng,
+void SampleEdgesFromScores(const storage::SparseScoreRowsView& scores,
+                           int64_t count, graphs::Timestamp t, Rng& rng,
                            std::vector<graphs::TemporalEdge>* out) {
   TGSIM_CHECK(out != nullptr);
-  const int n = scores.rows();
-  TGSIM_CHECK_EQ(scores.cols(), n);
+  const int n = scores.rows;
+  TGSIM_CHECK_EQ(scores.cols, n);
+  TGSIM_CHECK_GE(n, 1);
   if (count <= 0) return;
+  if (n < 2) {
+    // A one-node snapshot has no off-diagonal pairs at all; emit the only
+    // representable edge rather than spinning forever in rejection.
+    for (int64_t i = 0; i < count; ++i) out->push_back({0, 0, t});
+    return;
+  }
 
-  // Flat weights over off-diagonal entries; the alias table makes every
-  // attempted draw O(1) instead of an O(log n^2) binary search over an
-  // n^2-entry CDF.
-  std::vector<double> weights(static_cast<size_t>(scores.size()));
+  // Per-row mass = stored top-k weights + the truncation remainder: the
+  // row alias sees the FULL original row mass, so truncation biases only
+  // the within-row choice (toward a uniform stand-in for the tail), never
+  // which rows emit edges.
+  std::vector<double> stored_mass(static_cast<size_t>(n), 0.0);
+  std::vector<double> row_mass(static_cast<size_t>(n), 0.0);
   double acc = 0.0;
   for (int r = 0; r < n; ++r) {
-    const double* score_row = scores.row(r);
-    double* w_row = weights.data() + static_cast<size_t>(r) * n;
-    for (int c = 0; c < n; ++c) {
-      double w = r == c ? 0.0 : std::max(0.0, score_row[c]);
-      acc += w;
-      w_row[c] = w;
-    }
+    const auto row = scores.row(r);
+    double s = 0.0;
+    for (double w : row.weights) s += w;
+    stored_mass[static_cast<size_t>(r)] = s;
+    const double total = s + row.remainder;
+    row_mass[static_cast<size_t>(r)] = total;
+    acc += total;
   }
 
   std::unordered_set<int64_t> taken;
   int64_t emitted = 0;
   if (acc > 0.0) {
-    const sampling::AliasTable alias(weights);
+    const sampling::AliasTable row_alias(row_mass);
+    // Column aliases build lazily, once per touched row — O(row nnz)
+    // each, and rows the row alias never returns cost nothing.
+    std::vector<std::optional<sampling::AliasTable>> col_alias(
+        static_cast<size_t>(n));
     int64_t attempts = 0;
     const int64_t max_attempts = 20 * count + 100;
     while (emitted < count && attempts < max_attempts) {
       ++attempts;
-      size_t flat = alias.Draw(rng);
-      auto u = static_cast<graphs::NodeId>(flat / static_cast<size_t>(n));
-      auto v = static_cast<graphs::NodeId>(flat % static_cast<size_t>(n));
+      const auto u =
+          static_cast<graphs::NodeId>(row_alias.Draw(rng));
+      const auto row = scores.row(u);
+      graphs::NodeId v;
+      bool from_tail = false;
+      if (row.remainder > 0.0) {
+        // One uniform decides stored-vs-tail; the comparison point is the
+        // remainder's share of the full row mass.
+        const double coin =
+            rng.Uniform() * row_mass[static_cast<size_t>(u)];
+        from_tail = coin < row.remainder;
+      }
+      if (from_tail) {
+        // Uniform off-diagonal column: one uniform, never the diagonal.
+        const auto x = static_cast<graphs::NodeId>(
+            rng.UniformInt(static_cast<int64_t>(n) - 1));
+        v = x >= u ? x + 1 : x;
+      } else {
+        auto& alias = col_alias[static_cast<size_t>(u)];
+        if (!alias.has_value()) alias.emplace(row.weights);
+        const size_t j = alias->Draw(rng);
+        v = static_cast<graphs::NodeId>(row.cols[j]);
+      }
       if (u == v) continue;
-      if (!taken.insert(static_cast<int64_t>(flat)).second) continue;
+      const int64_t flat = static_cast<int64_t>(u) * n + v;
+      if (!taken.insert(flat).second) continue;
       out->push_back({u, v, t});
       ++emitted;
     }
@@ -70,6 +105,14 @@ void SampleEdgesFromScores(const nn::Tensor& scores, int64_t count,
     out->push_back({u, v, t});
     ++emitted;
   }
+}
+
+void SampleEdgesFromScores(const nn::Tensor& scores, int64_t count,
+                           graphs::Timestamp t, Rng& rng,
+                           std::vector<graphs::TemporalEdge>* out) {
+  const storage::SparseScoreRows sparse =
+      storage::SparseScoreRows::FromDense(scores, 0);
+  SampleEdgesFromScores(sparse.View(), count, t, rng, out);
 }
 
 nn::Tensor NormalizedAdjacency(const nn::Tensor& adjacency) {

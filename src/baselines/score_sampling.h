@@ -6,14 +6,34 @@
 #include "common/rng.h"
 #include "graph/types.h"
 #include "nn/tensor.h"
+#include "storage/sparse_rows.h"
 
 namespace tgsim::baselines {
 
-/// Draws `count` distinct directed edges (u != v) from an n x n score
-/// matrix, with probability proportional to the scores, and appends them to
-/// `out` with timestamp `t`. Duplicate draws are rejected; if the score mass
-/// is too concentrated to yield enough distinct edges, the remainder is
-/// filled with uniform random edges so callers always get `count` edges.
+/// Draws `count` distinct directed edges (u != v) from one snapshot's
+/// sparse score rows, with probability proportional to the scores, and
+/// appends them to `out` with timestamp `t`. Two-level sampling: a row
+/// alias table over the full per-row masses (stored top-k weights plus
+/// the truncation remainder), then within the drawn row either its
+/// column alias table (stored mass) or — with probability proportional
+/// to the remainder — a uniform off-diagonal column standing in for the
+/// truncated tail. Untruncated rows have remainder exactly 0, so their
+/// draws never touch the uniform branch: with `score_topk >= n` the
+/// sparse path consumes the Rng stream identically to the untruncated
+/// build and draws bit-identical edges.
+///
+/// Duplicate draws are rejected; if the score mass is too concentrated to
+/// yield enough distinct edges, the remainder is filled with uniform
+/// random edges so callers always get `count` edges. Memory and alias
+/// build cost are O(n + nnz) — never O(n^2).
+void SampleEdgesFromScores(const storage::SparseScoreRowsView& scores,
+                           int64_t count, graphs::Timestamp t, Rng& rng,
+                           std::vector<graphs::TemporalEdge>* out);
+
+/// Dense convenience overload: compacts `scores` untruncated (topk = 0)
+/// and draws from the sparse path. Kept for callers that still hold a
+/// dense matrix (tests, benches); production generation holds sparse rows
+/// already.
 void SampleEdgesFromScores(const nn::Tensor& scores, int64_t count,
                            graphs::Timestamp t, Rng& rng,
                            std::vector<graphs::TemporalEdge>* out);

@@ -1,9 +1,12 @@
 #include "baselines/state_io.h"
 
+#include <istream>
+#include <iterator>
 #include <limits>
 #include <utility>
 
 #include "baselines/score_sampling.h"
+#include "storage/block_file.h"
 
 namespace tgsim::baselines {
 
@@ -35,6 +38,13 @@ Status TemporalGraphGenerator::SaveState(std::ostream& /*out*/) const {
 Status TemporalGraphGenerator::LoadState(std::istream& /*in*/) {
   return Status::InvalidArgument("method '" + name() +
                                  "' does not implement state serialization");
+}
+
+Status TemporalGraphGenerator::LoadState(std::istream& in,
+                                         const std::string& /*path*/) {
+  // Default: the path is only a hint for methods that page state from
+  // disk; everyone else restores entirely from the stream.
+  return LoadState(in);
 }
 
 Status RequireFitted(bool fitted, const std::string& method) {
@@ -136,22 +146,78 @@ Result<graphs::TemporalGraph> ReadSupportGraph(
 }
 
 Status SaveScoreState(const ObservedShape& shape,
-                      const std::vector<nn::Tensor>& scores,
+                      const storage::ScoreStore& store, int64_t score_topk,
                       std::ostream& out, const std::string& method) {
   Status fitted = RequireFitted(shape.num_nodes > 0, method);
   if (!fitted.ok()) return fitted;
+  TGSIM_CHECK_EQ(store.num_timestamps(), shape.num_timestamps);
+  const bool inline_mode = !store.block_backed() &&
+                           shape.num_nodes <= kInlineScoreNodeLimit &&
+                           store.TotalNnz() <= kInlineScoreNnzLimit;
   serialize::ArchiveWriter writer(out);
   WriteShape(writer, shape);
-  writer.BeginSection("scores");
-  for (size_t t = 0; t < scores.size(); ++t) {
-    if (scores[t].empty()) continue;  // Edge-free snapshot.
-    writer.WriteTensor(ScoreFieldName(static_cast<int>(t)), scores[t]);
+  writer.BeginSection("score_store");
+  writer.WriteInt("score_topk", score_topk);
+  writer.WriteString("format", inline_mode ? "inline" : "blocks");
+  if (inline_mode) {
+    writer.BeginSection("sparse_scores");
+    for (int t = 0; t < shape.num_timestamps; ++t) {
+      if (!store.has(t)) continue;  // Edge-free snapshot.
+      const storage::ScoreStore::Lease lease = store.Snapshot(t);
+      storage::WriteSparseScores(writer, ScoreFieldName(t), lease.view);
+    }
+    return writer.Finish();
   }
-  return writer.Finish();
+  Status finished = writer.Finish();
+  if (!finished.ok()) return finished;
+  // Large models: snapshots ride as a trailing binary BlockFile so the
+  // loader can mmap them per snapshot instead of materializing the lot.
+  storage::BlockFileWriter blocks(out);
+  for (int t = 0; t < shape.num_timestamps; ++t) {
+    if (!store.has(t)) continue;
+    const storage::ScoreStore::Lease lease = store.Snapshot(t);
+    blocks.AddBlock(storage::ScoreBlockName(t),
+                    storage::EncodeScoreBlock(lease.view));
+  }
+  return blocks.Finish();
 }
 
-Status LoadScoreState(ObservedShape& shape, std::vector<nn::Tensor>& scores,
-                      std::istream& in) {
+namespace {
+
+/// Every block of a score BlockFile must be named "t<k>" for a timestamp
+/// with edges; anything else is corruption (or someone else's file).
+Status CheckScoreBlockNames(const storage::BlockFileReader& reader,
+                            const ObservedShape& shape) {
+  for (const std::string& name : reader.BlockNames()) {
+    int64_t t = -1;
+    if (name.size() >= 2 && name[0] == 't') {
+      t = 0;
+      for (size_t i = 1; i < name.size(); ++i) {
+        if (name[i] < '0' || name[i] > '9') {
+          t = -1;
+          break;
+        }
+        t = t * 10 + (name[i] - '0');
+        if (t > std::numeric_limits<int>::max()) {
+          t = -1;
+          break;
+        }
+      }
+    }
+    if (t < 0 || t >= shape.num_timestamps ||
+        shape.edges_per_timestamp[static_cast<size_t>(t)] == 0) {
+      return Status::InvalidArgument(
+          "corrupt archive: unexpected score block '" + name + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status LoadScoreState(ObservedShape& shape, storage::ScoreStore& store,
+                      std::istream& in, const std::string& path,
+                      int64_t legacy_topk) {
   Result<serialize::ArchiveReader> parsed =
       serialize::ArchiveReader::Parse(in);
   if (!parsed.ok()) return parsed.status();
@@ -159,50 +225,129 @@ Status LoadScoreState(ObservedShape& shape, std::vector<nn::Tensor>& scores,
   ObservedShape loaded;
   Status s = ReadShape(reader, loaded);
   if (!s.ok()) return s;
-  std::vector<nn::Tensor> loaded_scores(
-      static_cast<size_t>(loaded.num_timestamps));
+
+  storage::ScoreStore loaded_store;
+  if (reader.HasSection("scores")) {
+    // Pre-sparse archive: dense n x n tensors, compacted on the way in
+    // with the configured truncation. FromDense is deterministic, so a
+    // legacy artifact keeps generating the same edges as one converted
+    // and re-saved.
+    loaded_store.Reset(loaded.num_timestamps);
+    for (int t = 0; t < loaded.num_timestamps; ++t) {
+      if (loaded.edges_per_timestamp[static_cast<size_t>(t)] == 0) continue;
+      Result<nn::Tensor> tensor =
+          reader.GetTensor("scores", ScoreFieldName(t));
+      if (!tensor.ok()) return tensor.status();
+      if (tensor.value().rows() != loaded.num_nodes ||
+          tensor.value().cols() != loaded.num_nodes)
+        return Status::InvalidArgument(
+            "corrupt archive: score matrix of timestamp " +
+            std::to_string(t) + " is not num_nodes x num_nodes");
+      loaded_store.Set(t, storage::SparseScoreRows::FromDense(tensor.value(),
+                                                              legacy_topk));
+    }
+  } else {
+    Result<std::string> format = reader.GetString("score_store", "format");
+    if (!format.ok()) return format.status();
+    Result<int64_t> topk = reader.GetInt("score_store", "score_topk");
+    if (!topk.ok()) return topk.status();
+    if (format.value() == "inline") {
+      loaded_store.Reset(loaded.num_timestamps);
+      for (int t = 0; t < loaded.num_timestamps; ++t) {
+        if (loaded.edges_per_timestamp[static_cast<size_t>(t)] == 0) continue;
+        Result<storage::SparseScoreRows> rows = storage::ReadSparseScores(
+            reader, "sparse_scores", ScoreFieldName(t));
+        if (!rows.ok()) return rows.status();
+        loaded_store.Set(t, std::move(rows).value());
+      }
+    } else if (format.value() == "blocks") {
+      // ArchiveReader::Parse extracts the final "end" token with >> and
+      // leaves its trailing newline in the stream; the block writer took
+      // its base offset *after* that newline, so consume it here.
+      if (in.get() != '\n') {
+        return Status::InvalidArgument(
+            "corrupt archive: no score block payload after the state");
+      }
+      const auto base = in.tellg();
+      if (base < 0) {
+        return Status::IoError(
+            "corrupt archive: cannot locate the score block payload");
+      }
+      Result<storage::BlockFileReader> blocks = Status::Internal("unset");
+      if (path.empty()) {
+        // No backing file (in-memory stream): buffer the payload. Loses
+        // the out-of-core property but keeps the format readable.
+        std::istreambuf_iterator<char> first(in);
+        std::istreambuf_iterator<char> last;
+        std::string payload(first, last);
+        blocks = storage::BlockFileReader::FromBuffer(
+            payload, static_cast<int64_t>(base));
+      } else {
+        blocks = storage::BlockFileReader::OpenFile(
+            path, static_cast<int64_t>(base));
+        // The stream contract leaves `in` past the state either way.
+        in.seekg(0, std::ios::end);
+      }
+      if (!blocks.ok()) return blocks.status();
+      Status names = CheckScoreBlockNames(blocks.value(), loaded);
+      if (!names.ok()) return names;
+      Status sums = blocks.value().VerifyChecksums();
+      if (!sums.ok()) return sums;
+      loaded_store = storage::ScoreStore::FromBlockFile(
+          std::move(blocks).value(), loaded.num_timestamps);
+    } else {
+      return Status::InvalidArgument(
+          "corrupt archive: unknown score_store format '" + format.value() +
+          "'");
+    }
+  }
+
   for (int t = 0; t < loaded.num_timestamps; ++t) {
     if (loaded.edges_per_timestamp[static_cast<size_t>(t)] == 0) continue;
-    Result<nn::Tensor> tensor = reader.GetTensor("scores", ScoreFieldName(t));
-    if (!tensor.ok()) return tensor.status();
-    if (tensor.value().rows() != loaded.num_nodes ||
-        tensor.value().cols() != loaded.num_nodes)
+    if (!loaded_store.has(t)) {
       return Status::InvalidArgument(
-          "corrupt archive: score matrix of timestamp " + std::to_string(t) +
-          " is not num_nodes x num_nodes");
-    loaded_scores[static_cast<size_t>(t)] = std::move(tensor).value();
+          "corrupt archive: no scores for timestamp " + std::to_string(t));
+    }
+    Status check = loaded_store.CheckSnapshot(t, loaded.num_nodes);
+    if (!check.ok()) {
+      return Status::InvalidArgument("corrupt archive: " + check.message());
+    }
   }
   shape = std::move(loaded);
-  scores = std::move(loaded_scores);
+  store = std::move(loaded_store);
   return Status::Ok();
 }
 
 void FitScoresPerSnapshot(
     const graphs::TemporalGraph& observed, const ObservedShape& shape,
-    std::vector<nn::Tensor>& scores,
-    const std::function<nn::Tensor(
+    int64_t score_topk, storage::ScoreStore& store,
+    const std::function<SnapshotScores(
         const std::vector<graphs::TemporalEdge>&)>& fit_snapshot) {
-  scores.assign(static_cast<size_t>(shape.num_timestamps), nn::Tensor());
+  store.Reset(shape.num_timestamps);
   for (int t = 0; t < shape.num_timestamps; ++t) {
     if (shape.edges_per_timestamp[static_cast<size_t>(t)] == 0) continue;
     auto span = observed.EdgesAt(static_cast<graphs::Timestamp>(t));
     std::vector<graphs::TemporalEdge> snap(span.begin(), span.end());
-    scores[static_cast<size_t>(t)] = fit_snapshot(snap);
+    SnapshotScores fitted = fit_snapshot(snap);
+    store.Set(t,
+              storage::SparseScoreRows::FromSubmatrix(
+                  shape.num_nodes, fitted.active, fitted.scores, score_topk));
   }
 }
 
-graphs::TemporalGraph GenerateFromScores(
-    const ObservedShape& shape, const std::vector<nn::Tensor>& scores,
-    Rng& rng) {
+graphs::TemporalGraph GenerateFromScores(const ObservedShape& shape,
+                                         const storage::ScoreStore& store,
+                                         Rng& rng) {
   TGSIM_CHECK_GT(shape.num_nodes, 0);  // Requires a Fit() or LoadState().
-  TGSIM_CHECK_EQ(scores.size(),
-                 static_cast<size_t>(shape.num_timestamps));
+  TGSIM_CHECK_EQ(store.num_timestamps(), shape.num_timestamps);
   std::vector<graphs::TemporalEdge> out;
   for (int t = 0; t < shape.num_timestamps; ++t) {
     int64_t m_t = shape.edges_per_timestamp[static_cast<size_t>(t)];
     if (m_t == 0) continue;
-    SampleEdgesFromScores(scores[static_cast<size_t>(t)], m_t,
-                          static_cast<graphs::Timestamp>(t), rng, &out);
+    TGSIM_CHECK(store.has(t));  // Load validation guarantees presence.
+    const storage::ScoreStore::Lease lease = store.Snapshot(t);
+    SampleEdgesFromScores(lease.view, m_t, static_cast<graphs::Timestamp>(t),
+                          rng, &out);
   }
   return graphs::TemporalGraph::FromEdges(shape.num_nodes,
                                           shape.num_timestamps,

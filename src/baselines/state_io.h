@@ -6,6 +6,7 @@
 
 #include "baselines/generator.h"
 #include "serialize/serialization.h"
+#include "storage/score_store.h"
 
 namespace tgsim::baselines {
 
@@ -39,30 +40,61 @@ void WriteSupportGraph(serialize::ArchiveWriter& writer,
 Result<graphs::TemporalGraph> ReadSupportGraph(
     const serialize::ArchiveReader& reader, const std::string& section);
 
+/// One snapshot's fit result from a score-matrix method: the ascending
+/// list of nodes active in the snapshot and their na x na score
+/// submatrix. Degenerate snapshots (fewer than two active nodes) return a
+/// default-constructed value; the logical full matrix is zero there.
+struct SnapshotScores {
+  std::vector<int> active;
+  nn::Tensor scores;
+};
+
+/// A score model saves as one self-contained text archive while it is
+/// small on BOTH axes (row_ptr alone is O(num_nodes) even at zero nnz);
+/// past either limit the snapshots go into a binary BlockFile payload the
+/// loader mmaps on demand. Deterministic function of the fitted state —
+/// exposed for tests.
+inline constexpr int64_t kInlineScoreNodeLimit = 4096;
+inline constexpr int64_t kInlineScoreNnzLimit = 4096;
+
 /// Complete fitted state of the per-snapshot score-matrix methods
-/// (NetGAN, VGAE, Graphite, SBMGNN): one shape + one edge-score matrix per
-/// timestamp, empty where the snapshot has no edges.
+/// (NetGAN, VGAE, Graphite, SBMGNN): the shape plus one sparse top-k row
+/// set per timestamp (absent where the snapshot has no edges), stored
+/// inline or as a trailing BlockFile by the size rule above. `score_topk`
+/// records the truncation the rows were built with.
 Status SaveScoreState(const ObservedShape& shape,
-                      const std::vector<nn::Tensor>& scores,
+                      const storage::ScoreStore& store, int64_t score_topk,
                       std::ostream& out, const std::string& method);
-Status LoadScoreState(ObservedShape& shape, std::vector<nn::Tensor>& scores,
-                      std::istream& in);
+
+/// Restores the state written by SaveScoreState — and, for backward
+/// compatibility, pre-sparse archives holding dense "scores" tensors,
+/// which are compacted with `legacy_topk` (the generator config's
+/// score_topk) on the way in. `path` names the file `in` reads from; with
+/// a block-format archive and a non-empty path the blocks stay on disk
+/// and are mmap'd per snapshot (the out-of-core path), while an empty
+/// path falls back to buffering the payload in memory. All structural
+/// problems are Status errors, never crashes.
+Status LoadScoreState(ObservedShape& shape, storage::ScoreStore& store,
+                      std::istream& in, const std::string& path,
+                      int64_t legacy_topk);
 
 /// Shared Fit() body of the score-matrix methods: trains `fit_snapshot`
 /// on each timestamp's edges (skipping edge-free snapshots) and fills
-/// `scores` with one matrix per timestamp — the fit-once step whose
-/// output Generate and SaveState consume.
+/// `store` with each snapshot's top-`score_topk` sparse rows — the
+/// fit-once step whose output Generate and SaveState consume.
 void FitScoresPerSnapshot(
     const graphs::TemporalGraph& observed, const ObservedShape& shape,
-    std::vector<nn::Tensor>& scores,
-    const std::function<nn::Tensor(
+    int64_t score_topk, storage::ScoreStore& store,
+    const std::function<SnapshotScores(
         const std::vector<graphs::TemporalEdge>&)>& fit_snapshot);
 
 /// Shared Generate() body of the score-matrix methods: samples each
-/// timestamp's observed edge count from its fitted score matrix.
-graphs::TemporalGraph GenerateFromScores(
-    const ObservedShape& shape, const std::vector<nn::Tensor>& scores,
-    Rng& rng);
+/// timestamp's observed edge count from its fitted sparse score rows,
+/// leasing one snapshot at a time (so block-backed stores page in one
+/// mapping at a time — peak memory O(n + max snapshot nnz)).
+graphs::TemporalGraph GenerateFromScores(const ObservedShape& shape,
+                                         const storage::ScoreStore& store,
+                                         Rng& rng);
 
 }  // namespace tgsim::baselines
 

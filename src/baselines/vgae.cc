@@ -30,6 +30,8 @@ void VgaeConfig::DefineParams(config::ParamBinder& binder) {
   binder.Bind("kl_weight", &kl_weight, "KL term weight");
   binder.Bind("refine_rounds", &refine_rounds,
               "Graphite decoder refinement rounds (Graphite only)");
+  binder.Bind("score_topk", &score_topk,
+              "stored score entries per row (0 = all positive entries)");
 }
 
 TGSIM_CONFIG_IMPLEMENT_PARAMS(VgaeConfig)
@@ -42,16 +44,16 @@ VgaeGenerator::VgaeGenerator(VgaeConfig config, bool graphite)
 void VgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
   shape_.CaptureFrom(observed);
   // Fit-once/serve-many: every snapshot model trains here, and only the
-  // decoded score matrices are kept — Generate never sees the training
-  // graph again.
+  // decoded sparse score rows are kept — Generate never sees the
+  // training graph again.
   FitScoresPerSnapshot(
-      observed, shape_, scores_,
+      observed, shape_, config_.score_topk, store_,
       [&](const std::vector<graphs::TemporalEdge>& snap) {
         return FitSnapshotScores(snap, graphite_, rng);
       });
 }
 
-nn::Tensor VgaeGenerator::FitSnapshotScores(
+SnapshotScores VgaeGenerator::FitSnapshotScores(
     const std::vector<graphs::TemporalEdge>& edges, bool graphite,
     Rng& rng) const {
   const int n = shape_.num_nodes;
@@ -67,7 +69,7 @@ nn::Tensor VgaeGenerator::FitSnapshotScores(
     for (int u = 0; u < n; ++u)
       if (seen[static_cast<size_t>(u)]) active.push_back(u);
   }
-  if (active.size() < 2) return nn::Tensor(n, n);
+  if (active.size() < 2) return {};
   const int na = static_cast<int>(active.size());
   std::vector<int> remap(static_cast<size_t>(n), -1);
   for (int i = 0; i < na; ++i) remap[static_cast<size_t>(active[i])] = i;
@@ -128,27 +130,36 @@ nn::Tensor VgaeGenerator::FitSnapshotScores(
     opt.Step();
   }
 
-  // Deterministic scores from the posterior mean.
+  // Deterministic scores from the posterior mean. The submatrix keeps
+  // its diagonal — FromSubmatrix never stores diagonal entries anyway.
   nn::Var h1 = nn::Relu(nn::MatMul(a_hat, w1));
   nn::Var mu = nn::MatMul(nn::MatMul(a_hat, h1), w_mu);
-  nn::Tensor s_sub = SigmoidTensor(decode(mu).value());
-  nn::Tensor scores(n, n);
-  for (int i = 0; i < na; ++i)
-    for (int j = 0; j < na; ++j)
-      if (i != j) scores.at(active[i], active[j]) = s_sub.at(i, j);
-  return scores;
+  SnapshotScores out;
+  out.scores = SigmoidTensor(decode(mu).value());
+  out.active = std::move(active);
+  return out;
 }
 
 graphs::TemporalGraph VgaeGenerator::Generate(Rng& rng) {
-  return GenerateFromScores(shape_, scores_, rng);
+  return GenerateFromScores(shape_, store_, rng);
 }
 
 Status VgaeGenerator::SaveState(std::ostream& out) const {
-  return SaveScoreState(shape_, scores_, out, name());
+  return SaveScoreState(shape_, store_, config_.score_topk, out, name());
 }
 
 Status VgaeGenerator::LoadState(std::istream& in) {
-  return LoadScoreState(shape_, scores_, in);
+  return LoadState(in, "");
+}
+
+Status VgaeGenerator::LoadState(std::istream& in, const std::string& path) {
+  return LoadScoreState(shape_, store_, in, path, config_.score_topk);
+}
+
+int64_t VgaeGenerator::ResidentStateBytes() const {
+  return static_cast<int64_t>(sizeof(*this)) + store_.ResidentBytes() +
+         static_cast<int64_t>(shape_.edges_per_timestamp.capacity() *
+                              sizeof(int64_t));
 }
 
 GraphiteGenerator::GraphiteGenerator(VgaeConfig config)

@@ -4,8 +4,10 @@
 #include <vector>
 
 #include "baselines/generator.h"
+#include "baselines/state_io.h"
 #include "config/param_map.h"
 #include "nn/tensor.h"
+#include "storage/score_store.h"
 
 namespace tgsim::baselines {
 
@@ -17,6 +19,9 @@ struct VgaeConfig {
   double kl_weight = 1e-2;
   /// Graphite decoder refinement rounds (used by GraphiteGenerator only).
   int refine_rounds = 1;
+  /// Stored score entries per row (0 = keep every positive entry — the
+  /// paper-exact default; preset=fast truncates). See ScoreStore.
+  int64_t score_topk = 0;
 
   void DefineParams(config::ParamBinder& binder);
   Status ApplyParams(const config::ParamMap& params);
@@ -35,13 +40,17 @@ class VgaeGenerator : public TemporalGraphGenerator {
   explicit VgaeGenerator(VgaeConfig config = {});
 
   std::string name() const override { return "VGAE"; }
+  const VgaeConfig& config() const { return config_; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
+  Status LoadState(std::istream& in, const std::string& path) override;
+  int64_t ResidentStateBytes() const override;
 
   /// Dense n x n adjacency + reconstruction per snapshot: the classic
-  /// VGAE memory wall (only UBUNTU exceeds 32 GB at paper scale).
+  /// VGAE memory wall (only UBUNTU exceeds 32 GB at paper scale). Models
+  /// the *original* implementation — this reproduction stays O(nnz).
   int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
                                    int64_t /*t*/) const override {
     return 8 * n * n;
@@ -51,18 +60,18 @@ class VgaeGenerator : public TemporalGraphGenerator {
   /// Graphite shares Fit/Generate and flips only the decoder refinement.
   VgaeGenerator(VgaeConfig config, bool graphite);
 
-  /// Trains on one snapshot and returns the dense edge-score matrix.
+  /// Trains on one snapshot and returns the active-node score submatrix.
   /// `graphite` switches the decoder to the iterative Graphite variant.
-  nn::Tensor FitSnapshotScores(
+  SnapshotScores FitSnapshotScores(
       const std::vector<graphs::TemporalEdge>& edges, bool graphite,
       Rng& rng) const;
 
   VgaeConfig config_;
   bool graphite_ = false;
   ObservedShape shape_;
-  /// Fitted edge-score matrix per timestamp (empty tensor where the
-  /// snapshot has no edges). This is the complete generative state.
-  std::vector<nn::Tensor> scores_;
+  /// Fitted sparse score rows per timestamp (absent where the snapshot
+  /// has no edges). This is the complete generative state.
+  storage::ScoreStore store_;
 };
 
 /// Graphite (Grover et al., ICML'19): VGAE with an iteratively refined

@@ -1,7 +1,9 @@
 #include "datasets/io.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -9,10 +11,112 @@
 
 namespace tgsim::datasets {
 
+namespace {
+
+/// Number of magic bytes (the trailing NUL of the literal is not stored).
+constexpr size_t kMagicBytes = sizeof(kBinaryEdgeListMagic) - 1;
+
+void WriteVarint(std::ostream& out, uint64_t value) {
+  // LEB128: 7 payload bits per byte, high bit set on all but the last.
+  while (value >= 0x80) {
+    out.put(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+/// Zigzag fold: small negative deltas stay small ((n << 1) ^ (n >> 63)).
+uint64_t ZigZag(int64_t n) {
+  return (static_cast<uint64_t>(n) << 1) ^
+         static_cast<uint64_t>(n >> 63);
+}
+
+int64_t UnZigZag(uint64_t z) {
+  return static_cast<int64_t>(z >> 1) ^ -static_cast<int64_t>(z & 1);
+}
+
+Status ReadVarint(std::istream& in, const std::string& path,
+                  uint64_t& value) {
+  value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const int byte = in.get();
+    if (byte < 0)
+      return Status::InvalidArgument("truncated binary edge list: " + path);
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // The tenth byte holds the top single bit; anything above overflows.
+      if (shift == 63 && (byte & 0x7e) != 0)
+        return Status::InvalidArgument(
+            "varint overflows 64 bits in binary edge list: " + path);
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument(
+      "varint runs past 10 bytes in binary edge list: " + path);
+}
+
+/// Body of the binary format after the sniffed magic: varint counts, then
+/// zigzag-varint (u, v, t) deltas against the previous edge (0,0,0 start).
+Result<graphs::TemporalGraph> LoadEdgeListBinary(std::istream& in,
+                                                 const std::string& path) {
+  uint64_t nodes = 0, timestamps = 0, num_edges = 0;
+  for (uint64_t* count : {&nodes, &timestamps, &num_edges}) {
+    Status s = ReadVarint(in, path, *count);
+    if (!s.ok()) return s;
+  }
+  constexpr uint64_t kMaxCount =
+      static_cast<uint64_t>(std::numeric_limits<int>::max());
+  if (nodes == 0 || nodes > kMaxCount || timestamps == 0 ||
+      timestamps > kMaxCount)
+    return Status::InvalidArgument(
+        "binary edge list has out-of-range node/timestamp counts: " + path);
+  std::vector<graphs::TemporalEdge> edges;
+  // A lying edge count fails on the first truncated varint (each edge
+  // needs at least 3 bytes), so only pre-reserve a bounded amount.
+  edges.reserve(static_cast<size_t>(std::min<uint64_t>(num_edges, 1 << 20)));
+  int64_t u = 0, v = 0, t = 0;
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    for (int64_t* field : {&u, &v, &t}) {
+      uint64_t delta = 0;
+      Status s = ReadVarint(in, path, delta);
+      if (!s.ok()) return s;
+      *field += UnZigZag(delta);
+    }
+    if (u < 0 || v < 0 || static_cast<uint64_t>(u) >= nodes ||
+        static_cast<uint64_t>(v) >= nodes)
+      return Status::InvalidArgument(
+          "node id out of range at edge " + std::to_string(i) +
+          " of binary edge list " + path);
+    if (t < 0 || static_cast<uint64_t>(t) >= timestamps)
+      return Status::InvalidArgument(
+          "timestamp out of range at edge " + std::to_string(i) +
+          " of binary edge list " + path);
+    edges.push_back({static_cast<graphs::NodeId>(u),
+                     static_cast<graphs::NodeId>(v),
+                     static_cast<graphs::Timestamp>(t)});
+  }
+  if (in.get() >= 0)
+    return Status::InvalidArgument(
+        "trailing bytes after the last edge in binary edge list: " + path);
+  return graphs::TemporalGraph::FromEdges(static_cast<int>(nodes),
+                                          static_cast<int>(timestamps),
+                                          std::move(edges));
+}
+
+}  // namespace
+
 Result<graphs::TemporalGraph> LoadEdgeList(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in.is_open())
     return Status::IoError("cannot open edge list: " + path);
+
+  // Sniff the binary magic; anything shorter or different is text.
+  char magic[kMagicBytes];
+  if (in.read(magic, static_cast<std::streamsize>(kMagicBytes)) &&
+      std::memcmp(magic, kBinaryEdgeListMagic, kMagicBytes) == 0)
+    return LoadEdgeListBinary(in, path);
+  in.clear();
+  in.seekg(0);
 
   int64_t header_nodes = -1, header_timestamps = -1;
   std::vector<graphs::TemporalEdge> edges;
@@ -114,6 +218,32 @@ void WriteEdgeList(const graphs::TemporalGraph& g, std::ostream& out) {
   out << "# " << g.num_nodes() << " " << g.num_timestamps() << "\n";
   for (const graphs::TemporalEdge& e : g.edges())
     out << e.u << " " << e.v << " " << e.t << "\n";
+}
+
+Status SaveEdgeListBinary(const graphs::TemporalGraph& g,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::IoError("cannot write: " + path);
+  WriteEdgeListBinary(g, out);
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+void WriteEdgeListBinary(const graphs::TemporalGraph& g, std::ostream& out) {
+  out.write(kBinaryEdgeListMagic,
+            static_cast<std::streamsize>(kMagicBytes));
+  WriteVarint(out, static_cast<uint64_t>(g.num_nodes()));
+  WriteVarint(out, static_cast<uint64_t>(g.num_timestamps()));
+  WriteVarint(out, static_cast<uint64_t>(g.edges().size()));
+  int64_t u = 0, v = 0, t = 0;
+  for (const graphs::TemporalEdge& e : g.edges()) {
+    WriteVarint(out, ZigZag(static_cast<int64_t>(e.u) - u));
+    WriteVarint(out, ZigZag(static_cast<int64_t>(e.v) - v));
+    WriteVarint(out, ZigZag(static_cast<int64_t>(e.t) - t));
+    u = e.u;
+    v = e.v;
+    t = e.t;
+  }
 }
 
 }  // namespace tgsim::datasets

@@ -9,9 +9,14 @@
 
 namespace tgsim::datasets {
 
-/// Loads a temporal graph from a whitespace-separated edge-list file.
+/// Magic bytes opening a binary edge-list file (see SaveEdgeListBinary).
+inline constexpr char kBinaryEdgeListMagic[] = "tgsimedg";  // 8 bytes + NUL.
+
+/// Loads a temporal graph from an edge-list file, sniffing the format:
+/// a file opening with kBinaryEdgeListMagic is parsed as the compact
+/// binary format, anything else as whitespace-separated text.
 ///
-/// Format: an optional header line `# <num_nodes> <num_timestamps>`,
+/// Text format: an optional header line `# <num_nodes> <num_timestamps>`,
 /// followed by exactly one `u v t` triple per line. Lines starting with
 /// `%` or empty lines are skipped. Without a header, node/timestamp counts
 /// are inferred as (max id + 1) and timestamps are re-based to start at 0.
@@ -19,9 +24,11 @@ namespace tgsim::datasets {
 /// Malformed input is rejected with the offending line number and path in
 /// the Status message: non-numeric or trailing tokens, negative node ids,
 /// negative timestamps, and ids/timestamps exceeding the header counts.
+/// Binary corruption (truncated varints, out-of-range ids, trailing
+/// bytes) is likewise a Status, never a crash.
 Result<graphs::TemporalGraph> LoadEdgeList(const std::string& path);
 
-/// Writes the graph in the same format (with header) so that
+/// Writes the graph in the same text format (with header) so that
 /// LoadEdgeList(SaveEdgeList(g)) round-trips.
 Status SaveEdgeList(const graphs::TemporalGraph& g, const std::string& path);
 
@@ -29,6 +36,18 @@ Status SaveEdgeList(const graphs::TemporalGraph& g, const std::string& path);
 /// (SaveEdgeList delegates here). The serve daemon uses this to build the
 /// generate-reply payload, which must byte-match a `tgsim generate` file.
 void WriteEdgeList(const graphs::TemporalGraph& g, std::ostream& out);
+
+/// Writes the graph in the compact binary format: the 8-byte magic,
+/// LEB128 varints for num_nodes / num_timestamps / num_edges, then one
+/// zigzag-varint delta triple (u, v, t) per edge against the previous
+/// edge. Edges are written in the graph's canonical (t, u, v) order, so
+/// deltas are small and text -> binary -> text round trips byte-identically.
+/// Typically 3-6x smaller than the text form.
+Status SaveEdgeListBinary(const graphs::TemporalGraph& g,
+                          const std::string& path);
+
+/// Stream form of SaveEdgeListBinary (which delegates here).
+void WriteEdgeListBinary(const graphs::TemporalGraph& g, std::ostream& out);
 
 }  // namespace tgsim::datasets
 

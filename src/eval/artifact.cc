@@ -128,7 +128,7 @@ Result<LoadedArtifact> LoadArtifact(const std::string& path) {
       MakeGenerator(method.value(), params);
   if (!generator.ok()) return generator.status();
 
-  Status state = generator.value()->LoadState(in);
+  Status state = generator.value()->LoadState(in, path);
   if (!state.ok())
     return Status(state.code(),
                   "artifact '" + path + "' state: " + state.message());

@@ -146,20 +146,20 @@ class Registry {
         {"epochs=4", "walks_per_epoch=60"}));
     Reg(ConfiguredSpec<baselines::NetGanGenerator, baselines::NetGanConfig>(
         "NetGAN", "low-rank walk-logit factorization per snapshot (ICML'18)",
-        {"epochs=15"}));
+        {"epochs=15", "score_topk=64"}));
     Reg(PlainSpec<baselines::ErdosRenyiGenerator>(
         "E-R", "Erdos-Renyi snapshots with observed edge counts"));
     Reg(PlainSpec<baselines::BarabasiAlbertGenerator>(
         "B-A", "preferential attachment with observed edge budget"));
     Reg(ConfiguredSpec<baselines::VgaeGenerator, baselines::VgaeConfig>(
         "VGAE", "variational graph autoencoder per snapshot (NeurIPS'16)",
-        {"epochs=10"}));
+        {"epochs=10", "score_topk=64"}));
     Reg(ConfiguredSpec<baselines::GraphiteGenerator, baselines::VgaeConfig>(
         "Graphite", "VGAE with iteratively refined decoder (ICML'19)",
-        {"epochs=10"}));
+        {"epochs=10", "score_topk=64"}));
     Reg(ConfiguredSpec<baselines::SbmGnnGenerator, baselines::SbmGnnConfig>(
         "SBMGNN", "GNN-parameterized stochastic blockmodel (ICML'19)",
-        {"epochs=10"}));
+        {"epochs=10", "score_topk=64"}));
     // Table VII ablation variants (TGAE itself is registered above).
     Reg(TgaeSpec("TGAE-g", core::TgaeVariant::kRandomWalk,
                  "TGAE ablation: ego-graphs degraded to random-walk chains",

@@ -12,7 +12,8 @@ namespace tgsim::serve {
 
 namespace {
 
-/// Artifact file size (the model's budget charge), or an IoError.
+/// Artifact file size (the budget-charge fallback for generators that do
+/// not report ResidentStateBytes), or an IoError.
 Result<int64_t> ArtifactBytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in.is_open())
@@ -64,17 +65,26 @@ ModelCache::Slot* ModelCache::FindSlotLocked(const std::string& name) {
 }
 
 Status ModelCache::LoadSlotLocked(Slot& slot) {
-  Result<int64_t> bytes = ArtifactBytes(slot.spec.path);
-  if (!bytes.ok()) return bytes.status();
-  if (bytes.value() > byte_budget_)
+  Result<int64_t> file_bytes = ArtifactBytes(slot.spec.path);
+  if (!file_bytes.ok()) return file_bytes.status();
+
+  // Load before admission: block-backed artifacts keep their score blocks
+  // on disk, so the true resident footprint is only known once the
+  // generator exists. Methods that cannot report it (-1) are charged the
+  // artifact file size — for inline state the payload *is* the footprint.
+  Result<eval::LoadedArtifact> loaded = eval::LoadArtifact(slot.spec.path);
+  if (!loaded.ok()) return loaded.status();
+  const int64_t resident = loaded.value().generator->ResidentStateBytes();
+  const int64_t charge = resident >= 0 ? resident : file_bytes.value();
+  if (charge > byte_budget_)
     return Status::ResourceExhausted(
-        "artifact needs " + std::to_string(bytes.value()) +
+        "artifact needs " + std::to_string(charge) +
         " bytes but the cache budget is " + std::to_string(byte_budget_) +
         " bytes");
 
   // Evict strictly-least-traffic residents until the newcomer fits. The
   // order is deterministic: ascending requests, ties least-recently-used.
-  while (resident_bytes_ + bytes.value() > byte_budget_) {
+  while (resident_bytes_ + charge > byte_budget_) {
     Slot* victim = nullptr;
     for (Slot& candidate : slots_) {
       if (candidate.resident == nullptr) continue;
@@ -93,18 +103,16 @@ Status ModelCache::LoadSlotLocked(Slot& slot) {
     victim->stats.evictions += 1;
   }
 
-  Result<eval::LoadedArtifact> loaded = eval::LoadArtifact(slot.spec.path);
-  if (!loaded.ok()) return loaded.status();
   auto model = std::make_shared<CachedModel>();
   model->generator = std::move(loaded).value().generator;
   model->method = loaded.value().method;
-  model->bytes = bytes.value();
+  model->bytes = charge;
   slot.resident = std::move(model);
   slot.stats.method = slot.resident->method;
   slot.stats.resident = true;
-  slot.stats.bytes = bytes.value();
+  slot.stats.bytes = charge;
   slot.stats.loads += 1;
-  resident_bytes_ += bytes.value();
+  resident_bytes_ += charge;
   return Status::Ok();
 }
 

@@ -1,0 +1,389 @@
+#include "storage/sparse_rows.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace tgsim::storage {
+
+namespace {
+
+/// One candidate entry during a row build, already in ascending-column
+/// order. The top-k comparator (larger weight first, ties toward the
+/// smaller column) is a strict total order because columns are distinct,
+/// so the selected *set* is unique — membership, not partition order, is
+/// what the build consumes.
+struct Entry {
+  int64_t col;
+  double weight;
+};
+
+bool TopKLess(const Entry& a, const Entry& b) {
+  if (a.weight != b.weight) return a.weight > b.weight;
+  return a.col < b.col;
+}
+
+/// Appends one row to the CSR arrays: keeps the top-k entries of
+/// `candidates` (all positive, ascending by column), stores them in
+/// ascending-column order, and sums the dropped mass in ascending-column
+/// order so the remainder is a deterministic non-negative value (never
+/// total-minus-kept, which can go negative under FP cancellation).
+void AppendRow(std::vector<Entry>& candidates, int64_t topk,
+               std::vector<int64_t>& row_ptr, std::vector<int64_t>& col,
+               std::vector<double>& weight, std::vector<double>& remainder) {
+  double dropped = 0.0;
+  if (topk > 0 && static_cast<int64_t>(candidates.size()) > topk) {
+    std::vector<Entry> order = candidates;
+    std::nth_element(order.begin(), order.begin() + (topk - 1), order.end(),
+                     TopKLess);
+    const Entry& bar = order[static_cast<size_t>(topk) - 1];
+    // Kept = entries strictly better than the k-th under the total order,
+    // plus the k-th itself; everything else feeds the remainder.
+    int64_t kept = 0;
+    std::vector<Entry> stored;
+    stored.reserve(static_cast<size_t>(topk));
+    for (const Entry& e : candidates) {
+      if (TopKLess(e, bar) || (e.col == bar.col && e.weight == bar.weight)) {
+        stored.push_back(e);
+        ++kept;
+      } else {
+        dropped += e.weight;
+      }
+    }
+    TGSIM_CHECK_EQ(kept, topk);
+    for (const Entry& e : stored) {
+      col.push_back(e.col);
+      weight.push_back(e.weight);
+    }
+  } else {
+    for (const Entry& e : candidates) {
+      col.push_back(e.col);
+      weight.push_back(e.weight);
+    }
+  }
+  row_ptr.push_back(static_cast<int64_t>(col.size()));
+  remainder.push_back(dropped);
+}
+
+Status ValidateView(const SparseScoreRowsView& v) {
+  if (v.rows < 0 || v.cols < 0) {
+    return Status::InvalidArgument("sparse score rows: negative shape");
+  }
+  if (v.row_ptr.size() != static_cast<size_t>(v.rows) + 1) {
+    return Status::InvalidArgument(
+        "sparse score rows: row_ptr has " + std::to_string(v.row_ptr.size()) +
+        " entries for " + std::to_string(v.rows) + " rows (want rows+1)");
+  }
+  if (v.row_ptr[0] != 0) {
+    return Status::InvalidArgument(
+        "sparse score rows: row_ptr[0] must be 0, got " +
+        std::to_string(v.row_ptr[0]));
+  }
+  const int64_t nnz = v.row_ptr.back();
+  if (v.col.size() != static_cast<size_t>(nnz) ||
+      v.weight.size() != static_cast<size_t>(nnz)) {
+    return Status::InvalidArgument(
+        "sparse score rows: row_ptr ends at " + std::to_string(nnz) +
+        " but col/weight hold " + std::to_string(v.col.size()) + "/" +
+        std::to_string(v.weight.size()) + " entries");
+  }
+  if (v.remainder.size() != static_cast<size_t>(v.rows)) {
+    return Status::InvalidArgument(
+        "sparse score rows: remainder has " +
+        std::to_string(v.remainder.size()) + " entries for " +
+        std::to_string(v.rows) + " rows");
+  }
+  for (int r = 0; r < v.rows; ++r) {
+    const int64_t begin = v.row_ptr[static_cast<size_t>(r)];
+    const int64_t end = v.row_ptr[static_cast<size_t>(r) + 1];
+    if (begin > end || end > nnz) {
+      return Status::InvalidArgument(
+          "sparse score rows: row_ptr not monotone at row " +
+          std::to_string(r));
+    }
+    int64_t prev = -1;
+    for (int64_t i = begin; i < end; ++i) {
+      const int64_t c = v.col[static_cast<size_t>(i)];
+      if (c < 0 || c >= v.cols) {
+        return Status::InvalidArgument(
+            "sparse score rows: column " + std::to_string(c) + " in row " +
+            std::to_string(r) + " out of range [0, " +
+            std::to_string(v.cols) + ")");
+      }
+      if (c == r) {
+        return Status::InvalidArgument(
+            "sparse score rows: diagonal entry stored in row " +
+            std::to_string(r));
+      }
+      if (c <= prev) {
+        return Status::InvalidArgument(
+            "sparse score rows: columns not strictly ascending in row " +
+            std::to_string(r));
+      }
+      prev = c;
+      const double w = v.weight[static_cast<size_t>(i)];
+      if (!std::isfinite(w) || w <= 0.0) {
+        return Status::InvalidArgument(
+            "sparse score rows: weight at row " + std::to_string(r) +
+            " col " + std::to_string(c) + " must be finite and positive");
+      }
+    }
+    const double rem = v.remainder[static_cast<size_t>(r)];
+    if (!std::isfinite(rem) || rem < 0.0) {
+      return Status::InvalidArgument(
+          "sparse score rows: remainder of row " + std::to_string(r) +
+          " must be finite and non-negative");
+    }
+  }
+  return Status::Ok();
+}
+
+bool FitsInt(int64_t v) {
+  return v >= 0 && v <= std::numeric_limits<int>::max();
+}
+
+}  // namespace
+
+SparseScoreRows SparseScoreRows::FromDense(const nn::Tensor& scores,
+                                           int64_t topk) {
+  TGSIM_CHECK_EQ(scores.rows(), scores.cols());
+  const int n = scores.rows();
+  SparseScoreRows out;
+  out.rows_ = n;
+  out.cols_ = n;
+  out.row_ptr_.reserve(static_cast<size_t>(n) + 1);
+  out.row_ptr_.push_back(0);
+  out.remainder_.reserve(static_cast<size_t>(n));
+  std::vector<Entry> candidates;
+  for (int r = 0; r < n; ++r) {
+    candidates.clear();
+    const nn::Scalar* row = scores.row(r);
+    for (int c = 0; c < n; ++c) {
+      if (c == r) continue;
+      const double w = std::max(0.0, static_cast<double>(row[c]));
+      if (w > 0.0) candidates.push_back(Entry{c, w});
+    }
+    AppendRow(candidates, topk, out.row_ptr_, out.col_, out.weight_,
+              out.remainder_);
+  }
+  return out;
+}
+
+SparseScoreRows SparseScoreRows::FromSubmatrix(int num_nodes,
+                                               const std::vector<int>& active,
+                                               const nn::Tensor& sub,
+                                               int64_t topk) {
+  const int na = static_cast<int>(active.size());
+  TGSIM_CHECK_EQ(sub.rows(), na);
+  TGSIM_CHECK_EQ(sub.cols(), na);
+  for (int i = 0; i < na; ++i) {
+    TGSIM_CHECK(active[static_cast<size_t>(i)] >= 0 &&
+                active[static_cast<size_t>(i)] < num_nodes);
+    if (i > 0) {
+      // Ascending active list keeps the scattered columns ascending, which
+      // is what makes this equal to FromDense of the embedded matrix.
+      TGSIM_CHECK(active[static_cast<size_t>(i) - 1] <
+                  active[static_cast<size_t>(i)]);
+    }
+  }
+  SparseScoreRows out;
+  out.rows_ = num_nodes;
+  out.cols_ = num_nodes;
+  out.row_ptr_.reserve(static_cast<size_t>(num_nodes) + 1);
+  out.row_ptr_.push_back(0);
+  out.remainder_.reserve(static_cast<size_t>(num_nodes));
+  std::vector<Entry> candidates;
+  int next_active = 0;
+  for (int r = 0; r < num_nodes; ++r) {
+    candidates.clear();
+    if (next_active < na && active[static_cast<size_t>(next_active)] == r) {
+      const int i = next_active++;
+      const nn::Scalar* row = sub.row(i);
+      for (int j = 0; j < na; ++j) {
+        const int c = active[static_cast<size_t>(j)];
+        if (c == r) continue;
+        const double w = std::max(0.0, static_cast<double>(row[j]));
+        if (w > 0.0) candidates.push_back(Entry{c, w});
+      }
+    }
+    AppendRow(candidates, topk, out.row_ptr_, out.col_, out.weight_,
+              out.remainder_);
+  }
+  return out;
+}
+
+Result<SparseScoreRows> SparseScoreRows::FromParts(
+    int rows, int cols, std::vector<int64_t> row_ptr,
+    std::vector<int64_t> col, std::vector<double> weight,
+    std::vector<double> remainder) {
+  SparseScoreRows out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_ptr_ = std::move(row_ptr);
+  out.col_ = std::move(col);
+  out.weight_ = std::move(weight);
+  out.remainder_ = std::move(remainder);
+  Status check = ValidateView(out.View());
+  if (!check.ok()) return check;
+  return out;
+}
+
+SparseScoreRows SparseScoreRows::CopyOf(const SparseScoreRowsView& view) {
+  SparseScoreRows out;
+  out.rows_ = view.rows;
+  out.cols_ = view.cols;
+  out.row_ptr_.assign(view.row_ptr.begin(), view.row_ptr.end());
+  out.col_.assign(view.col.begin(), view.col.end());
+  out.weight_.assign(view.weight.begin(), view.weight.end());
+  out.remainder_.assign(view.remainder.begin(), view.remainder.end());
+  return out;
+}
+
+int64_t SparseScoreRows::ResidentBytes() const {
+  return static_cast<int64_t>(sizeof(*this)) +
+         static_cast<int64_t>(row_ptr_.capacity() * sizeof(int64_t)) +
+         static_cast<int64_t>(col_.capacity() * sizeof(int64_t)) +
+         static_cast<int64_t>(weight_.capacity() * sizeof(double)) +
+         static_cast<int64_t>(remainder_.capacity() * sizeof(double));
+}
+
+namespace {
+
+// Block layout: i64 rows, i64 cols, i64 nnz, then row_ptr[rows+1],
+// col[nnz] (both i64), weight[nnz], remainder[rows] (both f64) — all
+// host-endian 8-byte values, so the block is 8-byte aligned end to end.
+constexpr size_t kBlockHeaderBytes = 24;
+
+size_t ScoreBlockBytes(int64_t rows, int64_t nnz) {
+  return kBlockHeaderBytes +
+         static_cast<size_t>(rows + 1) * sizeof(int64_t) +
+         static_cast<size_t>(nnz) * (sizeof(int64_t) + sizeof(double)) +
+         static_cast<size_t>(rows) * sizeof(double);
+}
+
+}  // namespace
+
+std::string EncodeScoreBlock(const SparseScoreRowsView& rows) {
+  const int64_t r = rows.rows;
+  const int64_t c = rows.cols;
+  const int64_t nnz = rows.nnz();
+  std::string out;
+  out.resize(ScoreBlockBytes(r, nnz));
+  char* p = out.data();
+  auto put = [&p](const void* src, size_t bytes) {
+    std::memcpy(p, src, bytes);
+    p += bytes;
+  };
+  put(&r, sizeof(r));
+  put(&c, sizeof(c));
+  put(&nnz, sizeof(nnz));
+  put(rows.row_ptr.data(), rows.row_ptr.size() * sizeof(int64_t));
+  put(rows.col.data(), rows.col.size() * sizeof(int64_t));
+  put(rows.weight.data(), rows.weight.size() * sizeof(double));
+  put(rows.remainder.data(), rows.remainder.size() * sizeof(double));
+  TGSIM_CHECK_EQ(static_cast<size_t>(p - out.data()), out.size());
+  return out;
+}
+
+Result<SparseScoreRowsView> DecodeScoreBlock(const void* data, size_t size) {
+  if (reinterpret_cast<uintptr_t>(data) % alignof(int64_t) != 0) {
+    return Status::InvalidArgument(
+        "score block: payload is not 8-byte aligned");
+  }
+  if (size < kBlockHeaderBytes) {
+    return Status::InvalidArgument(
+        "score block: " + std::to_string(size) +
+        " bytes is too small for the 24-byte header");
+  }
+  int64_t header[3];
+  std::memcpy(header, data, sizeof(header));
+  const int64_t rows = header[0];
+  const int64_t cols = header[1];
+  const int64_t nnz = header[2];
+  if (!FitsInt(rows) || !FitsInt(cols) || nnz < 0) {
+    return Status::InvalidArgument(
+        "score block: implausible shape rows=" + std::to_string(rows) +
+        " cols=" + std::to_string(cols) + " nnz=" + std::to_string(nnz));
+  }
+  // Guard the size formula against overflow before trusting nnz.
+  const int64_t max_elems =
+      static_cast<int64_t>(std::numeric_limits<int64_t>::max() / 16);
+  if (nnz > max_elems || rows > max_elems) {
+    return Status::InvalidArgument("score block: implausible element count");
+  }
+  const size_t want = ScoreBlockBytes(rows, nnz);
+  if (size != want) {
+    return Status::InvalidArgument(
+        "score block: holds " + std::to_string(size) + " bytes but header " +
+        "declares " + std::to_string(want));
+  }
+  const char* p = static_cast<const char*>(data) + kBlockHeaderBytes;
+  SparseScoreRowsView view;
+  view.rows = static_cast<int>(rows);
+  view.cols = static_cast<int>(cols);
+  view.row_ptr = std::span<const int64_t>(
+      reinterpret_cast<const int64_t*>(p), static_cast<size_t>(rows) + 1);
+  p += (static_cast<size_t>(rows) + 1) * sizeof(int64_t);
+  view.col = std::span<const int64_t>(reinterpret_cast<const int64_t*>(p),
+                                      static_cast<size_t>(nnz));
+  p += static_cast<size_t>(nnz) * sizeof(int64_t);
+  view.weight = std::span<const double>(reinterpret_cast<const double*>(p),
+                                        static_cast<size_t>(nnz));
+  p += static_cast<size_t>(nnz) * sizeof(double);
+  view.remainder = std::span<const double>(
+      reinterpret_cast<const double*>(p), static_cast<size_t>(rows));
+  Status check = ValidateView(view);
+  if (!check.ok()) return check;
+  return view;
+}
+
+void WriteSparseScores(serialize::ArchiveWriter& writer,
+                       const std::string& prefix,
+                       const SparseScoreRowsView& rows) {
+  writer.WriteInt(prefix + "_rows", rows.rows);
+  writer.WriteInt(prefix + "_cols", rows.cols);
+  writer.WriteIntVector(
+      prefix + "_ptr",
+      std::vector<int64_t>(rows.row_ptr.begin(), rows.row_ptr.end()));
+  writer.WriteIntVector(
+      prefix + "_col", std::vector<int64_t>(rows.col.begin(), rows.col.end()));
+  writer.WriteDoubleVector(
+      prefix + "_w",
+      std::vector<double>(rows.weight.begin(), rows.weight.end()));
+  writer.WriteDoubleVector(
+      prefix + "_rem",
+      std::vector<double>(rows.remainder.begin(), rows.remainder.end()));
+}
+
+Result<SparseScoreRows> ReadSparseScores(
+    const serialize::ArchiveReader& reader, const std::string& section,
+    const std::string& prefix) {
+  auto rows = reader.GetInt(section, prefix + "_rows");
+  if (!rows.ok()) return rows.status();
+  auto cols = reader.GetInt(section, prefix + "_cols");
+  if (!cols.ok()) return cols.status();
+  if (!FitsInt(rows.value()) || !FitsInt(cols.value())) {
+    return Status::InvalidArgument(
+        "sparse score rows: shape " + std::to_string(rows.value()) + " x " +
+        std::to_string(cols.value()) + " does not fit in int");
+  }
+  auto ptr = reader.GetIntVector(section, prefix + "_ptr");
+  if (!ptr.ok()) return ptr.status();
+  auto col = reader.GetIntVector(section, prefix + "_col");
+  if (!col.ok()) return col.status();
+  auto w = reader.GetDoubleVector(section, prefix + "_w");
+  if (!w.ok()) return w.status();
+  auto rem = reader.GetDoubleVector(section, prefix + "_rem");
+  if (!rem.ok()) return rem.status();
+  return SparseScoreRows::FromParts(
+      static_cast<int>(rows.value()), static_cast<int>(cols.value()),
+      std::move(ptr).value(), std::move(col).value(), std::move(w).value(),
+      std::move(rem).value());
+}
+
+}  // namespace tgsim::storage

@@ -1,0 +1,139 @@
+#ifndef TGSIM_STORAGE_SPARSE_ROWS_H_
+#define TGSIM_STORAGE_SPARSE_ROWS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/tensor.h"
+#include "serialize/serialization.h"
+
+namespace tgsim::storage {
+
+/// Non-owning CSR view over one snapshot's sparse score rows. The score
+/// methods' generation path consumes this instead of `Tensor::at`: alias
+/// tables build directly over a row's (col, weight) entries, so sampling
+/// cost scales with the stored entries (O(nnz)), not with n^2.
+///
+/// Invariants (enforced by every construction path):
+///   - row_ptr has rows+1 monotone entries, row_ptr[0] == 0;
+///   - cols are in [0, cols) and strictly ascending within a row, never the
+///     diagonal;
+///   - weights are finite and strictly positive;
+///   - remainder[r] >= 0 is the score mass the top-k truncation dropped
+///     from row r (exactly 0.0 when the row was stored untruncated).
+struct SparseScoreRowsView {
+  int rows = 0;
+  int cols = 0;
+  std::span<const int64_t> row_ptr;   // size rows + 1
+  std::span<const int64_t> col;       // size nnz, ascending per row
+  std::span<const double> weight;     // size nnz, > 0
+  std::span<const double> remainder;  // size rows, truncated mass per row
+
+  int64_t nnz() const { return row_ptr.empty() ? 0 : row_ptr.back(); }
+
+  /// One row's stored entries + its truncated remainder mass.
+  struct Row {
+    std::span<const int64_t> cols;
+    std::span<const double> weights;
+    double remainder = 0.0;
+  };
+  Row row(int r) const {
+    const auto begin = static_cast<size_t>(row_ptr[static_cast<size_t>(r)]);
+    const auto end = static_cast<size_t>(row_ptr[static_cast<size_t>(r) + 1]);
+    return Row{col.subspan(begin, end - begin),
+               weight.subspan(begin, end - begin),
+               remainder[static_cast<size_t>(r)]};
+  }
+};
+
+/// Owning per-snapshot score container: each row's top-k (score, col)
+/// pairs plus the row-mass remainder the truncation dropped. The build is
+/// a deterministic function of the input scores and `topk` — selection
+/// keeps the k largest weights (ties broken toward the smaller column) and
+/// stores them in ascending-column order, so rebuilding from the same
+/// dense matrix always yields bit-identical arrays.
+class SparseScoreRows {
+ public:
+  SparseScoreRows() = default;
+
+  /// Compacts a dense n x n score matrix: entry (r, c) contributes weight
+  /// max(0, scores(r, c)) off the diagonal; zero and diagonal entries are
+  /// never stored. `topk <= 0` keeps every positive entry (no truncation,
+  /// remainder exactly 0) — the preset=paper path. With `topk >= n` the
+  /// result is identical to the untruncated build, which is what makes
+  /// sparse and dense generation draw the same edges.
+  static SparseScoreRows FromDense(const nn::Tensor& scores, int64_t topk);
+
+  /// Compacts an active-submatrix fit result: the logical n x n matrix has
+  /// sub(i, j) at (active[i], active[j]) and zero elsewhere. Equivalent to
+  /// (but never materializing) FromDense of the embedded matrix: `active`
+  /// is ascending, so scattered entries keep ascending-column order.
+  static SparseScoreRows FromSubmatrix(int num_nodes,
+                                       const std::vector<int>& active,
+                                       const nn::Tensor& sub, int64_t topk);
+
+  /// Validates and adopts raw CSR arrays (the deserialization path).
+  /// InvalidArgument on any invariant violation, never a crash.
+  static Result<SparseScoreRows> FromParts(int rows, int cols,
+                                           std::vector<int64_t> row_ptr,
+                                           std::vector<int64_t> col,
+                                           std::vector<double> weight,
+                                           std::vector<double> remainder);
+
+  /// Deep copy of a (possibly mmap-backed) view.
+  static SparseScoreRows CopyOf(const SparseScoreRowsView& view);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t nnz() const { return row_ptr_.empty() ? 0 : row_ptr_.back(); }
+  bool empty() const { return rows_ == 0; }
+
+  SparseScoreRowsView View() const {
+    return SparseScoreRowsView{rows_, cols_, row_ptr_, col_, weight_,
+                               remainder_};
+  }
+
+  /// Heap footprint of the owned arrays, in bytes.
+  int64_t ResidentBytes() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_;
+  std::vector<double> weight_;
+  std::vector<double> remainder_;
+};
+
+/// Binary block codec (the BlockFile payload): a fixed header
+/// (rows, cols, nnz as int64) followed by the row_ptr/col/weight/remainder
+/// arrays, all host-endian 8-byte values. DecodeScoreBlock returns a
+/// zero-copy view into `data` (which must be 8-byte aligned and outlive
+/// the view — the BlockFile reader guarantees both) after fully validating
+/// the CSR invariants, so corruption surfaces as InvalidArgument at load
+/// time, never as a crash in the sampler.
+std::string EncodeScoreBlock(const SparseScoreRowsView& rows);
+Result<SparseScoreRowsView> DecodeScoreBlock(const void* data, size_t size);
+
+/// Archive-section form of one snapshot's sparse rows: writes
+/// `<prefix>_rows/_cols/_ptr/_col/_w/_rem` fields into the writer's
+/// current section. This is the all-text storage small models use (one
+/// self-contained archive, no binary payload); large models go through
+/// EncodeScoreBlock + BlockFile instead.
+void WriteSparseScores(serialize::ArchiveWriter& writer,
+                       const std::string& prefix,
+                       const SparseScoreRowsView& rows);
+
+/// Reads the fields written by WriteSparseScores, re-validating every CSR
+/// invariant (NotFound for missing fields, InvalidArgument for corrupt
+/// data).
+Result<SparseScoreRows> ReadSparseScores(
+    const serialize::ArchiveReader& reader, const std::string& section,
+    const std::string& prefix);
+
+}  // namespace tgsim::storage
+
+#endif  // TGSIM_STORAGE_SPARSE_ROWS_H_

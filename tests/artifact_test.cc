@@ -229,6 +229,85 @@ TEST(ArtifactErrorTest, LoadTruncatedArtifactIsAnErrorNotACrash) {
   std::filesystem::remove(path);
 }
 
+/// Fits a score-matrix method whose fast-preset state is large enough to
+/// ride as a trailing BlockFile, saves it, and returns the path.
+std::string SaveBlockBackedArtifact(const std::string& tag) {
+  config::ParamMap params;
+  params.Override("preset", "fast");
+  auto gen = std::move(MakeGenerator("NetGAN", params)).value();
+  {
+    graphs::TemporalGraph observed =
+        datasets::MakeMimicByName("DBLP", 0.03, 5);
+    Rng rng(3);
+    gen->Fit(observed, rng);
+  }
+  std::string path = ArtifactPath(tag);
+  EXPECT_TRUE(SaveArtifact(*gen, "NetGAN", params, path).ok());
+  // The artifact really holds a block container (the corruption tests
+  // below poke at its region).
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_NE(bytes.find("tgsimblk"), std::string::npos);
+  return path;
+}
+
+TEST(ArtifactErrorTest, TruncatedBlockPayloadIsAnErrorNotACrash) {
+  std::string path = SaveBlockBackedArtifact("block_truncated");
+  auto size = std::filesystem::file_size(path);
+  ASSERT_GT(size, 256u);
+  std::filesystem::resize_file(path, size - 128);
+  Status s = LoadArtifact(path).status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  std::filesystem::remove(path);
+}
+
+TEST(ArtifactErrorTest, FlippedBlockByteFailsTheChecksum) {
+  std::string path = SaveBlockBackedArtifact("block_flipped");
+  {
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    std::string bytes((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+    // First byte of the first block: the first 8-aligned absolute offset
+    // past the container's 16-byte header.
+    const size_t base = bytes.find("tgsimblk");
+    ASSERT_NE(base, std::string::npos);
+    const size_t first_block = (base + 16 + 7) / 8 * 8;
+    file.clear();
+    file.seekp(static_cast<std::streamoff>(first_block));
+    char flipped = static_cast<char>(bytes[first_block] ^ 0x4);
+    file.write(&flipped, 1);
+  }
+  Status s = LoadArtifact(path).status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  EXPECT_NE(s.message().find("checksum"), std::string::npos) << s.ToString();
+  std::filesystem::remove(path);
+}
+
+TEST(ArtifactErrorTest, WrongBlockContainerVersionIsInvalidArgument) {
+  std::string path = SaveBlockBackedArtifact("block_version");
+  {
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    std::string bytes((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+    const size_t base = bytes.find("tgsimblk");
+    ASSERT_NE(base, std::string::npos);
+    const int64_t version = 99;
+    file.clear();
+    file.seekp(static_cast<std::streamoff>(base + 8));
+    file.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  }
+  Status s = LoadArtifact(path).status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  EXPECT_NE(s.message().find("version"), std::string::npos) << s.ToString();
+  std::filesystem::remove(path);
+}
+
 TEST(ArtifactErrorTest, DefaultSaveStateIsInvalidArgument) {
   // Custom registrations without persistence keep constructing and
   // running; only the artifact path reports Unimplemented-style errors.

@@ -1,4 +1,6 @@
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include "datasets/io.h"
@@ -287,6 +289,130 @@ TEST(IoTest, HeaderViolationIsError) {
   EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
       << r.status().message();
   EXPECT_NE(r.status().message().find(path), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Binary edge-list format.
+// ---------------------------------------------------------------------------
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(BinaryIoTest, RoundTripsThroughDiskViaSniffing) {
+  graphs::TemporalGraph g = MakeMimicByName("DBLP", 0.03, 9);
+  std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(g, path).ok());
+  // LoadEdgeList takes the same path as for text files and sniffs the magic.
+  Result<graphs::TemporalGraph> loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.value().num_timestamps(), g.num_timestamps());
+  ASSERT_EQ(loaded.value().num_edges(), g.num_edges());
+  for (size_t i = 0; i < g.edges().size(); ++i)
+    EXPECT_TRUE(loaded.value().edges()[i] == g.edges()[i]);
+}
+
+TEST(BinaryIoTest, TextBinaryTextIsByteIdentical) {
+  graphs::TemporalGraph g = MakeMimicByName("MSG", 0.02, 21);
+  std::string text1 = TempPath("t1.txt");
+  std::string bin = TempPath("t1.bin");
+  std::string text2 = TempPath("t2.txt");
+  ASSERT_TRUE(SaveEdgeList(g, text1).ok());
+  Result<graphs::TemporalGraph> from_text = LoadEdgeList(text1);
+  ASSERT_TRUE(from_text.ok());
+  ASSERT_TRUE(SaveEdgeListBinary(from_text.value(), bin).ok());
+  Result<graphs::TemporalGraph> from_bin = LoadEdgeList(bin);
+  ASSERT_TRUE(from_bin.ok()) << from_bin.status().ToString();
+  ASSERT_TRUE(SaveEdgeList(from_bin.value(), text2).ok());
+  EXPECT_EQ(ReadFileBytes(text1), ReadFileBytes(text2));
+}
+
+TEST(BinaryIoTest, BinaryIsSmallerThanText) {
+  graphs::TemporalGraph g = MakeMimicByName("DBLP", 0.05, 3);
+  std::string text = TempPath("size.txt");
+  std::string bin = TempPath("size.bin");
+  ASSERT_TRUE(SaveEdgeList(g, text).ok());
+  ASSERT_TRUE(SaveEdgeListBinary(g, bin).ok());
+  EXPECT_LT(ReadFileBytes(bin).size(), ReadFileBytes(text).size());
+}
+
+TEST(BinaryIoTest, TruncatedFileIsInvalidArgument) {
+  graphs::TemporalGraph g = MakeMimicByName("DBLP", 0.03, 9);
+  std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(g, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Cut mid-stream: the decoder hits a truncated varint, never crashes.
+  WriteFileBytes(path, bytes.substr(0, bytes.size() / 2));
+  Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(BinaryIoTest, TrailingBytesAreInvalidArgument) {
+  graphs::TemporalGraph g = MakeMimicByName("DBLP", 0.03, 9);
+  std::string path = TempPath("trail.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(g, path).ok());
+  WriteFileBytes(path, ReadFileBytes(path) + std::string("\x00", 1));
+  Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("trailing bytes"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(BinaryIoTest, OutOfRangeNodeIdIsInvalidArgument) {
+  // Hand-build: magic, nodes=2, timestamps=1, edges=1, then the triple
+  // (5, 0, 0) zigzag-encoded (5 -> 10); node 5 exceeds the declared count.
+  std::string bytes(kBinaryEdgeListMagic, sizeof(kBinaryEdgeListMagic) - 1);
+  bytes += '\x02';
+  bytes += '\x01';
+  bytes += '\x01';
+  bytes += '\x0a';
+  bytes += '\x00';
+  bytes += '\x00';
+  std::string path = TempPath("badnode.bin");
+  WriteFileBytes(path, bytes);
+  Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("node id out of range"),
+            std::string::npos)
+      << r.status().message();
+}
+
+TEST(BinaryIoTest, ZeroCountsAreInvalidArgument) {
+  std::string bytes(kBinaryEdgeListMagic, sizeof(kBinaryEdgeListMagic) - 1);
+  bytes += '\x00';  // num_nodes = 0.
+  bytes += '\x01';
+  bytes += '\x00';
+  std::string path = TempPath("zeronodes.bin");
+  WriteFileBytes(path, bytes);
+  Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("out-of-range"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(BinaryIoTest, OverlongVarintIsInvalidArgument) {
+  // Eleven continuation bytes: no varint may run past ten bytes.
+  std::string bytes(kBinaryEdgeListMagic, sizeof(kBinaryEdgeListMagic) - 1);
+  bytes += std::string(11, '\x80');
+  std::string path = TempPath("overlong.bin");
+  WriteFileBytes(path, bytes);
+  Result<graphs::TemporalGraph> r = LoadEdgeList(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

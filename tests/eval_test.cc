@@ -3,6 +3,7 @@
 
 #include "common/check.h"
 #include "baselines/er_ba.h"
+#include "baselines/vgae.h"
 #include "config/param_map.h"
 #include "core/tgae.h"
 #include "datasets/synthetic.h"
@@ -97,9 +98,11 @@ TEST(RegistryTest, ParamsOverrideConfigFields) {
 
 TEST(RegistryTest, FastPresetReproducesOldEffortConfigs) {
   // The preset=fast overlays stay pinned: the PR 3 Effort::kFast shrink
-  // plus (for the TGAE family) the sparse candidate-set decoder. The
-  // paper preset intentionally stays dense — see
-  // RegistryTest.SparseDecoderKnobsArePinned.
+  // plus (for the TGAE family) the sparse candidate-set decoder and (for
+  // the score-matrix methods) the truncated sparse score store. The
+  // paper preset intentionally stays dense/untruncated — see
+  // RegistryTest.SparseDecoderKnobsArePinned and
+  // RegistryTest.ScoreTopkKnobsArePinned.
   const std::string tgae_fast =
       "epochs=5 batch_centers=16 sparse_decoder=true";
   const std::vector<std::pair<std::string, std::string>> expected = {
@@ -108,12 +111,12 @@ TEST(RegistryTest, FastPresetReproducesOldEffortConfigs) {
       {"DYMOND", ""},
       {"TGGAN", "iterations=8 batch_walks=12"},
       {"TagGen", "epochs=4 walks_per_epoch=60"},
-      {"NetGAN", "epochs=15"},
+      {"NetGAN", "epochs=15 score_topk=64"},
       {"E-R", ""},
       {"B-A", ""},
-      {"VGAE", "epochs=10"},
-      {"Graphite", "epochs=10"},
-      {"SBMGNN", "epochs=10"},
+      {"VGAE", "epochs=10 score_topk=64"},
+      {"Graphite", "epochs=10 score_topk=64"},
+      {"SBMGNN", "epochs=10 score_topk=64"},
       {"TGAE-g", tgae_fast},
       {"TGAE-t", tgae_fast},
       {"TGAE-n", tgae_fast},
@@ -167,6 +170,36 @@ TEST(RegistryTest, SparseDecoderKnobsArePinned) {
   ASSERT_NE(sparse, nullptr);
   EXPECT_TRUE(sparse->config().sparse_decoder);
   EXPECT_GT(sparse->config().negative_samples, 0);
+}
+
+TEST(RegistryTest, ScoreTopkKnobsArePinned) {
+  // The sparse score store is part of the schema for every score-matrix
+  // method; preset=fast truncates rows to their top-64 entries, while
+  // preset=paper must keep score_topk=0 — every positive entry stored,
+  // the paper-exact distribution — for the paper-table benches.
+  for (const std::string& name :
+       {std::string("NetGAN"), std::string("VGAE"), std::string("Graphite"),
+        std::string("SBMGNN")}) {
+    const MethodSpec* spec = FindMethod(name);
+    ASSERT_NE(spec, nullptr) << name;
+    const config::ParamSpec* topk = spec->schema.Find("score_topk");
+    ASSERT_NE(topk, nullptr) << name;
+    EXPECT_EQ(topk->type, config::ParamType::kInt64) << name;
+    EXPECT_EQ(topk->default_value, "0") << name;
+    EXPECT_NE(spec->fast_preset.ToString().find("score_topk=64"),
+              std::string::npos)
+        << name;
+  }
+  auto paper = MakeGenerator("VGAE", Params({"preset=paper"}));
+  ASSERT_TRUE(paper.ok());
+  auto* dense = dynamic_cast<baselines::VgaeGenerator*>(paper.value().get());
+  ASSERT_NE(dense, nullptr);
+  EXPECT_EQ(dense->config().score_topk, 0);
+  auto fast = MakeGenerator("VGAE", Params({"preset=fast"}));
+  ASSERT_TRUE(fast.ok());
+  auto* sparse = dynamic_cast<baselines::VgaeGenerator*>(fast.value().get());
+  ASSERT_NE(sparse, nullptr);
+  EXPECT_EQ(sparse->config().score_topk, 64);
 }
 
 TEST(RegistryTest, ExplicitParamWinsOverPreset) {

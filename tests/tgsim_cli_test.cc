@@ -1,4 +1,6 @@
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -339,6 +341,60 @@ TEST(TgsimCliTest, ThreadsFlagRejectsBadValues) {
                     "--output", TempPath("x.txt"), "--threads", "lots"})
                 .code,
             2);
+}
+
+TEST(TgsimCliTest, ConvertRoundTripsTextAndBinary) {
+  std::string text1 = TempPath("cli_conv.txt");
+  std::string bin = TempPath("cli_conv.bin");
+  std::string text2 = TempPath("cli_conv2.txt");
+  CliResult gen = RunCli({"generate", "--method", "E-R", "--synthetic",
+                          "DBLP", "--scale", "0.04", "--output", text1,
+                          "--seed", "11"});
+  ASSERT_EQ(gen.code, 0) << gen.out;
+  CliResult to_bin = RunCli(
+      {"convert", "--input", text1, "--output", bin, "--to", "binary"});
+  EXPECT_EQ(to_bin.code, 0) << to_bin.out;
+  EXPECT_NE(to_bin.out.find("wrote binary edge list"), std::string::npos)
+      << to_bin.out;
+  CliResult to_text = RunCli(
+      {"convert", "--input", bin, "--output", text2, "--to", "text"});
+  EXPECT_EQ(to_text.code, 0) << to_text.out;
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(slurp(text1), slurp(text2));
+  EXPECT_LT(slurp(bin).size(), slurp(text1).size());
+
+  // Downstream commands read the binary file through the same sniffing
+  // load path.
+  CliResult stats = RunCli({"stats", "--input", bin});
+  EXPECT_EQ(stats.code, 0) << stats.out;
+}
+
+TEST(TgsimCliTest, ConvertRejectsBadInvocations) {
+  std::string text = TempPath("cli_conv_bad.txt");
+  CliResult gen = RunCli({"generate", "--method", "E-R", "--synthetic",
+                          "DBLP", "--scale", "0.03", "--output", text,
+                          "--seed", "5"});
+  ASSERT_EQ(gen.code, 0) << gen.out;
+  std::string out = TempPath("cli_conv_bad.bin");
+  // Unknown target format.
+  EXPECT_EQ(RunCli({"convert", "--input", text, "--output", out, "--to",
+                    "csv"})
+                .code,
+            2);
+  // Missing required flags.
+  EXPECT_EQ(RunCli({"convert", "--input", text, "--to", "binary"}).code, 2);
+  EXPECT_EQ(RunCli({"convert", "--output", out, "--to", "binary"}).code, 2);
+  EXPECT_EQ(RunCli({"convert", "--input", text, "--output", out}).code, 2);
+  // Unreadable input is a runtime failure, not a usage error.
+  EXPECT_EQ(RunCli({"convert", "--input", "/nonexistent/in.txt", "--output",
+                    out, "--to", "binary"})
+                .code,
+            1);
 }
 
 }  // namespace
