@@ -6,7 +6,7 @@ Usage: check_bench_regression.py COMMITTED.json FRESH.json \
 
 Positional arguments are (committed, fresh) file pairs — one per
 benchmark suite (BENCH_generation.json, BENCH_kernels.json,
-BENCH_storage.json). Two checks:
+BENCH_storage.json, BENCH_update.json). Two checks:
 
 1. Trajectory (per pair): every benchmark present in the committed file
    must exist in the fresh run and reach at least R (default 0.25) of its
@@ -27,7 +27,9 @@ BENCH_storage.json). Two checks:
        TagGen per-walk start path; in practice orders of magnitude), and
      - BM_SparseScoreSampling/4096/64 >= 5x BM_DenseScoreSamplingRef/4096
        (the PR-8 storage bar: sparse top-k rows vs the flat n^2 alias
-       rebuild they replaced).
+       rebuild they replaced), and
+     - BM_UpdateTigger >= 2x BM_FullRefitTiggerRef (the incremental-fit
+       bar: restore state + Update(delta) vs refitting the full stream).
 """
 
 import argparse
@@ -38,6 +40,10 @@ HARD_RATIO_GATES = [
     ("BM_DymondDrawLoopAlias/1048576", "BM_DymondDrawLoopCdfRef/1048576", 5.0),
     ("BM_WalkStartsAlias", "BM_WalkStartsCdfRebuildRef", 5.0),
     ("BM_SparseScoreSampling/4096/64", "BM_DenseScoreSamplingRef/4096", 5.0),
+    # The incremental-fit bar: restoring fitted state and absorbing a
+    # delta batch must beat refitting on the full stream (measured 5x+ on
+    # TIGGER; gated at 2x for cross-hardware headroom).
+    ("BM_UpdateTigger", "BM_FullRefitTiggerRef", 2.0),
 ]
 
 

@@ -1,23 +1,25 @@
 #!/usr/bin/env bash
-# Runs the micro-kernel, generation, and storage benchmarks and writes
-# BENCH_kernels.json + BENCH_generation.json + BENCH_storage.json — the
-# machine-readable perf artifacts CI uploads on every run, so the kernel,
-# generation-path, and storage-path performance trajectories are tracked
-# over time.
+# Runs the micro-kernel, generation, storage, and update benchmarks and
+# writes BENCH_kernels.json + BENCH_generation.json + BENCH_storage.json +
+# BENCH_update.json — the machine-readable perf artifacts CI uploads on
+# every run, so the kernel, generation-path, storage-path, and
+# incremental-update performance trajectories are tracked over time.
 #
-# Usage: bench/run_bench.sh [build-dir] [kernels.json] [generation.json] [storage.json]
+# Usage: bench/run_bench.sh [build-dir] [kernels.json] [generation.json] [storage.json] [update.json]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_kernels.json}"
 GEN_OUT="${3:-BENCH_generation.json}"
 STORAGE_OUT="${4:-BENCH_storage.json}"
+UPDATE_OUT="${5:-BENCH_update.json}"
 BIN="${BUILD_DIR}/bench/bench_micro_kernels"
 GEN_BIN="${BUILD_DIR}/bench/bench_generation"
 STORAGE_BIN="${BUILD_DIR}/bench/bench_storage"
+UPDATE_BIN="${BUILD_DIR}/bench/bench_update"
 
-if [[ ! -x "${BIN}" || ! -x "${GEN_BIN}" || ! -x "${STORAGE_BIN}" ]]; then
-  echo "error: ${BIN}, ${GEN_BIN}, or ${STORAGE_BIN} not found or not executable." >&2
+if [[ ! -x "${BIN}" || ! -x "${GEN_BIN}" || ! -x "${STORAGE_BIN}" || ! -x "${UPDATE_BIN}" ]]; then
+  echo "error: ${BIN}, ${GEN_BIN}, ${STORAGE_BIN}, or ${UPDATE_BIN} not found or not executable." >&2
   echo "Configure with Google Benchmark installed (libbenchmark-dev) and" >&2
   echo "build first:  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
   exit 1
@@ -44,12 +46,19 @@ echo "Wrote ${GEN_OUT}"
 
 echo "Wrote ${STORAGE_OUT}"
 
+"${UPDATE_BIN}" \
+  --benchmark_out="${UPDATE_OUT}" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo "Wrote ${UPDATE_OUT}"
+
 # Headline summaries in the CI log: the dense-vs-sparse decode speedup from
 # the kernel suite, artifact round-trip latency, and the sampler-conversion
 # speedups (shipped path vs its ...Ref pre-conversion replica) from the
 # generation suite.
 if command -v python3 > /dev/null; then
-  python3 - "${OUT}" "${GEN_OUT}" "${STORAGE_OUT}" <<'EOF'
+  python3 - "${OUT}" "${GEN_OUT}" "${STORAGE_OUT}" "${UPDATE_OUT}" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     runs = json.load(f).get("benchmarks", [])
@@ -108,6 +117,23 @@ if sparse and dense and dense["items_per_second"] > 0:
     sparse_rss, dense_rss = sparse.get("peak_rss_mb"), dense.get("peak_rss_mb")
     if sparse_rss and dense_rss:
         print(f"  peak RSS: {sparse_rss:.0f} MB sparse vs {dense_rss:.0f} MB dense")
+
+# Incremental update vs full refit (the serve-side refresh economics).
+with open(sys.argv[4]) as f:
+    update_runs = json.load(f).get("benchmarks", [])
+uips = {b["name"]: b["items_per_second"]
+        for b in update_runs if "items_per_second" in b}
+UPDATE_PAIRS = [
+    ("BM_UpdateTigger", "BM_FullRefitTiggerRef"),
+    ("BM_UpdateDymond", "BM_FullRefitDymondRef"),
+    ("BM_UpdateNetgan", "BM_FullRefitNetganRef"),
+]
+lines = [f"  {new}: {uips[new] / uips[ref]:.1f}x"
+         for new, ref in UPDATE_PAIRS
+         if new in uips and ref in uips and uips[ref] > 0]
+if lines:
+    print("incremental update speedup (delta edges/sec vs full refit):")
+    print("\n".join(lines))
 EOF
 else
   echo "python3 not found; skipping speedup summaries" >&2

@@ -7,31 +7,36 @@
 
 namespace tgsim::baselines {
 
+DymondGenerator::MotifMix DymondGenerator::EstimateMix(
+    const graphs::StaticGraph& snap, int64_t m_t) {
+  MotifMix mm;
+  if (m_t == 0) return mm;
+  int64_t triangles = metrics::TriangleCount(snap);
+  // Wedges not inside triangles approximate the wedge-motif budget.
+  double wedge_total = 0.0;
+  for (graphs::NodeId u = 0; u < snap.num_nodes(); ++u) {
+    double d = snap.Degree(u);
+    wedge_total += d * (d - 1) / 2.0;
+  }
+  int64_t open_wedges =
+      std::max<int64_t>(0, static_cast<int64_t>(wedge_total) - 3 * triangles);
+
+  // Edge budget split: each placed triangle spends 3 edges, each wedge 2.
+  mm.triangles = std::min<int64_t>(triangles, m_t / 3);
+  int64_t remaining = m_t - 3 * mm.triangles;
+  mm.wedges = std::min<int64_t>(open_wedges / 2, remaining / 2);
+  remaining -= 2 * mm.wedges;
+  mm.singles = remaining;
+  return mm;
+}
+
 void DymondGenerator::Fit(const graphs::TemporalGraph& observed, Rng& /*rng*/) {
   shape_.CaptureFrom(observed);
   mix_.assign(static_cast<size_t>(shape_.num_timestamps), {});
 
   for (int t = 0; t < shape_.num_timestamps; ++t) {
-    graphs::StaticGraph snap = observed.SnapshotAt(t);
-    int64_t m_t = shape_.edges_per_timestamp[t];
-    if (m_t == 0) continue;
-    int64_t triangles = metrics::TriangleCount(snap);
-    // Wedges not inside triangles approximate the wedge-motif budget.
-    double wedge_total = 0.0;
-    for (graphs::NodeId u = 0; u < snap.num_nodes(); ++u) {
-      double d = snap.Degree(u);
-      wedge_total += d * (d - 1) / 2.0;
-    }
-    int64_t open_wedges =
-        std::max<int64_t>(0, static_cast<int64_t>(wedge_total) - 3 * triangles);
-
-    MotifMix& mm = mix_[static_cast<size_t>(t)];
-    // Edge budget split: each placed triangle spends 3 edges, each wedge 2.
-    mm.triangles = std::min<int64_t>(triangles, m_t / 3);
-    int64_t remaining = m_t - 3 * mm.triangles;
-    mm.wedges = std::min<int64_t>(open_wedges / 2, remaining / 2);
-    remaining -= 2 * mm.wedges;
-    mm.singles = remaining;
+    mix_[static_cast<size_t>(t)] =
+        EstimateMix(observed.SnapshotAt(t), shape_.edges_per_timestamp[t]);
   }
 
   // Activity rates from accumulated degrees (DYMOND's node arrival rates).
@@ -45,6 +50,47 @@ void DymondGenerator::Fit(const graphs::TemporalGraph& observed, Rng& /*rng*/) {
 
 void DymondGenerator::RebuildActivitySampler() {
   activity_alias_ = sampling::AliasTable(node_activity_);
+}
+
+Status DymondGenerator::Update(const graphs::TemporalGraph& delta,
+                               Rng& /*rng*/) {
+  Status ok = RequireUpdatable(shape_.num_nodes > 0, delta, shape_, name());
+  if (!ok.ok()) return ok;
+  if (delta.num_edges() == 0) return Status::Ok();
+
+  // Motif budgets are additive across batches: the delta snapshot's mix
+  // rides on top of the fitted one.
+  const std::vector<int64_t> delta_per_t = delta.EdgesPerTimestamp();
+  for (size_t t = 0; t < delta_per_t.size(); ++t) {
+    if (delta_per_t[t] == 0) continue;
+    MotifMix dm =
+        EstimateMix(delta.SnapshotAt(static_cast<int>(t)), delta_per_t[t]);
+    mix_[t].triangles += dm.triangles;
+    mix_[t].wedges += dm.wedges;
+    mix_[t].singles += dm.singles;
+  }
+
+  // Activity rates accumulate degree mass; the +0.25 floor is already in
+  // the fitted weights, so the delta adds raw degrees only. The alias
+  // table rebuild is deterministic from the merged weights.
+  graphs::StaticGraph whole = delta.SnapshotUpTo(delta.num_timestamps() - 1);
+  for (graphs::NodeId u = 0; u < delta.num_nodes(); ++u)
+    node_activity_[static_cast<size_t>(u)] += whole.Degree(u);
+  RebuildActivitySampler();
+  MergeDeltaShape(shape_, delta);
+  return Status::Ok();
+}
+
+int64_t DymondGenerator::ResidentStateBytes() const {
+  return static_cast<int64_t>(sizeof(*this)) +
+         static_cast<int64_t>(shape_.edges_per_timestamp.capacity() *
+                              sizeof(int64_t)) +
+         static_cast<int64_t>(mix_.capacity() * sizeof(MotifMix)) +
+         static_cast<int64_t>(node_activity_.capacity() * sizeof(double)) +
+         static_cast<int64_t>(activity_alias_.prob().capacity() *
+                              sizeof(double)) +
+         static_cast<int64_t>(activity_alias_.alias().capacity() *
+                              sizeof(int64_t));
 }
 
 Status DymondGenerator::SaveState(std::ostream& out) const {

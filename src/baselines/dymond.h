@@ -20,8 +20,10 @@ class DymondGenerator : public TemporalGraphGenerator {
   std::string name() const override { return "DYMOND"; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status Update(const graphs::TemporalGraph& delta, Rng& rng) override;
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
+  int64_t ResidentStateBytes() const override;
 
   /// The original parameterizes node triples: ~n^3 motif-rate entries.
   /// Coefficient calibrated so the paper's OOM pattern on a 32 GB device
@@ -46,6 +48,9 @@ class DymondGenerator : public TemporalGraphGenerator {
     int64_t wedges = 0;
     int64_t singles = 0;
   };
+  /// Splits one snapshot's edge budget `m_t` into motif placements
+  /// (shared by Fit and the per-delta-snapshot half of Update).
+  static MotifMix EstimateMix(const graphs::StaticGraph& snap, int64_t m_t);
   std::vector<MotifMix> mix_;
   std::vector<double> node_activity_;  // Degree-based placement weights.
   /// O(1) node draws over node_activity_ — every motif placement during

@@ -23,6 +23,23 @@ Status LoadShapeOnlyState(ObservedShape& shape, std::istream& in) {
   return ReadShape(reader.value(), shape);
 }
 
+/// Shape-only incremental update: the fitted state is exactly the edge
+/// budget, so absorbing a delta is merging its per-timestamp counts.
+Status UpdateShapeOnly(ObservedShape& shape,
+                       const graphs::TemporalGraph& delta,
+                       const std::string& method) {
+  Status ok = RequireUpdatable(shape.num_nodes > 0, delta, shape, method);
+  if (!ok.ok()) return ok;
+  MergeDeltaShape(shape, delta);
+  return Status::Ok();
+}
+
+int64_t ShapeOnlyResidentBytes(const ObservedShape& shape, size_t self) {
+  return static_cast<int64_t>(self) +
+         static_cast<int64_t>(shape.edges_per_timestamp.capacity() *
+                              sizeof(int64_t));
+}
+
 }  // namespace
 
 void ErdosRenyiGenerator::Fit(const graphs::TemporalGraph& observed,
@@ -36,6 +53,15 @@ Status ErdosRenyiGenerator::SaveState(std::ostream& out) const {
 
 Status ErdosRenyiGenerator::LoadState(std::istream& in) {
   return LoadShapeOnlyState(shape_, in);
+}
+
+Status ErdosRenyiGenerator::Update(const graphs::TemporalGraph& delta,
+                                   Rng& /*rng*/) {
+  return UpdateShapeOnly(shape_, delta, name());
+}
+
+int64_t ErdosRenyiGenerator::ResidentStateBytes() const {
+  return ShapeOnlyResidentBytes(shape_, sizeof(*this));
 }
 
 graphs::TemporalGraph ErdosRenyiGenerator::Generate(Rng& rng) {
@@ -67,6 +93,15 @@ Status BarabasiAlbertGenerator::SaveState(std::ostream& out) const {
 
 Status BarabasiAlbertGenerator::LoadState(std::istream& in) {
   return LoadShapeOnlyState(shape_, in);
+}
+
+Status BarabasiAlbertGenerator::Update(const graphs::TemporalGraph& delta,
+                                       Rng& /*rng*/) {
+  return UpdateShapeOnly(shape_, delta, name());
+}
+
+int64_t BarabasiAlbertGenerator::ResidentStateBytes() const {
+  return ShapeOnlyResidentBytes(shape_, sizeof(*this));
 }
 
 graphs::TemporalGraph BarabasiAlbertGenerator::Generate(Rng& rng) {

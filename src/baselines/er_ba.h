@@ -14,8 +14,10 @@ class ErdosRenyiGenerator : public TemporalGraphGenerator {
   bool is_learning_based() const override { return false; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status Update(const graphs::TemporalGraph& delta, Rng& rng) override;
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
+  int64_t ResidentStateBytes() const override;
   int64_t EstimatePaperMemoryBytes(int64_t /*n*/, int64_t /*m*/,
                                    int64_t /*t*/) const override {
     return 0;  // CPU-only in the paper's setup; no GPU footprint.
@@ -35,8 +37,10 @@ class BarabasiAlbertGenerator : public TemporalGraphGenerator {
   bool is_learning_based() const override { return false; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status Update(const graphs::TemporalGraph& delta, Rng& rng) override;
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
+  int64_t ResidentStateBytes() const override;
   int64_t EstimatePaperMemoryBytes(int64_t /*n*/, int64_t /*m*/,
                                    int64_t /*t*/) const override {
     return 0;

@@ -34,6 +34,19 @@ class TemporalGraphGenerator {
   /// Simulates a new temporal graph. Requires a prior Fit() or LoadState().
   virtual graphs::TemporalGraph Generate(Rng& rng) = 0;
 
+  /// Incrementally absorbs a batch of new observations into an already
+  /// fitted generator — the fit-once/serve-forever path. `delta` carries
+  /// only the new edges, expressed in the fitted universe: its node and
+  /// timestamp counts must not exceed the fitted shape's (growing either
+  /// axis requires a full refit). Statistical methods merge the delta into
+  /// their support structures and rebuild the fitted samplers
+  /// deterministically; learning-based methods take a bounded number of
+  /// warm-start steps on recency-biased snapshots. An empty delta is a
+  /// no-op. The default reports Unimplemented so custom registrations
+  /// without an incremental path still construct and run; every built-in
+  /// method overrides it.
+  virtual Status Update(const graphs::TemporalGraph& delta, Rng& rng);
+
   /// Serializes the fitted state (graph shape, fitted distributions,
   /// trained weights) as one serialize::ArchiveWriter archive, leaving the
   /// stream positioned after it. Requires a prior Fit(). Every built-in

@@ -116,6 +116,14 @@ graphs::TemporalGraph NetGanGenerator::Generate(Rng& rng) {
   return GenerateFromScores(shape_, store_, rng);
 }
 
+Status NetGanGenerator::Update(const graphs::TemporalGraph& delta, Rng& rng) {
+  return UpdateScoresForDelta(
+      delta, shape_, store_, config_.score_topk, kUpdateWarmSnapshotLimit,
+      rng, name(), [&](const std::vector<graphs::TemporalEdge>& snap) {
+        return FitSnapshotScores(snap, rng);
+      });
+}
+
 Status NetGanGenerator::SaveState(std::ostream& out) const {
   return SaveScoreState(shape_, store_, config_.score_topk, out, name());
 }

@@ -42,6 +42,7 @@ class NetGanGenerator : public TemporalGraphGenerator {
   std::string name() const override { return "NetGAN"; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status Update(const graphs::TemporalGraph& delta, Rng& rng) override;
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
   Status LoadState(std::istream& in, const std::string& path) override;

@@ -35,6 +35,14 @@ void SbmGnnGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
       });
 }
 
+Status SbmGnnGenerator::Update(const graphs::TemporalGraph& delta, Rng& rng) {
+  return UpdateScoresForDelta(
+      delta, shape_, store_, config_.score_topk, kUpdateWarmSnapshotLimit,
+      rng, name(), [&](const std::vector<graphs::TemporalEdge>& snap) {
+        return FitSnapshotScores(snap, rng);
+      });
+}
+
 SnapshotScores SbmGnnGenerator::FitSnapshotScores(
     const std::vector<graphs::TemporalEdge>& edges, Rng& rng) const {
   const int n = shape_.num_nodes;

@@ -1,9 +1,12 @@
 #include "baselines/state_io.h"
 
+#include <algorithm>
+#include <cmath>
 #include <istream>
 #include <iterator>
 #include <limits>
 #include <utility>
+#include <vector>
 
 #include "baselines/score_sampling.h"
 #include "storage/block_file.h"
@@ -47,10 +50,90 @@ Status TemporalGraphGenerator::LoadState(std::istream& in,
   return LoadState(in);
 }
 
+Status TemporalGraphGenerator::Update(const graphs::TemporalGraph& /*delta*/,
+                                      Rng& /*rng*/) {
+  return Status::Unimplemented("method '" + name() +
+                               "' does not implement incremental update");
+}
+
 Status RequireFitted(bool fitted, const std::string& method) {
   if (fitted) return Status::Ok();
   return Status::InvalidArgument("SaveState of '" + method +
                                  "' requires a prior Fit()");
+}
+
+Status RequireUpdatable(bool fitted, const graphs::TemporalGraph& delta,
+                        const ObservedShape& shape,
+                        const std::string& method) {
+  if (!fitted)
+    return Status::InvalidArgument("Update of '" + method +
+                                   "' requires a prior Fit()");
+  if (!delta.finalized())
+    return Status::InvalidArgument("Update of '" + method +
+                                   "' requires a finalized delta graph");
+  if (delta.num_nodes() > shape.num_nodes ||
+      delta.num_timestamps() > shape.num_timestamps)
+    return Status::InvalidArgument(
+        "Update of '" + method + "': delta spans " +
+        std::to_string(delta.num_nodes()) + " nodes x " +
+        std::to_string(delta.num_timestamps()) +
+        " timestamps but the fitted shape is " +
+        std::to_string(shape.num_nodes) + " x " +
+        std::to_string(shape.num_timestamps) +
+        " (growing either axis requires a full refit)");
+  return Status::Ok();
+}
+
+void MergeDeltaShape(ObservedShape& shape,
+                     const graphs::TemporalGraph& delta) {
+  const std::vector<int64_t> per_t = delta.EdgesPerTimestamp();
+  TGSIM_CHECK_LE(per_t.size(), shape.edges_per_timestamp.size());
+  for (size_t t = 0; t < per_t.size(); ++t)
+    shape.edges_per_timestamp[t] += per_t[t];
+}
+
+graphs::TemporalGraph MergeSupportGraph(const graphs::TemporalGraph& support,
+                                        const graphs::TemporalGraph& delta) {
+  std::vector<graphs::TemporalEdge> edges;
+  edges.reserve(static_cast<size_t>(support.num_edges() + delta.num_edges()));
+  const auto support_edges = support.edges();
+  const auto delta_edges = delta.edges();
+  edges.insert(edges.end(), support_edges.begin(), support_edges.end());
+  edges.insert(edges.end(), delta_edges.begin(), delta_edges.end());
+  Result<graphs::TemporalGraph> merged = graphs::TemporalGraph::FromEdges(
+      support.num_nodes(), support.num_timestamps(), std::move(edges));
+  // RequireUpdatable bounds the delta to the support's universe, so the
+  // merge cannot fail.
+  TGSIM_CHECK(merged.ok());
+  return std::move(merged).value();
+}
+
+int64_t ParamsResidentBytes(const std::vector<nn::Var>& params) {
+  int64_t bytes = 0;
+  for (const nn::Var& p : params)
+    bytes += static_cast<int64_t>(p.rows()) * static_cast<int64_t>(p.cols()) *
+             static_cast<int64_t>(sizeof(nn::Scalar));
+  return bytes;
+}
+
+std::vector<int> SampleRecentSnapshots(const std::vector<int>& candidates,
+                                       int k, int num_timestamps, Rng& rng) {
+  if (k >= static_cast<int>(candidates.size())) return candidates;
+  std::vector<int> picked;
+  if (k <= 0) return picked;
+  const double tau = std::max(1.0, num_timestamps / 4.0);
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (int t : candidates)
+    weights.push_back(std::exp((t - (num_timestamps - 1)) / tau));
+  picked.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const size_t idx = rng.WeightedChoice(weights);
+    picked.push_back(candidates[idx]);
+    weights[idx] = 0.0;  // Without replacement.
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
 }
 
 void WriteShape(serialize::ArchiveWriter& writer,
@@ -333,6 +416,77 @@ void FitScoresPerSnapshot(
               storage::SparseScoreRows::FromSubmatrix(
                   shape.num_nodes, fitted.active, fitted.scores, score_topk));
   }
+}
+
+Status UpdateScoresForDelta(
+    const graphs::TemporalGraph& delta, ObservedShape& shape,
+    storage::ScoreStore& store, int64_t score_topk, int max_warm_snapshots,
+    Rng& rng, const std::string& method,
+    const std::function<SnapshotScores(
+        const std::vector<graphs::TemporalEdge>&)>& fit_snapshot) {
+  Status ok = RequireUpdatable(shape.num_nodes > 0, delta, shape, method);
+  if (!ok.ok()) return ok;
+  if (delta.num_edges() == 0) return Status::Ok();
+
+  const std::vector<int64_t> delta_per_t = delta.EdgesPerTimestamp();
+  std::vector<int> fresh;    // first edges at t: rows fitted from scratch
+  std::vector<int> touched;  // already fitted at t: warm-start candidates
+  for (size_t t = 0; t < delta_per_t.size(); ++t) {
+    if (delta_per_t[t] == 0) continue;
+    if (shape.edges_per_timestamp[t] == 0)
+      fresh.push_back(static_cast<int>(t));
+    else
+      touched.push_back(static_cast<int>(t));
+  }
+
+  // A block-backed store pages rows from the artifact file; updating
+  // replaces rows, so rematerialize the snapshots resident first.
+  if (store.block_backed()) {
+    storage::ScoreStore resident;
+    resident.Reset(shape.num_timestamps);
+    for (int t = 0; t < shape.num_timestamps; ++t) {
+      if (!store.has(t)) continue;
+      const storage::ScoreStore::Lease lease = store.Snapshot(t);
+      resident.Set(t, storage::SparseScoreRows::CopyOf(lease.view));
+    }
+    store = std::move(resident);
+  }
+
+  auto snapshot_edges = [&delta](int t) {
+    auto span = delta.EdgesAt(static_cast<graphs::Timestamp>(t));
+    return std::vector<graphs::TemporalEdge>(span.begin(), span.end());
+  };
+  // Snapshots gaining their first edges must be fitted: Generate requires
+  // rows wherever the merged edge budget is positive.
+  for (int t : fresh) {
+    SnapshotScores fitted = fit_snapshot(snapshot_edges(t));
+    store.Set(t,
+              storage::SparseScoreRows::FromSubmatrix(
+                  shape.num_nodes, fitted.active, fitted.scores, score_topk));
+  }
+  // Previously-fitted snapshots take a bounded warm start, most recent
+  // first; unselected ones keep their rows (only their budget grows).
+  for (int t : SampleRecentSnapshots(touched, max_warm_snapshots,
+                                     shape.num_timestamps, rng)) {
+    SnapshotScores fitted = fit_snapshot(snapshot_edges(t));
+    const storage::SparseScoreRows delta_rows =
+        storage::SparseScoreRows::FromSubmatrix(
+            shape.num_nodes, fitted.active, fitted.scores, score_topk);
+    storage::SparseScoreRows merged;
+    {
+      const storage::ScoreStore::Lease lease = store.Snapshot(t);
+      merged = storage::SparseScoreRows::WeightedMerge(
+          lease.view,
+          static_cast<double>(
+              shape.edges_per_timestamp[static_cast<size_t>(t)]),
+          delta_rows.View(),
+          static_cast<double>(delta_per_t[static_cast<size_t>(t)]),
+          score_topk);
+    }
+    store.Set(t, std::move(merged));
+  }
+  MergeDeltaShape(shape, delta);
+  return Status::Ok();
 }
 
 graphs::TemporalGraph GenerateFromScores(const ObservedShape& shape,

@@ -19,6 +19,40 @@ namespace tgsim::baselines {
 /// InvalidArgument every SaveState implementation reports.
 Status RequireFitted(bool fitted, const std::string& method);
 
+/// Ok when an already-fitted generator can absorb `delta`: requires a
+/// prior Fit()/LoadState(), a finalized delta, and a delta expressed in
+/// the fitted universe — node and timestamp counts no larger than the
+/// fitted shape's (growing either axis needs a full refit). Every
+/// Update() implementation runs this first so the contract reads the
+/// same across methods.
+Status RequireUpdatable(bool fitted, const graphs::TemporalGraph& delta,
+                        const ObservedShape& shape, const std::string& method);
+
+/// Adds the delta's per-timestamp edge counts into `shape` (the edge
+/// budget Generate reproduces). Requires delta within the shape's bounds.
+void MergeDeltaShape(ObservedShape& shape,
+                     const graphs::TemporalGraph& delta);
+
+/// The support graph plus the delta's edges, finalized on the support's
+/// node/timestamp universe. Deterministic: the merged edge array is the
+/// support's followed by the delta's, so two updates with the same inputs
+/// produce bit-identical adjacency indexes.
+graphs::TemporalGraph MergeSupportGraph(const graphs::TemporalGraph& support,
+                                        const graphs::TemporalGraph& delta);
+
+/// Total tensor bytes of a parameter list — the NN methods'
+/// ResidentStateBytes() charge their model weights with this.
+int64_t ParamsResidentBytes(const std::vector<nn::Var>& params);
+
+/// Recency-biased snapshot subset (after "Forward Recent Sampling",
+/// PAPERS.md): draws min(k, candidates.size()) distinct timestamps from
+/// `candidates` (ascending, in [0, num_timestamps)) with probability
+/// proportional to exp((t - (T-1)) / tau), tau = max(1, T/4), so bounded
+/// warm-start work concentrates on the most recent snapshots. Returns an
+/// ascending list.
+std::vector<int> SampleRecentSnapshots(const std::vector<int>& candidates,
+                                       int k, int num_timestamps, Rng& rng);
+
 /// Writes `shape` as the archive section "shape" (num_nodes,
 /// num_timestamps, edges_per_timestamp).
 void WriteShape(serialize::ArchiveWriter& writer, const ObservedShape& shape);
@@ -85,6 +119,28 @@ Status LoadScoreState(ObservedShape& shape, storage::ScoreStore& store,
 void FitScoresPerSnapshot(
     const graphs::TemporalGraph& observed, const ObservedShape& shape,
     int64_t score_topk, storage::ScoreStore& store,
+    const std::function<SnapshotScores(
+        const std::vector<graphs::TemporalEdge>&)>& fit_snapshot);
+
+/// Default bound on warm-started (previously fitted) snapshots per
+/// Update() of the score-matrix methods; snapshots gaining their first
+/// edges are always fitted on top of this.
+inline constexpr int kUpdateWarmSnapshotLimit = 8;
+
+/// Shared Update() body of the score-matrix methods: regenerates sparse
+/// score rows only for the delta's touched snapshots. Snapshots gaining
+/// their first edges are always fitted (Generate requires rows wherever
+/// the edge budget is positive); previously-fitted touched snapshots are
+/// bounded to `max_warm_snapshots` recency-biased picks, each blending
+/// the old rows with rows fitted on the delta batch
+/// (SparseScoreRows::WeightedMerge, weighted by edge counts). A
+/// block-backed store is rematerialized resident first — re-saving the
+/// artifact re-applies the inline/blocks size rule. Empty deltas are a
+/// no-op; errors leave shape and store untouched.
+Status UpdateScoresForDelta(
+    const graphs::TemporalGraph& delta, ObservedShape& shape,
+    storage::ScoreStore& store, int64_t score_topk, int max_warm_snapshots,
+    Rng& rng, const std::string& method,
     const std::function<SnapshotScores(
         const std::vector<graphs::TemporalEdge>&)>& fit_snapshot);
 

@@ -164,6 +164,51 @@ void TagGenGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
   }
 }
 
+Status TagGenGenerator::Update(const graphs::TemporalGraph& delta,
+                               Rng& /*rng*/) {
+  Status ok = RequireUpdatable(support_ != nullptr, delta, shape_, name());
+  if (!ok.ok()) return ok;
+  if (delta.num_edges() == 0) return Status::Ok();
+
+  // Generation walks score candidates over the support adjacency, so
+  // absorbing a delta means extending the support and rebuilding the
+  // start distribution over it (a deterministic function of the merged
+  // edges). The embedding tables keep their trained values — scores over
+  // the new neighborhoods come from the same bigram model.
+  support_ = std::make_unique<graphs::TemporalGraph>(
+      MergeSupportGraph(*support_, delta));
+  shape_.CaptureFrom(*support_);
+  starts_ = std::make_unique<graphs::InitialNodeSampler>(
+      support_.get(), config_.time_window);
+  walk_sampler_.reset();  // Training-only.
+  return Status::Ok();
+}
+
+int64_t TagGenGenerator::ResidentStateBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(*this)) +
+                  static_cast<int64_t>(shape_.edges_per_timestamp.capacity() *
+                                       sizeof(int64_t));
+  if (support_ != nullptr) {
+    bytes += static_cast<int64_t>(sizeof(*support_)) +
+             static_cast<int64_t>(support_->num_edges()) *
+                 static_cast<int64_t>(sizeof(graphs::TemporalEdge) +
+                                      2 * sizeof(int64_t));
+  }
+  if (starts_ != nullptr) {
+    bytes += static_cast<int64_t>(sizeof(*starts_)) +
+             static_cast<int64_t>(starts_->occurrences().capacity() *
+                                  sizeof(graphs::TemporalNodeRef)) +
+             static_cast<int64_t>(starts_->weights().capacity() *
+                                  sizeof(double)) +
+             static_cast<int64_t>(starts_->alias().prob().capacity() *
+                                  sizeof(double)) +
+             static_cast<int64_t>(starts_->alias().alias().capacity() *
+                                  sizeof(int64_t));
+  }
+  if (node_emb_ != nullptr) bytes += ParamsResidentBytes(CollectParams());
+  return bytes;
+}
+
 graphs::TemporalGraph TagGenGenerator::Generate(Rng& rng) {
   TGSIM_CHECK(support_ != nullptr);  // Requires a Fit() or LoadState().
   const nn::Tensor& ne = node_emb_->table().value();

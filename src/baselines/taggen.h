@@ -45,8 +45,10 @@ class TagGenGenerator : public TemporalGraphGenerator {
   std::string name() const override { return "TagGen"; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status Update(const graphs::TemporalGraph& delta, Rng& rng) override;
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
+  int64_t ResidentStateBytes() const override;
 
   /// Transition structures over (node x time)^2 pairs; coefficient
   /// calibrated to the paper's 32 GB OOM pattern (runs DBLP and MSG, OOMs

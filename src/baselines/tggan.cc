@@ -123,11 +123,16 @@ std::vector<nn::Var> TgganGenerator::CollectGeneratorParams() const {
 
 void TgganGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
   shape_.CaptureFrom(observed);
+  BuildGeneratorModel(rng);
+  TrainAdversarial(observed, config_.iterations, rng);
+}
+
+void TgganGenerator::TrainAdversarial(const graphs::TemporalGraph& real,
+                                      int iterations, Rng& rng) {
   const int n = shape_.num_nodes;
   const int t_count = shape_.num_timestamps;
   const int d = config_.embedding_dim;
 
-  BuildGeneratorModel(rng);
   d_node_emb_ = std::make_unique<nn::Embedding>(rng, n, d);
   d_time_emb_ = std::make_unique<nn::Embedding>(rng, t_count, d);
   d_gap_emb_ = std::make_unique<nn::Embedding>(rng, NumGapClasses(), d);
@@ -146,7 +151,7 @@ void TgganGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
   nn::Adam g_opt(g_params, config_.learning_rate);
   nn::Adam d_opt(d_params, config_.learning_rate);
 
-  TemporalWalkSampler sampler(&observed, config_.time_window);
+  TemporalWalkSampler sampler(&real, config_.time_window);
   const int batch = config_.batch_walks;
 
   // Converts sampled real walks into the Unroll (one-hot) representation,
@@ -189,7 +194,7 @@ void TgganGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
 
   nn::Tensor ones(batch, 1, 1.0);
   nn::Tensor zeros(batch, 1, 0.0);
-  for (int it = 0; it < config_.iterations; ++it) {
+  for (int it = 0; it < iterations; ++it) {
     // Discriminator phase (generator grads are discarded by its ZeroGrad).
     d_opt.ZeroGrad();
     g_opt.ZeroGrad();
@@ -214,6 +219,36 @@ void TgganGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
     g_opt.Step();
     last_g_loss_ = g_loss.item();
   }
+}
+
+Status TgganGenerator::Update(const graphs::TemporalGraph& delta, Rng& rng) {
+  Status ok = RequireUpdatable(g_init_ != nullptr, delta, shape_, name());
+  if (!ok.ok()) return ok;
+  if (delta.num_edges() == 0) return Status::Ok();
+  // A bounded warm start: the trained generator is the prior; a fresh
+  // discriminator learns to separate it from walks over the new edges.
+  const int warm = std::max(1, std::min(config_.iterations, 4));
+  TrainAdversarial(delta, warm, rng);
+  MergeDeltaShape(shape_, delta);
+  return Status::Ok();
+}
+
+int64_t TgganGenerator::ResidentStateBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(*this)) +
+                  static_cast<int64_t>(shape_.edges_per_timestamp.capacity() *
+                                       sizeof(int64_t));
+  if (g_init_ != nullptr) bytes += ParamsResidentBytes(CollectGeneratorParams());
+  if (d_node_emb_ != nullptr) {
+    std::vector<nn::Var> d_params;
+    for (const nn::Module* m :
+         {static_cast<const nn::Module*>(d_node_emb_.get()),
+          static_cast<const nn::Module*>(d_time_emb_.get()),
+          static_cast<const nn::Module*>(d_gap_emb_.get()),
+          static_cast<const nn::Module*>(d_mlp_.get())})
+      d_params.insert(d_params.end(), m->params().begin(), m->params().end());
+    bytes += ParamsResidentBytes(d_params);
+  }
+  return bytes;
 }
 
 graphs::TemporalGraph TgganGenerator::Generate(Rng& rng) {

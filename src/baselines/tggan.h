@@ -46,12 +46,16 @@ class TgganGenerator : public TemporalGraphGenerator {
   std::string name() const override { return "TGGAN"; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  /// Bounded adversarial warm start against walks drawn from the delta
+  /// (a fresh discriminator; the trained generator network is the prior).
+  Status Update(const graphs::TemporalGraph& delta, Rng& rng) override;
   /// Serializes the shape + generator network. The discriminator exists
   /// only to train (generation never evaluates it), so the artifact ships
   /// the serving half; a loaded model generates, it does not resume
   /// adversarial training.
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
+  int64_t ResidentStateBytes() const override;
 
   int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
                                    int64_t t) const override {
@@ -83,6 +87,11 @@ class TgganGenerator : public TemporalGraphGenerator {
   /// Constructs the generator-side modules from config_ + shape_ (shared
   /// by Fit and LoadState so parameter order and shapes are fixed here).
   void BuildGeneratorModel(Rng& rng);
+  /// The adversarial loop shared by Fit and Update: builds a fresh
+  /// discriminator from `rng` and trains both sides for `iterations`
+  /// rounds against walks sampled from `real`.
+  void TrainAdversarial(const graphs::TemporalGraph& real, int iterations,
+                        Rng& rng);
   /// Generator-side trainable parameters in the fixed module order.
   std::vector<nn::Var> CollectGeneratorParams() const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <utility>
 
 #include "baselines/state_io.h"
@@ -130,6 +131,68 @@ void TiggerGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
     opt.Step();
     last_epoch_loss_ = total.item();
   }
+}
+
+Status TiggerGenerator::Update(const graphs::TemporalGraph& delta,
+                               Rng& /*rng*/) {
+  Status ok = RequireUpdatable(starts_ != nullptr, delta, shape_, name());
+  if (!ok.ok()) return ok;
+  if (delta.num_edges() == 0) return Status::Ok();
+
+  // Merge the fitted start distribution with the delta's (node, t)
+  // occurrences: existing entries keep their position and gain the
+  // delta's temporal-degree mass, new occurrences append in enumeration
+  // order, and the alias rebuild is deterministic from the merged
+  // weights. The recurrent model keeps its trained parameters — walk
+  // structure transfers; only the start mixture shifts with new data.
+  graphs::InitialNodeSampler delta_starts(&delta, config_.time_window);
+  std::vector<graphs::TemporalNodeRef> occurrences(
+      starts_->occurrences().begin(), starts_->occurrences().end());
+  std::vector<double> weights = starts_->weights();
+  std::unordered_map<int64_t, size_t> index;
+  index.reserve(occurrences.size());
+  const int64_t t_span = shape_.num_timestamps;
+  for (size_t i = 0; i < occurrences.size(); ++i)
+    index.emplace(static_cast<int64_t>(occurrences[i].node) * t_span +
+                      occurrences[i].t,
+                  i);
+  const auto& delta_occ = delta_starts.occurrences();
+  const auto& delta_w = delta_starts.weights();
+  for (size_t i = 0; i < delta_occ.size(); ++i) {
+    const int64_t key =
+        static_cast<int64_t>(delta_occ[i].node) * t_span + delta_occ[i].t;
+    auto it = index.find(key);
+    if (it != index.end()) {
+      weights[it->second] += delta_w[i];
+    } else {
+      index.emplace(key, occurrences.size());
+      occurrences.push_back(delta_occ[i]);
+      weights.push_back(delta_w[i]);
+    }
+  }
+  starts_ = std::make_unique<graphs::InitialNodeSampler>(
+      std::move(occurrences), std::move(weights));
+  MergeDeltaShape(shape_, delta);
+  return Status::Ok();
+}
+
+int64_t TiggerGenerator::ResidentStateBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(*this)) +
+                  static_cast<int64_t>(shape_.edges_per_timestamp.capacity() *
+                                       sizeof(int64_t));
+  if (starts_ != nullptr) {
+    bytes += static_cast<int64_t>(sizeof(*starts_)) +
+             static_cast<int64_t>(starts_->occurrences().capacity() *
+                                  sizeof(graphs::TemporalNodeRef)) +
+             static_cast<int64_t>(starts_->weights().capacity() *
+                                  sizeof(double)) +
+             static_cast<int64_t>(starts_->alias().prob().capacity() *
+                                  sizeof(double)) +
+             static_cast<int64_t>(starts_->alias().alias().capacity() *
+                                  sizeof(int64_t));
+  }
+  if (node_emb_ != nullptr) bytes += ParamsResidentBytes(CollectParams());
+  return bytes;
 }
 
 graphs::TemporalGraph TiggerGenerator::Generate(Rng& rng) {

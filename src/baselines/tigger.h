@@ -40,8 +40,10 @@ class TiggerGenerator : public TemporalGraphGenerator {
   std::string name() const override { return "TIGGER"; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status Update(const graphs::TemporalGraph& delta, Rng& rng) override;
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
+  int64_t ResidentStateBytes() const override;
 
   int64_t EstimatePaperMemoryBytes(int64_t n, int64_t m,
                                    int64_t /*t*/) const override {

@@ -53,6 +53,14 @@ void VgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
       });
 }
 
+Status VgaeGenerator::Update(const graphs::TemporalGraph& delta, Rng& rng) {
+  return UpdateScoresForDelta(
+      delta, shape_, store_, config_.score_topk, kUpdateWarmSnapshotLimit,
+      rng, name(), [&](const std::vector<graphs::TemporalEdge>& snap) {
+        return FitSnapshotScores(snap, graphite_, rng);
+      });
+}
+
 SnapshotScores VgaeGenerator::FitSnapshotScores(
     const std::vector<graphs::TemporalEdge>& edges, bool graphite,
     Rng& rng) const {

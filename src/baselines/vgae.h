@@ -43,6 +43,7 @@ class VgaeGenerator : public TemporalGraphGenerator {
   const VgaeConfig& config() const { return config_; }
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
+  Status Update(const graphs::TemporalGraph& delta, Rng& rng) override;
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
   Status LoadState(std::istream& in, const std::string& path) override;

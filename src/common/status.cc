@@ -18,6 +18,8 @@ std::string StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
   }
   return "Unknown";
 }
@@ -26,7 +28,8 @@ StatusCode StatusCodeFromName(const std::string& name) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kIoError, StatusCode::kOutOfRange,
-        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
+        StatusCode::kResourceExhausted, StatusCode::kInternal,
+        StatusCode::kUnimplemented}) {
     if (StatusCodeName(code) == name) return code;
   }
   return StatusCode::kInternal;

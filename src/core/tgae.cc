@@ -385,12 +385,18 @@ void TgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
   shape_.CaptureFrom(*support_);
   BuildSamplers();
   BuildModel(rng);
+  TrainEpochs(config_.epochs, *initial_sampler_, rng);
+}
+
+void TgaeGenerator::TrainEpochs(int epochs,
+                                const graphs::InitialNodeSampler& center_dist,
+                                Rng& rng) {
   const int n = shape_.num_nodes;
   nn::Adam opt(params_, config_.learning_rate);
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (int epoch = 0; epoch < epochs; ++epoch) {
     std::vector<graphs::TemporalNodeRef> centers =
-        initial_sampler_->Sample(config_.batch_centers, rng);
+        center_dist.Sample(config_.batch_centers, rng);
     std::vector<graphs::EgoGraph> egos;
     egos.reserve(centers.size());
     for (const auto& c : centers) egos.push_back(ego_sampler_->Sample(c, rng));
@@ -433,6 +439,63 @@ void TgaeGenerator::Fit(const graphs::TemporalGraph& observed, Rng& rng) {
     opt.Step();
     last_epoch_loss_ = loss.item();
   }
+}
+
+Status TgaeGenerator::Update(const graphs::TemporalGraph& delta, Rng& rng) {
+  Status ok =
+      baselines::RequireUpdatable(support_ != nullptr, delta, shape_, name());
+  if (!ok.ok()) return ok;
+  if (delta.num_edges() == 0) return Status::Ok();
+
+  support_ = std::make_unique<graphs::TemporalGraph>(
+      baselines::MergeSupportGraph(*support_, delta));
+  shape_.CaptureFrom(*support_);
+  BuildSamplers();
+
+  // Warm start on the merged support: a bounded number of epochs whose
+  // batch centers come from a recency-biased variant of the Eq. 2 initial
+  // distribution — occurrence weights are scaled by exp((t - (T-1)) / tau),
+  // so the updated (recent) snapshots dominate the gradient signal while
+  // earlier snapshots still appear and guard against forgetting.
+  const std::vector<graphs::TemporalNodeRef>& occ =
+      initial_sampler_->occurrences();
+  const std::vector<double>& base = initial_sampler_->weights();
+  const double tau =
+      std::max(1.0, static_cast<double>(shape_.num_timestamps) / 4.0);
+  const double horizon = static_cast<double>(shape_.num_timestamps - 1);
+  std::vector<double> biased(occ.size());
+  for (size_t i = 0; i < occ.size(); ++i) {
+    const double w = config_.degree_weighted_sampling ? base[i] : 1.0;
+    biased[i] =
+        w * std::exp((static_cast<double>(occ[i].t) - horizon) / tau);
+  }
+  graphs::InitialNodeSampler recent(occ, std::move(biased));
+
+  const int warm_epochs = std::max(
+      1, std::min(config_.epochs, baselines::kUpdateWarmSnapshotLimit));
+  TrainEpochs(warm_epochs, recent, rng);
+  return Status::Ok();
+}
+
+int64_t TgaeGenerator::ResidentStateBytes() const {
+  int64_t total = static_cast<int64_t>(sizeof(*this)) +
+                  baselines::ParamsResidentBytes(params_) +
+                  static_cast<int64_t>(shape_.edges_per_timestamp.capacity() *
+                                       sizeof(int64_t));
+  if (support_) {
+    total += static_cast<int64_t>(support_->num_edges()) *
+             static_cast<int64_t>(sizeof(graphs::TemporalEdge) +
+                                  2 * sizeof(int64_t));
+  }
+  if (initial_sampler_) {
+    total += static_cast<int64_t>(
+        initial_sampler_->occurrences().capacity() *
+            sizeof(graphs::TemporalNodeRef) +
+        initial_sampler_->weights().capacity() * sizeof(double) +
+        initial_sampler_->alias().size() *
+            (sizeof(double) + sizeof(int64_t)));
+  }
+  return total;
 }
 
 Status TgaeGenerator::SaveCheckpoint(const std::string& path) const {

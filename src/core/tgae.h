@@ -126,6 +126,13 @@ class TgaeGenerator : public baselines::TemporalGraphGenerator {
   void Fit(const graphs::TemporalGraph& observed, Rng& rng) override;
   graphs::TemporalGraph Generate(Rng& rng) override;
 
+  /// Incremental fit: merges `delta` into the owned support graph, rebuilds
+  /// the samplers, and takes a bounded number of warm-start epochs whose
+  /// training centers are drawn with a recency-biased variant of the Eq. 2
+  /// initial distribution (later timestamps up-weighted), so the fitted
+  /// parameters absorb the new observations without a full refit.
+  Status Update(const graphs::TemporalGraph& delta, Rng& rng) override;
+
   /// Paper Section IV-D: training space is O(n (T + n_s)); TGAE never hits
   /// the 32 GB budget on the paper's datasets.
   int64_t EstimatePaperMemoryBytes(int64_t n, int64_t /*m*/,
@@ -141,6 +148,7 @@ class TgaeGenerator : public baselines::TemporalGraphGenerator {
   /// training data (unlike the parameter-only checkpoint below).
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
+  int64_t ResidentStateBytes() const override;
 
   /// Persists the trained parameters as a portable text checkpoint
   /// (serialize/serialization.h). Requires a prior Fit().
@@ -196,6 +204,12 @@ class TgaeGenerator : public baselines::TemporalGraphGenerator {
   /// Rebuilds the ego/initial samplers over the owned support graph
   /// (shared by Fit and LoadState).
   void BuildSamplers();
+
+  /// The Fit training loop: `epochs` optimizer steps drawing batch centers
+  /// from `centers` (shared by Fit and the Update warm start, which passes
+  /// a recency-biased sampler).
+  void TrainEpochs(int epochs, const graphs::InitialNodeSampler& centers,
+                   Rng& rng);
 
   /// Constructs embeddings, encoder, variational heads and the decoder
   /// from config_ + shape_ and fills params_ in the fixed order (shared by

@@ -31,7 +31,8 @@ std::string ParamValueField(int64_t i) {
 Status WriteArtifactFile(const baselines::TemporalGraphGenerator& gen,
                          const std::string& method,
                          const config::ParamMap& params,
-                         const std::string& path) {
+                         const std::string& path,
+                         const UpdateLineage& lineage) {
   std::ofstream out(path);
   if (!out.is_open())
     return Status::IoError("cannot write artifact: " + path);
@@ -40,6 +41,11 @@ Status WriteArtifactFile(const baselines::TemporalGraphGenerator& gen,
   writer.BeginSection("artifact");
   writer.WriteInt("artifact_version", kArtifactVersion);
   writer.WriteString("method", method);
+  // v2 lineage: fit/update provenance (see UpdateLineage).
+  writer.WriteInt("base_fit_seed",
+                  static_cast<int64_t>(lineage.base_fit_seed));
+  writer.WriteInt("update_count", lineage.update_count);
+  writer.WriteInt("update_epochs", lineage.update_epochs);
   // One key/value string pair per parameter: values are length-prefixed
   // raw bytes, so overlays survive whitespace (and anything else) intact.
   std::vector<std::string> keys = params.Keys();
@@ -64,7 +70,8 @@ Status WriteArtifactFile(const baselines::TemporalGraphGenerator& gen,
 
 Status SaveArtifact(const baselines::TemporalGraphGenerator& gen,
                     const std::string& method,
-                    const config::ParamMap& params, const std::string& path) {
+                    const config::ParamMap& params, const std::string& path,
+                    const UpdateLineage& lineage) {
   if (FindMethod(method) == nullptr) {
     std::string message = "cannot save artifact: unknown method '" + method +
                           "'";
@@ -73,7 +80,7 @@ Status SaveArtifact(const baselines::TemporalGraphGenerator& gen,
     if (!suggestion.empty()) message += "; did you mean '" + suggestion + "'?";
     return Status::NotFound(message);
   }
-  Status written = WriteArtifactFile(gen, method, params, path);
+  Status written = WriteArtifactFile(gen, method, params, path, lineage);
   // Never leave a half-written artifact behind: a later load would fail
   // with a confusing truncation error instead of "no such artifact".
   if (!written.ok()) std::remove(path.c_str());
@@ -106,6 +113,19 @@ Result<LoadedArtifact> LoadArtifact(const std::string& path) {
         "; regenerate it with a matching tgsim)");
   Result<std::string> method = reader.GetString("artifact", "method");
   if (!method.ok()) return method.status();
+  UpdateLineage lineage;
+  {
+    Result<int64_t> fit_seed = reader.GetInt("artifact", "base_fit_seed");
+    if (!fit_seed.ok()) return fit_seed.status();
+    lineage.base_fit_seed = static_cast<uint64_t>(fit_seed.value());
+    Result<int64_t> update_count = reader.GetInt("artifact", "update_count");
+    if (!update_count.ok()) return update_count.status();
+    lineage.update_count = update_count.value();
+    Result<int64_t> update_epochs =
+        reader.GetInt("artifact", "update_epochs");
+    if (!update_epochs.ok()) return update_epochs.status();
+    lineage.update_epochs = update_epochs.value();
+  }
   Result<int64_t> param_count = reader.GetInt("artifact", "param_count");
   if (!param_count.ok()) return param_count.status();
   config::ParamMap params;
@@ -136,6 +156,7 @@ Result<LoadedArtifact> LoadArtifact(const std::string& path) {
   LoadedArtifact loaded;
   loaded.method = std::move(method).value();
   loaded.params = std::move(params);
+  loaded.lineage = lineage;
   loaded.generator = std::move(generator).value();
   return loaded;
 }

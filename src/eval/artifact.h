@@ -1,6 +1,7 @@
 #ifndef TGSIM_EVAL_ARTIFACT_H_
 #define TGSIM_EVAL_ARTIFACT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -24,13 +25,30 @@ namespace tgsim::eval {
 
 /// Bump when the descriptor layout changes incompatibly. Method-state
 /// compatibility is governed by serialize::kArchiveFormatVersion plus each
-/// generator's own section contract.
-inline constexpr int kArtifactVersion = 1;
+/// generator's own section contract. Version history:
+///   1 — method + parameter overlay.
+///   2 — adds the update lineage (base fit seed, update count/epochs);
+///       version-1 readers reject version-2 artifacts by the exact-match
+///       gate below, and vice versa.
+inline constexpr int kArtifactVersion = 2;
+
+/// Update provenance carried by every artifact: which seed produced the
+/// base fit, and how many Update(delta) batches have been absorbed since.
+/// A freshly fitted artifact has update_count == 0. `update_epochs` totals
+/// the warm-start epoch budget granted across those updates
+/// (kUpdateWarmSnapshotLimit per batch; the statistical family's updates
+/// are closed-form merges that ignore the budget).
+struct UpdateLineage {
+  uint64_t base_fit_seed = 0;
+  int64_t update_count = 0;
+  int64_t update_epochs = 0;
+};
 
 /// A loaded artifact: the descriptor plus the reconstructed generator.
 struct LoadedArtifact {
   std::string method;       // Registry name, e.g. "TGAE".
   config::ParamMap params;  // Construction overlay (may carry `preset`).
+  UpdateLineage lineage;    // Fit/update provenance (descriptor v2).
   std::unique_ptr<baselines::TemporalGraphGenerator> generator;
 };
 
@@ -39,10 +57,13 @@ struct LoadedArtifact {
 /// parameter overlay passed to MakeGenerator — LoadArtifact replays both
 /// to reconstruct an identically configured generator. Unknown method
 /// names return NotFound with a nearest-name suggestion; an unfitted
-/// generator surfaces the method's own InvalidArgument.
+/// generator surfaces the method's own InvalidArgument. `lineage` records
+/// the update provenance; `tgsim fit` passes the fit seed with zero
+/// updates, `tgsim update` rewrites it with the incremented counters.
 Status SaveArtifact(const baselines::TemporalGraphGenerator& gen,
                     const std::string& method,
-                    const config::ParamMap& params, const std::string& path);
+                    const config::ParamMap& params, const std::string& path,
+                    const UpdateLineage& lineage = {});
 
 /// Loads an artifact written by SaveArtifact: reads the descriptor,
 /// constructs the generator through the registry (NotFound with a

@@ -58,6 +58,7 @@ MethodSpec TgaeSpec(const std::string& name, core::TgaeVariant variant,
   spec.summary = std::move(summary);
   spec.in_main_table = in_main_table;
   spec.in_ablation_table = true;
+  spec.supports_update = true;
   spec.schema = core::TgaeConfig::Schema();
   // The fast profile also flips on the sparse candidate-set decoder;
   // preset=paper keeps the dense n-wide decode (the paper's formulation).
@@ -80,6 +81,7 @@ MethodSpec ConfiguredSpec(const std::string& name, std::string summary,
   spec.name = name;
   spec.summary = std::move(summary);
   spec.in_main_table = true;
+  spec.supports_update = true;
   spec.schema = Config::Schema();
   spec.fast_preset = Tokens(fast_tokens);
   spec.factory = ConfiguredFactory<Generator, Config>();
@@ -92,6 +94,7 @@ MethodSpec PlainSpec(const std::string& name, std::string summary) {
   spec.name = name;
   spec.summary = std::move(summary);
   spec.in_main_table = true;
+  spec.supports_update = true;
   spec.factory = PlainFactory<Generator>(name);
   return spec;
 }

@@ -82,6 +82,17 @@ Status ModelCache::LoadSlotLocked(Slot& slot) {
         " bytes but the cache budget is " + std::to_string(byte_budget_) +
         " bytes");
 
+  EvictUntilFitsLocked(charge);
+
+  auto model = std::make_shared<CachedModel>();
+  model->generator = std::move(loaded).value().generator;
+  model->method = loaded.value().method;
+  model->bytes = charge;
+  InstallLocked(slot, std::move(model));
+  return Status::Ok();
+}
+
+void ModelCache::EvictUntilFitsLocked(int64_t charge) {
   // Evict strictly-least-traffic residents until the newcomer fits. The
   // order is deterministic: ascending requests, ties least-recently-used.
   while (resident_bytes_ + charge > byte_budget_) {
@@ -94,7 +105,7 @@ Status ModelCache::LoadSlotLocked(Slot& slot) {
            candidate.last_use_seq < victim->last_use_seq))
         victim = &candidate;
     }
-    // The admission check above guarantees the newcomer fits an empty
+    // The caller's admission check guarantees the newcomer fits an empty
     // cache, so a victim always exists while we are over budget.
     TGSIM_CHECK(victim != nullptr);
     resident_bytes_ -= victim->resident->bytes;
@@ -102,18 +113,16 @@ Status ModelCache::LoadSlotLocked(Slot& slot) {
     victim->stats.resident = false;
     victim->stats.evictions += 1;
   }
+}
 
-  auto model = std::make_shared<CachedModel>();
-  model->generator = std::move(loaded).value().generator;
-  model->method = loaded.value().method;
-  model->bytes = charge;
+void ModelCache::InstallLocked(Slot& slot,
+                               std::shared_ptr<CachedModel> model) {
   slot.resident = std::move(model);
   slot.stats.method = slot.resident->method;
   slot.stats.resident = true;
-  slot.stats.bytes = charge;
+  slot.stats.bytes = slot.resident->bytes;
   slot.stats.loads += 1;
-  resident_bytes_ += charge;
-  return Status::Ok();
+  resident_bytes_ += slot.resident->bytes;
 }
 
 Result<std::shared_ptr<CachedModel>> ModelCache::Acquire(
@@ -139,6 +148,58 @@ Result<std::shared_ptr<CachedModel>> ModelCache::Acquire(
                     "model '" + name + "': " + loaded.message());
   }
   return slot->resident;
+}
+
+Result<std::string> ModelCache::ArtifactPath(const std::string& name) const {
+  parallel::MutexLock lock(mu_);
+  for (const Slot& slot : slots_)
+    if (slot.spec.name == name) return slot.spec.path;
+  std::string message = "unknown model '" + name + "'";
+  std::vector<std::string> names;
+  names.reserve(slots_.size());
+  for (const Slot& s : slots_) names.push_back(s.spec.name);
+  std::string suggestion = config::NearestName(name, names);
+  if (!suggestion.empty()) message += "; did you mean '" + suggestion + "'?";
+  return Status::NotFound(message);
+}
+
+Status ModelCache::Swap(
+    const std::string& name,
+    std::unique_ptr<baselines::TemporalGraphGenerator> generator,
+    const std::string& method) {
+  TGSIM_CHECK(generator != nullptr);
+  parallel::MutexLock lock(mu_);
+  Slot* slot = FindSlotLocked(name);
+  if (slot == nullptr) return Status::NotFound("unknown model '" + name + "'");
+
+  const int64_t resident = generator->ResidentStateBytes();
+  int64_t charge = resident;
+  if (charge < 0) {
+    Result<int64_t> file_bytes = ArtifactBytes(slot->spec.path);
+    if (!file_bytes.ok()) return file_bytes.status();
+    charge = file_bytes.value();
+  }
+  if (charge > byte_budget_)
+    return Status::ResourceExhausted(
+        "updated model needs " + std::to_string(charge) +
+        " bytes but the cache budget is " + std::to_string(byte_budget_) +
+        " bytes");
+
+  // Release the old instance first (in-flight holders keep theirs alive),
+  // then admit the replacement under the freed budget.
+  if (slot->resident != nullptr) {
+    resident_bytes_ -= slot->resident->bytes;
+    slot->resident.reset();
+    slot->stats.resident = false;
+  }
+  EvictUntilFitsLocked(charge);
+
+  auto model = std::make_shared<CachedModel>();
+  model->generator = std::move(generator);
+  model->method = method;
+  model->bytes = charge;
+  InstallLocked(*slot, std::move(model));
+  return Status::Ok();
 }
 
 void ModelCache::RecordGenerate(const std::string& name, double seconds) {

@@ -80,6 +80,20 @@ class ModelCache {
   /// Adds one completed generate and its latency to `name`'s counters.
   void RecordGenerate(const std::string& name, double seconds);
 
+  /// Configured artifact path of `name` (NotFound with a suggestion for
+  /// unknown names). The serve update op rebuilds the model from this path
+  /// outside the cache lock, then installs the result with Swap().
+  Result<std::string> ArtifactPath(const std::string& name) const;
+
+  /// Atomically replaces `name`'s resident instance with `generator`
+  /// (admitting its footprint under the budget, evicting other models as
+  /// needed). In-flight requests holding the old shared_ptr finish on the
+  /// old state — the swap never destroys a model mid-generate. Counts one
+  /// load; the replaced instance does not count as an eviction.
+  Status Swap(const std::string& name,
+              std::unique_ptr<baselines::TemporalGraphGenerator> generator,
+              const std::string& method);
+
   /// Counter snapshot in configuration order.
   std::vector<ModelStats> Snapshot() const;
 
@@ -104,6 +118,15 @@ class ModelCache {
   /// lock — simple over clever: admission order stays deterministic.
   Status LoadSlotLocked(Slot& slot);
   Slot* FindSlotLocked(const std::string& name);
+
+  /// Evicts strictly-least-traffic residents until `charge` more bytes fit
+  /// the budget. Requires mu_ held and charge <= byte_budget_.
+  void EvictUntilFitsLocked(int64_t charge);
+
+  /// Installs `model` as `slot`'s resident instance (replacing any current
+  /// one without an eviction charge) and updates the counters. Requires
+  /// mu_ held and model->bytes admitted.
+  void InstallLocked(Slot& slot, std::shared_ptr<CachedModel> model);
 
   const int64_t byte_budget_;
   mutable parallel::Mutex mu_;

@@ -11,7 +11,8 @@ namespace {
 
 const std::vector<std::string>& KnownOps() {
   static const std::vector<std::string>* kOps =
-      new std::vector<std::string>{"generate", "stats", "list", "shutdown"};
+      new std::vector<std::string>{"generate", "stats", "list", "shutdown",
+                                   "update"};
   return *kOps;
 }
 
@@ -35,6 +36,8 @@ std::string RequestOpName(RequestOp op) {
       return "list";
     case RequestOp::kShutdown:
       return "shutdown";
+    case RequestOp::kUpdate:
+      return "update";
   }
   return "unknown";
 }
@@ -78,7 +81,8 @@ Result<Request> ParseRequest(const std::string& frame,
   Request request;
   bool known_op = false;
   for (RequestOp op : {RequestOp::kGenerate, RequestOp::kStats,
-                       RequestOp::kList, RequestOp::kShutdown}) {
+                       RequestOp::kList, RequestOp::kShutdown,
+                       RequestOp::kUpdate}) {
     if (RequestOpName(op) == op_name) {
       request.op = op;
       known_op = true;
@@ -98,17 +102,23 @@ Result<Request> ParseRequest(const std::string& frame,
     allowed.push_back("model");
     allowed.push_back("seed");
   }
+  if (request.op == RequestOp::kUpdate) {
+    allowed.push_back("model");
+    allowed.push_back("input");
+    allowed.push_back("seed");
+  }
   for (const auto& [key, value] : root.Members()) {
     bool known_key = false;
     for (const std::string& k : allowed) known_key = known_key || k == key;
     if (!known_key) return UnknownKeyError(key, allowed);
   }
 
-  if (request.op == RequestOp::kGenerate) {
+  if (request.op == RequestOp::kGenerate || request.op == RequestOp::kUpdate) {
     const Json* model = root.Find("model");
     if (model == nullptr || !model->is_string() || model->AsString().empty())
-      return Status::InvalidArgument(
-          "generate requires a non-empty string 'model' field");
+      return Status::InvalidArgument(RequestOpName(request.op) +
+                                     " requires a non-empty string 'model' "
+                                     "field");
     request.model = model->AsString();
     if (const Json* seed = root.Find("seed")) {
       if (!seed->is_int() || seed->AsInt() < 0)
@@ -117,6 +127,14 @@ Result<Request> ParseRequest(const std::string& frame,
       request.seed = static_cast<uint64_t>(seed->AsInt());
     }
   }
+  if (request.op == RequestOp::kUpdate) {
+    const Json* input = root.Find("input");
+    if (input == nullptr || !input->is_string() || input->AsString().empty())
+      return Status::InvalidArgument(
+          "update requires a non-empty string 'input' field (server-local "
+          "delta edge-list path)");
+    request.input = input->AsString();
+  }
   return request;
 }
 
@@ -124,12 +142,14 @@ std::string RenderRequest(const Request& request) {
   Json root = Json::Object();
   root.Set("op", Json::Str(RequestOpName(request.op)));
   root.Set("protocol", Json::Int(kServeProtocolVersion));
-  if (request.op == RequestOp::kGenerate) {
+  if (request.op == RequestOp::kGenerate || request.op == RequestOp::kUpdate) {
     root.Set("model", Json::Str(request.model));
     // A seed beyond int64 cannot ride the integer wire form; the CLI
     // parses seeds through GetInt64 so this cannot happen in practice.
     root.Set("seed", Json::Int(static_cast<int64_t>(request.seed)));
   }
+  if (request.op == RequestOp::kUpdate)
+    root.Set("input", Json::Str(request.input));
   return root.Serialize();
 }
 

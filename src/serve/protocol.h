@@ -16,6 +16,10 @@ namespace tgsim::serve {
 ///
 /// Requests:
 ///   {"op":"generate","model":NAME,"seed":N}   seed optional (default 7)
+///   {"op":"update","model":NAME,"input":PATH,"seed":N}
+///     absorbs the delta edge list at PATH (server-local path) into the
+///     served model and swaps it in atomically; in-flight generates finish
+///     on the old state. seed optional (default 7).
 ///   {"op":"stats"} | {"op":"list"} | {"op":"shutdown"}
 ///   Every request may carry "protocol":N; a request speaking a newer
 ///   protocol than this build is rejected (Status-typed reply, never a
@@ -29,23 +33,25 @@ namespace tgsim::serve {
 /// crashes on malformed input.
 
 /// Bump on any incompatible change to request or reply layout (ROADMAP
-/// invariant; readers reject newer versions with Status errors).
-inline constexpr int kServeProtocolVersion = 1;
+/// invariant; readers reject newer versions with Status errors). Version
+/// history: 1 — generate/stats/list/shutdown; 2 — adds the update op.
+inline constexpr int kServeProtocolVersion = 2;
 
 /// Hard cap on one request frame; a longer line is answered with a
 /// ResourceExhausted reply and the connection is closed (the stream can no
 /// longer be framed reliably).
 inline constexpr size_t kDefaultMaxFrameBytes = size_t{1} << 20;
 
-enum class RequestOp { kGenerate, kStats, kList, kShutdown };
+enum class RequestOp { kGenerate, kStats, kList, kShutdown, kUpdate };
 
-/// Wire name of an op ("generate", "stats", "list", "shutdown").
+/// Wire name of an op ("generate", "stats", "list", "shutdown", "update").
 std::string RequestOpName(RequestOp op);
 
 struct Request {
   RequestOp op = RequestOp::kList;
-  std::string model;  // generate only: configured model name.
-  uint64_t seed = 7;  // generate only.
+  std::string model;  // generate/update: configured model name.
+  std::string input;  // update only: server-local delta edge-list path.
+  uint64_t seed = 7;  // generate/update.
 };
 
 /// Parses one request frame. Enforces the frame-size cap, full JSON

@@ -1,10 +1,12 @@
 #include "serve/server.h"
 
+#include <cstdio>
 #include <exception>
 #include <optional>
 #include <sstream>
 #include <utility>
 
+#include "baselines/state_io.h"
 #include "common/check.h"
 #include "datasets/io.h"
 #include "eval/artifact.h"
@@ -85,6 +87,8 @@ Json Server::Handle(const Request& request) {
       return HandleList();
     case RequestOp::kShutdown:
       return HandleShutdown();
+    case RequestOp::kUpdate:
+      return HandleUpdate(request);
   }
   return MakeErrorReply(Status::Internal("unhandled request op"));
 }
@@ -127,6 +131,61 @@ Json Server::HandleGenerate(const Request& request) {
   reply.Set("edges", Json::Int(generated->num_edges()));
   reply.Set("timestamps", Json::Int(generated->num_timestamps()));
   reply.Set("payload", Json::Str(std::move(payload).str()));
+  return reply;
+}
+
+Json Server::HandleUpdate(const Request& request) {
+  // Resolve the configured artifact path first: unknown model names fail
+  // fast, before any disk or training work.
+  Result<std::string> path = cache_->ArtifactPath(request.model);
+  if (!path.ok()) return MakeErrorReply(path.status());
+  Result<graphs::TemporalGraph> delta = datasets::LoadEdgeList(request.input);
+  if (!delta.ok()) return MakeErrorReply(delta.status());
+
+  // Rebuild from the artifact on disk — never the resident instance, which
+  // in-flight generates pin and whose replies must stay byte-identical.
+  // The update rng is `tgsim update`'s fit stream, so the swapped-in model
+  // equals the artifact a CLI update with the same inputs produces.
+  Result<eval::LoadedArtifact> loaded = eval::LoadArtifact(path.value());
+  if (!loaded.ok()) return MakeErrorReply(loaded.status());
+  Status updated;
+  try {
+    Rng rng = eval::MakeSeedStreams(request.seed).fit;
+    updated = loaded.value().generator->Update(delta.value(), rng);
+  } catch (const std::exception& e) {
+    return MakeErrorReply(
+        Status::Internal(std::string("update failed: ") + e.what()));
+  }
+  if (!updated.ok()) return MakeErrorReply(updated);
+
+  // Persist the updated state next to the swap so a later reload (eviction,
+  // restart, chained update) resumes from it. Write-then-rename keeps the
+  // artifact readable at every instant.
+  eval::UpdateLineage lineage = loaded.value().lineage;
+  lineage.update_count += 1;
+  lineage.update_epochs += baselines::kUpdateWarmSnapshotLimit;
+  const std::string tmp = path.value() + ".tmp";
+  Status saved =
+      eval::SaveArtifact(*loaded.value().generator, loaded.value().method,
+                         loaded.value().params, tmp, lineage);
+  if (!saved.ok()) return MakeErrorReply(saved);
+  if (std::rename(tmp.c_str(), path.value().c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return MakeErrorReply(
+        Status::IoError("cannot replace artifact: " + path.value()));
+  }
+
+  const std::string method = loaded.value().method;
+  Status swapped = cache_->Swap(request.model,
+                                std::move(loaded.value().generator), method);
+  if (!swapped.ok()) return MakeErrorReply(swapped);
+
+  Json reply = MakeOkReply();
+  reply.Set("model", Json::Str(request.model));
+  reply.Set("method", Json::Str(method));
+  reply.Set("seed", Json::Int(static_cast<int64_t>(request.seed)));
+  reply.Set("delta_edges", Json::Int(delta.value().num_edges()));
+  reply.Set("update_count", Json::Int(lineage.update_count));
   return reply;
 }
 

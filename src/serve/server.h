@@ -93,6 +93,7 @@ class Server {
   explicit Server(ServeOptions options);
 
   Json HandleGenerate(const Request& request);
+  Json HandleUpdate(const Request& request);
   Json HandleStats();
   Json HandleList();
   Json HandleShutdown();

@@ -244,6 +244,58 @@ SparseScoreRows SparseScoreRows::CopyOf(const SparseScoreRowsView& view) {
   return out;
 }
 
+SparseScoreRows SparseScoreRows::WeightedMerge(const SparseScoreRowsView& a,
+                                               double w_a,
+                                               const SparseScoreRowsView& b,
+                                               double w_b, int64_t topk) {
+  TGSIM_CHECK_EQ(a.rows, b.rows);
+  TGSIM_CHECK_EQ(a.cols, b.cols);
+  TGSIM_CHECK(w_a >= 0.0 && w_b >= 0.0 && w_a + w_b > 0.0);
+  SparseScoreRows out;
+  out.rows_ = a.rows;
+  out.cols_ = a.cols;
+  out.row_ptr_.reserve(static_cast<size_t>(a.rows) + 1);
+  out.row_ptr_.push_back(0);
+  out.remainder_.reserve(static_cast<size_t>(a.rows));
+  std::vector<Entry> candidates;
+  for (int r = 0; r < a.rows; ++r) {
+    const SparseScoreRowsView::Row ra = a.row(r);
+    const SparseScoreRowsView::Row rb = b.row(r);
+    double total_a = ra.remainder;
+    for (double w : ra.weights) total_a += w;
+    double total_b = rb.remainder;
+    for (double w : rb.weights) total_b += w;
+    // Each input row contributes mass w_x after per-row normalization;
+    // a row absent from one input is simply the other's (scaled) row.
+    const double scale_a = total_a > 0.0 ? w_a / total_a : 0.0;
+    const double scale_b = total_b > 0.0 ? w_b / total_b : 0.0;
+    candidates.clear();
+    size_t ia = 0, ib = 0;
+    while (ia < ra.cols.size() || ib < rb.cols.size()) {
+      const int64_t ca = ia < ra.cols.size()
+                             ? ra.cols[ia]
+                             : std::numeric_limits<int64_t>::max();
+      const int64_t cb = ib < rb.cols.size()
+                             ? rb.cols[ib]
+                             : std::numeric_limits<int64_t>::max();
+      double w = 0.0;
+      int64_t c;
+      if (ca <= cb) {
+        c = ca;
+        w += scale_a * ra.weights[ia++];
+      } else {
+        c = cb;
+      }
+      if (cb == c && ib < rb.cols.size()) w += scale_b * rb.weights[ib++];
+      if (w > 0.0) candidates.push_back(Entry{c, w});
+    }
+    AppendRow(candidates, topk, out.row_ptr_, out.col_, out.weight_,
+              out.remainder_);
+    out.remainder_.back() += scale_a * ra.remainder + scale_b * rb.remainder;
+  }
+  return out;
+}
+
 int64_t SparseScoreRows::ResidentBytes() const {
   return static_cast<int64_t>(sizeof(*this)) +
          static_cast<int64_t>(row_ptr_.capacity() * sizeof(int64_t)) +

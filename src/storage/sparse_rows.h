@@ -86,6 +86,19 @@ class SparseScoreRows {
   /// Deep copy of a (possibly mmap-backed) view.
   static SparseScoreRows CopyOf(const SparseScoreRowsView& view);
 
+  /// Row-wise mixture of two row sets over the same logical matrix: each
+  /// input row is normalized to unit mass (stored entries plus remainder)
+  /// and the merged row is w_a * a + w_b * b on the union of columns,
+  /// re-truncated to `topk` with the dropped mass folded into the
+  /// remainder. The incremental-update path uses this to blend a
+  /// snapshot's fitted rows with rows fitted on a delta batch, weighting
+  /// by edge counts. Deterministic function of its inputs. Requires
+  /// matching shapes and non-negative weights with a positive sum.
+  static SparseScoreRows WeightedMerge(const SparseScoreRowsView& a,
+                                       double w_a,
+                                       const SparseScoreRowsView& b,
+                                       double w_b, int64_t topk);
+
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int64_t nnz() const { return row_ptr_.empty() ? 0 : row_ptr_.back(); }

@@ -200,6 +200,9 @@ TEST(ArtifactErrorTest, LoadUnknownMethodIsNotFoundWithSuggestion) {
     writer.BeginSection("artifact");
     writer.WriteInt("artifact_version", kArtifactVersion);
     writer.WriteString("method", "TGAF");
+    writer.WriteInt("base_fit_seed", 0);
+    writer.WriteInt("update_count", 0);
+    writer.WriteInt("update_epochs", 0);
     writer.WriteInt("param_count", 0);
     ASSERT_TRUE(writer.Finish().ok());
   }

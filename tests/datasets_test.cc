@@ -320,6 +320,20 @@ TEST(BinaryIoTest, RoundTripsThroughDiskViaSniffing) {
     EXPECT_TRUE(loaded.value().edges()[i] == g.edges()[i]);
 }
 
+TEST(BinaryIoTest, EmptyGraphRoundTrips) {
+  // A zero-edge graph is a valid container (an empty update batch is a
+  // no-op, not an error): the writer emits magic + counts, the reader
+  // rebuilds the canvas from them.
+  graphs::TemporalGraph g = graphs::TemporalGraph::FromEdges(7, 4, {});
+  std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(g, path).ok());
+  Result<graphs::TemporalGraph> loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_nodes(), 7);
+  EXPECT_EQ(loaded.value().num_timestamps(), 4);
+  EXPECT_EQ(loaded.value().num_edges(), 0);
+}
+
 TEST(BinaryIoTest, TextBinaryTextIsByteIdentical) {
   graphs::TemporalGraph g = MakeMimicByName("MSG", 0.02, 21);
   std::string text1 = TempPath("t1.txt");

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "baselines/state_io.h"
 #include "common/rng.h"
 #include "config/param_map.h"
 #include "datasets/io.h"
@@ -77,6 +78,17 @@ int64_t FileBytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   EXPECT_TRUE(in.is_open()) << path;
   return static_cast<int64_t>(in.tellg());
+}
+
+/// The budget charge the cache applies to `path`: the loaded generator's
+/// ResidentStateBytes(), or the artifact file size when the method does
+/// not report one. Eviction tests size their budgets from this so the
+/// choreography stays pinned regardless of which accounting applies.
+int64_t ChargeBytes(const std::string& path) {
+  Result<eval::LoadedArtifact> loaded = eval::LoadArtifact(path);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const int64_t resident = loaded.value().generator->ResidentStateBytes();
+  return resident >= 0 ? resident : FileBytes(path);
 }
 
 /// The reference payload for (artifact, seed): a serial LoadArtifact +
@@ -184,9 +196,9 @@ TEST(ServeStressTest, ConcurrentClientsByteMatchSerialRuns) {
 
 TEST(ServeCacheTest, LeastTrafficEvictionOrderIsPinned) {
   std::vector<serve::ModelSpec> models = TestModels();
-  const int64_t total = FileBytes(models[0].path) +
-                        FileBytes(models[1].path) +
-                        FileBytes(models[2].path);
+  const int64_t total = ChargeBytes(models[0].path) +
+                        ChargeBytes(models[1].path) +
+                        ChargeBytes(models[2].path);
   // Any two artifacts fit; all three never do.
   serve::ModelCache cache(models, total - 1);
   ASSERT_TRUE(cache.Preload().ok());
@@ -239,9 +251,9 @@ TEST(ServeCacheTest, AdmissionRejectsArtifactLargerThanBudget) {
 
 TEST(ServeCacheTest, ServedRepliesByteMatchAcrossEvictionChurn) {
   std::vector<serve::ModelSpec> models = TestModels();
-  const int64_t total = FileBytes(models[0].path) +
-                        FileBytes(models[1].path) +
-                        FileBytes(models[2].path);
+  const int64_t total = ChargeBytes(models[0].path) +
+                        ChargeBytes(models[1].path) +
+                        ChargeBytes(models[2].path);
   serve::ServeOptions options;
   options.models = models;
   options.cache_budget_bytes = total - 1;  // Every third acquire evicts.
@@ -265,6 +277,207 @@ TEST(ServeCacheTest, ServedRepliesByteMatchAcrossEvictionChurn) {
     evictions += stats.evictions;
   EXPECT_GT(evictions, 0);  // The budget actually forced churn.
   EXPECT_LE(server.value()->cache().resident_bytes(), total - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Serve-side model refresh: the update op.
+// ---------------------------------------------------------------------------
+
+/// Copies an artifact to its own path so update tests never mutate the
+/// shared FitArtifact files the other tests read.
+std::string CopyArtifact(const std::string& src, const std::string& name) {
+  const std::string dst = TempPath(name);
+  std::ifstream in(src, std::ios::binary);
+  std::ofstream out(dst, std::ios::binary | std::ios::trunc);
+  out << in.rdbuf();
+  EXPECT_TRUE(in.good() && out.good()) << src << " -> " << dst;
+  return dst;
+}
+
+/// Writes the second half of alpha's observed stream (on the full fitted
+/// canvas) as a text delta file; returns its path.
+std::string WriteAlphaDelta(const std::string& name) {
+  graphs::TemporalGraph observed = datasets::MakeMimicByName("DBLP", 0.02, 11);
+  const int split = observed.num_timestamps() / 2;
+  std::vector<graphs::TemporalEdge> edges;
+  for (const graphs::TemporalEdge& e : observed.edges())
+    if (e.t >= split) edges.push_back(e);
+  EXPECT_FALSE(edges.empty());
+  graphs::TemporalGraph delta = graphs::TemporalGraph::FromEdges(
+      observed.num_nodes(), observed.num_timestamps(), std::move(edges));
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(datasets::SaveEdgeList(delta, path).ok());
+  return path;
+}
+
+serve::Request UpdateRequest(const std::string& model,
+                             const std::string& input, uint64_t seed) {
+  serve::Request request;
+  request.op = serve::RequestOp::kUpdate;
+  request.model = model;
+  request.input = input;
+  request.seed = seed;
+  return request;
+}
+
+TEST(ServeUpdateTest, UpdateSwapsServedModelAndRewritesArtifact) {
+  const std::string artifact =
+      CopyArtifact(TestModels()[0].path, "serve_update_swap.tgsim");
+  const std::string delta_path = WriteAlphaDelta("serve_update_delta.txt");
+
+  serve::ServeOptions options;
+  options.models = {{"alpha", artifact}};
+  Result<std::unique_ptr<serve::Server>> server =
+      serve::Server::Create(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  const std::string before = SerialPayload(artifact, 5);
+  serve::Json first = server.value()->Handle(GenerateRequest("alpha", 5));
+  ASSERT_TRUE(FindField(first, "ok")->AsBoolOr(false)) << first.Serialize();
+  EXPECT_EQ(FindField(first, "payload")->AsString(), before);
+
+  Result<graphs::TemporalGraph> delta = datasets::LoadEdgeList(delta_path);
+  ASSERT_TRUE(delta.ok());
+  serve::Json reply =
+      server.value()->Handle(UpdateRequest("alpha", delta_path, 99));
+  ASSERT_TRUE(FindField(reply, "ok")->AsBoolOr(false)) << reply.Serialize();
+  EXPECT_EQ(FindField(reply, "method")->AsString(), "E-R");
+  EXPECT_EQ(FindField(reply, "delta_edges")->AsIntOr(-1),
+            delta.value().num_edges());
+  EXPECT_EQ(FindField(reply, "update_count")->AsIntOr(-1), 1);
+
+  // The artifact on disk carries the new state and lineage...
+  Result<eval::LoadedArtifact> reloaded = eval::LoadArtifact(artifact);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded.value().lineage.update_count, 1);
+  EXPECT_EQ(reloaded.value().lineage.update_epochs,
+            baselines::kUpdateWarmSnapshotLimit);
+
+  // ...and post-swap replies match a fresh generate from that artifact —
+  // the same payload `tgsim generate --model` produces.
+  const std::string after = SerialPayload(artifact, 5);
+  serve::Json second = server.value()->Handle(GenerateRequest("alpha", 5));
+  ASSERT_TRUE(FindField(second, "ok")->AsBoolOr(false));
+  EXPECT_EQ(FindField(second, "payload")->AsString(), after);
+  EXPECT_NE(after, before);  // The delta actually changed the model.
+}
+
+TEST(ServeUpdateTest, ServeUpdateMatchesCliUpdateByteForByte) {
+  // The daemon's update must leave the exact artifact a `tgsim update`
+  // with the same delta and seed writes: same fit-stream rng, same
+  // lineage bump, same Save path.
+  const std::string served =
+      CopyArtifact(TestModels()[0].path, "serve_update_served.tgsim");
+  const std::string offline =
+      CopyArtifact(TestModels()[0].path, "serve_update_offline.tgsim");
+  const std::string delta_path = WriteAlphaDelta("serve_update_cli_delta.txt");
+
+  serve::ServeOptions options;
+  options.models = {{"alpha", served}};
+  Result<std::unique_ptr<serve::Server>> server =
+      serve::Server::Create(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  serve::Json reply =
+      server.value()->Handle(UpdateRequest("alpha", delta_path, 42));
+  ASSERT_TRUE(FindField(reply, "ok")->AsBoolOr(false)) << reply.Serialize();
+
+  // The CLI path, in-process (exactly what `tgsim update` runs).
+  Result<eval::LoadedArtifact> loaded = eval::LoadArtifact(offline);
+  ASSERT_TRUE(loaded.ok());
+  Result<graphs::TemporalGraph> delta = datasets::LoadEdgeList(delta_path);
+  ASSERT_TRUE(delta.ok());
+  Rng rng = eval::MakeSeedStreams(42).fit;
+  ASSERT_TRUE(loaded.value().generator->Update(delta.value(), rng).ok());
+  eval::UpdateLineage lineage = loaded.value().lineage;
+  lineage.update_count += 1;
+  lineage.update_epochs += baselines::kUpdateWarmSnapshotLimit;
+  ASSERT_TRUE(eval::SaveArtifact(*loaded.value().generator,
+                                 loaded.value().method, loaded.value().params,
+                                 offline, lineage)
+                  .ok());
+
+  std::ifstream a(served, std::ios::binary), b(offline, std::ios::binary);
+  std::string served_bytes((std::istreambuf_iterator<char>(a)),
+                           std::istreambuf_iterator<char>());
+  std::string offline_bytes((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(served_bytes, offline_bytes);
+}
+
+TEST(ServeUpdateTest, ConcurrentGeneratesAcrossUpdateStayByteIdentical) {
+  // Satellite: 8 clients generate while the model is updated underneath
+  // them. Every reply must byte-match either the pre-update or the
+  // post-update reference — never a torn mix — and once the swap lands,
+  // new requests serve the updated model.
+  GlobalThreadsGuard guard;
+  const std::string artifact =
+      CopyArtifact(TestModels()[0].path, "serve_update_race.tgsim");
+  const std::string delta_path = WriteAlphaDelta("serve_update_race_delta.txt");
+  const uint64_t kSeed = 5;
+  const std::string before = SerialPayload(artifact, kSeed);
+
+  serve::ServeOptions options;
+  options.models = {{"alpha", artifact}};
+  options.workers = 4;
+  Result<std::unique_ptr<serve::Server>> server =
+      serve::Server::Create(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 4;
+  std::atomic<int> failures{0};
+  parallel::Mutex payload_mu;
+  std::vector<std::string> payloads;
+  {
+    parallel::TaskQueue clients(kClients, kClients + 1);
+    std::vector<std::future<void>> done;
+    for (int c = 0; c < kClients; ++c) {
+      done.push_back(clients.Submit([&] {
+        for (int k = 0; k < kRequestsPerClient; ++k) {
+          serve::Json reply =
+              server.value()->Handle(GenerateRequest("alpha", kSeed));
+          const serve::Json* ok = reply.Find("ok");
+          if (ok == nullptr || !ok->AsBoolOr(false)) {
+            failures.fetch_add(1);
+            continue;
+          }
+          parallel::MutexLock lock(payload_mu);
+          payloads.push_back(reply.Find("payload")->AsString());
+        }
+      }));
+    }
+    // The update races the in-flight generates.
+    serve::Json reply =
+        server.value()->Handle(UpdateRequest("alpha", delta_path, 99));
+    EXPECT_TRUE(FindField(reply, "ok")->AsBoolOr(false)) << reply.Serialize();
+    for (std::future<void>& f : done) f.get();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // The updated artifact defines the post-swap reference.
+  const std::string after = SerialPayload(artifact, kSeed);
+  ASSERT_NE(after, before);
+  for (const std::string& payload : payloads)
+    EXPECT_TRUE(payload == before || payload == after)
+        << "reply matches neither the pre- nor post-update model";
+
+  serve::Json final_reply =
+      server.value()->Handle(GenerateRequest("alpha", kSeed));
+  ASSERT_TRUE(FindField(final_reply, "ok")->AsBoolOr(false));
+  EXPECT_EQ(FindField(final_reply, "payload")->AsString(), after);
+}
+
+TEST(ServeUpdateTest, UpdateUnknownModelIsNotFound) {
+  const std::string delta_path = WriteAlphaDelta("serve_update_nf_delta.txt");
+  serve::ServeOptions options;
+  options.models = TestModels();
+  Result<std::unique_ptr<serve::Server>> server =
+      serve::Server::Create(std::move(options));
+  ASSERT_TRUE(server.ok());
+  serve::Json reply =
+      server.value()->Handle(UpdateRequest("alpah", delta_path, 1));
+  EXPECT_FALSE(FindField(reply, "ok")->AsBoolOr(true));
+  EXPECT_EQ(FindField(reply, "code")->AsString(), "NotFound");
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +564,28 @@ TEST_F(ServeProtocolTest, GenerateFieldValidation) {
               StatusCode::kInvalidArgument);
   ExpectError(R"({"op":"generate","model":"alpha","seed":1.5})",
               StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeProtocolTest, UpdateFieldValidation) {
+  ExpectError(R"({"op":"update"})", StatusCode::kInvalidArgument);
+  EXPECT_NE(ExpectError(R"({"op":"update","model":"alpha"})",
+                        StatusCode::kInvalidArgument)
+                .find("input"),
+            std::string::npos);
+  ExpectError(R"({"op":"update","model":"alpha","input":""})",
+              StatusCode::kInvalidArgument);
+  ExpectError(R"({"op":"update","model":"alpha","input":"d.txt","seed":-1})",
+              StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeProtocolTest, CurrentProtocolVersionIsAccepted) {
+  // A v2 client (the version that introduced update) passes the gate; its
+  // errors, if any, are about the request body, not the version.
+  const std::string message = ExpectError(
+      R"({"op":"update","protocol":2,"model":"alpha"})",
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(message.find("protocol version"), std::string::npos) << message;
+  EXPECT_NE(message.find("input"), std::string::npos) << message;
 }
 
 TEST_F(ServeProtocolTest, ServerStillServesAfterEveryErrorPath) {

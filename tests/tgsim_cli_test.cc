@@ -275,6 +275,71 @@ TEST(TgsimCliTest, FitThenGenerateFromModelMatchesDirectRun) {
         << "edge " << i;
 }
 
+TEST(TgsimCliTest, UpdateAbsorbsDeltaAndBumpsLineage) {
+  // fit(first half) + update(second half): the updated artifact generates
+  // the full edge budget and reports its update lineage on reload.
+  graphs::TemporalGraph observed = datasets::MakeMimicByName("DBLP", 0.03, 11);
+  const int split = observed.num_timestamps() / 2;
+  std::vector<graphs::TemporalEdge> first, second;
+  for (const graphs::TemporalEdge& e : observed.edges())
+    (e.t < split ? first : second).push_back(e);
+  std::string first_path = TempPath("cli_update_first.txt");
+  std::string delta_path = TempPath("cli_update_delta.txt");
+  ASSERT_TRUE(datasets::SaveEdgeList(
+                  graphs::TemporalGraph::FromEdges(
+                      observed.num_nodes(), observed.num_timestamps(),
+                      std::move(first)),
+                  first_path)
+                  .ok());
+  ASSERT_TRUE(datasets::SaveEdgeList(
+                  graphs::TemporalGraph::FromEdges(
+                      observed.num_nodes(), observed.num_timestamps(),
+                      std::move(second)),
+                  delta_path)
+                  .ok());
+
+  std::string model_path = TempPath("cli_update_model.tgsim");
+  std::string updated_path = TempPath("cli_update_model2.tgsim");
+  CliResult fit = RunCli({"fit", "--method", "E-R", "--input", first_path,
+                          "--output", model_path, "--seed", "11"});
+  ASSERT_EQ(fit.code, 0) << fit.out;
+
+  CliResult update = RunCli({"update", "--model", model_path, "--input",
+                             delta_path, "--output", updated_path,
+                             "--seed", "11"});
+  ASSERT_EQ(update.code, 0) << update.out;
+  EXPECT_NE(update.out.find("wrote model artifact"), std::string::npos)
+      << update.out;
+  EXPECT_NE(update.out.find("update #1"), std::string::npos) << update.out;
+
+  std::string out_path = TempPath("cli_update_generated.txt");
+  CliResult gen = RunCli({"generate", "--model", updated_path, "--output",
+                          out_path, "--seed", "11"});
+  ASSERT_EQ(gen.code, 0) << gen.out;
+  Result<graphs::TemporalGraph> g = datasets::LoadEdgeList(out_path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), observed.num_edges());
+}
+
+TEST(TgsimCliTest, UpdateRejectsBadInvocations) {
+  EXPECT_EQ(RunCli({"update", "--model", "m.tgsim"}).code, 2);
+  EXPECT_EQ(RunCli({"update", "--model", TempPath("no_such.tgsim"),
+                    "--input", TempPath("no_delta.txt"), "--output",
+                    TempPath("out.tgsim")})
+                .code,
+            1);
+}
+
+TEST(TgsimCliTest, MethodsMarksUpdatableMethods) {
+  CliResult r = RunCli({"methods"});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("[updatable]"), std::string::npos) << r.out;
+  CliResult verbose = RunCli({"methods", "--method", "TGAE"});
+  ASSERT_EQ(verbose.code, 0);
+  EXPECT_NE(verbose.out.find("incremental update"), std::string::npos)
+      << verbose.out;
+}
+
 TEST(TgsimCliTest, GenerateModelRejectsConflictingFlags) {
   // --model with --method is a usage error; with dataset or construction
   // flags it is a runtime error (the artifact embeds all of them).

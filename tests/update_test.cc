@@ -1,0 +1,258 @@
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "baselines/generator.h"
+#include "baselines/state_io.h"
+#include "common/check.h"
+#include "config/param_map.h"
+#include "datasets/synthetic.h"
+#include "eval/artifact.h"
+#include "eval/registry.h"
+#include "graph/temporal_graph.h"
+#include "gtest/gtest.h"
+#include "metrics/degree_mmd.h"
+
+namespace tgsim {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+/// The observed stream every update test splits: one mimic dataset, fit
+/// either on all of it or on the first half with the second half arriving
+/// later as an Update(delta) batch.
+graphs::TemporalGraph Observed() {
+  static const graphs::TemporalGraph* kGraph = new graphs::TemporalGraph(
+      datasets::MakeMimicByName("DBLP", 0.05, 21));
+  return *kGraph;
+}
+
+/// Edges of `g` with t < split (keep = true) or t >= split (keep = false),
+/// on g's full node/timestamp canvas — the delta stays within the fitted
+/// shape, which is the Update contract (growth needs a full refit).
+graphs::TemporalGraph Half(const graphs::TemporalGraph& g, int split,
+                           bool first) {
+  std::vector<graphs::TemporalEdge> edges;
+  for (const graphs::TemporalEdge& e : g.edges())
+    if ((e.t < split) == first) edges.push_back(e);
+  return graphs::TemporalGraph::FromEdges(g.num_nodes(), g.num_timestamps(),
+                                          std::move(edges));
+}
+
+std::unique_ptr<baselines::TemporalGraphGenerator> MakeFast(
+    const std::string& name) {
+  config::ParamMap params;
+  params.Override("preset", "fast");
+  auto gen = eval::MakeGenerator(name, params);
+  TGSIM_CHECK(gen.ok());
+  return std::move(gen).value();
+}
+
+std::vector<std::string> UpdatableMethods() {
+  std::vector<std::string> names;
+  for (const std::string& name : eval::AllMethodNames())
+    if (eval::FindMethod(name)->supports_update) names.push_back(name);
+  return names;
+}
+
+std::string EdgeBytes(const graphs::TemporalGraph& g) {
+  std::string out;
+  for (const graphs::TemporalEdge& e : g.edges()) {
+    out += std::to_string(e.u) + " " + std::to_string(e.v) + " " +
+           std::to_string(e.t) + "\n";
+  }
+  return out;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// ---------------------------------------------------------------------------
+// The incremental-fit contract, parameterized over every method that
+// advertises supports_update (which is all built-ins).
+// ---------------------------------------------------------------------------
+
+class UpdateContractTest : public ::testing::TestWithParam<std::string> {};
+
+// Headline pin: fitting the first half and absorbing the second half via
+// Update lands within a tested MMD tolerance of fitting the full stream,
+// on the degree-distribution metric.
+TEST_P(UpdateContractTest, FitHalfPlusUpdateTracksFullFitWithinTolerance) {
+  graphs::TemporalGraph observed = Observed();
+  const int split = observed.num_timestamps() / 2;
+  graphs::TemporalGraph first = Half(observed, split, true);
+  graphs::TemporalGraph delta = Half(observed, split, false);
+  ASSERT_GT(first.num_edges(), 0);
+  ASSERT_GT(delta.num_edges(), 0);
+
+  auto full = MakeFast(GetParam());
+  Rng full_rng(17);
+  full->Fit(observed, full_rng);
+  graphs::TemporalGraph full_out = full->Generate(full_rng);
+
+  auto incremental = MakeFast(GetParam());
+  Rng inc_rng(17);
+  incremental->Fit(first, inc_rng);
+  Status updated = incremental->Update(delta, inc_rng);
+  ASSERT_TRUE(updated.ok()) << GetParam() << ": " << updated.ToString();
+  graphs::TemporalGraph inc_out = incremental->Generate(inc_rng);
+
+  // The update restores the full edge budget, so the generated stream has
+  // the full stream's size — not the half fit's.
+  EXPECT_EQ(inc_out.num_edges(), observed.num_edges()) << GetParam();
+
+  const double mmd_full = metrics::DegreeMmd(observed, full_out);
+  const double mmd_inc = metrics::DegreeMmd(observed, inc_out);
+  // Warm starts are not bit-equal to a full refit; they must stay in the
+  // same quality band. Tolerance covers every method's worst case with
+  // headroom (the statistical family's closed-form merges are near-exact).
+  EXPECT_LE(mmd_inc, mmd_full + 0.15)
+      << GetParam() << ": full " << mmd_full << " incremental " << mmd_inc;
+}
+
+// An empty delta is a no-op: the post-update generator byte-reproduces the
+// pre-update one on the same seed.
+TEST_P(UpdateContractTest, EmptyDeltaIsANoOp) {
+  graphs::TemporalGraph observed = Observed();
+  auto gen = MakeFast(GetParam());
+  Rng fit_rng(11);
+  gen->Fit(observed, fit_rng);
+  Rng before_rng(7);
+  const std::string before = EdgeBytes(gen->Generate(before_rng));
+
+  graphs::TemporalGraph empty = graphs::TemporalGraph::FromEdges(
+      observed.num_nodes(), observed.num_timestamps(), {});
+  Rng update_rng(3);
+  Status updated = gen->Update(empty, update_rng);
+  ASSERT_TRUE(updated.ok()) << GetParam() << ": " << updated.ToString();
+
+  Rng after_rng(7);
+  EXPECT_EQ(EdgeBytes(gen->Generate(after_rng)), before) << GetParam();
+}
+
+// A delta that grows either axis of the fitted universe needs a full
+// refit; Update must reject it rather than guess.
+TEST_P(UpdateContractTest, GrowingDeltaIsInvalidArgument) {
+  graphs::TemporalGraph observed = Observed();
+  auto gen = MakeFast(GetParam());
+  Rng rng(11);
+  gen->Fit(observed, rng);
+
+  graphs::TemporalGraph more_nodes = graphs::TemporalGraph::FromEdges(
+      observed.num_nodes() + 1, observed.num_timestamps(),
+      {{0, 1, 0}});
+  EXPECT_EQ(gen->Update(more_nodes, rng).code(),
+            StatusCode::kInvalidArgument)
+      << GetParam();
+
+  graphs::TemporalGraph more_time = graphs::TemporalGraph::FromEdges(
+      observed.num_nodes(), observed.num_timestamps() + 1, {{0, 1, 0}});
+  EXPECT_EQ(gen->Update(more_time, rng).code(), StatusCode::kInvalidArgument)
+      << GetParam();
+}
+
+// Update without a prior Fit/LoadState is the uniform InvalidArgument.
+TEST_P(UpdateContractTest, UpdateBeforeFitIsInvalidArgument) {
+  auto gen = MakeFast(GetParam());
+  graphs::TemporalGraph delta =
+      graphs::TemporalGraph::FromEdges(4, 2, {{0, 1, 0}});
+  Rng rng(11);
+  Status s = gen->Update(delta, rng);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << GetParam();
+  EXPECT_NE(s.message().find("Fit"), std::string::npos) << s.ToString();
+}
+
+// An updated generator round-trips through Save/Load bit-identically:
+// the reloaded artifact generates the same bytes, and re-saving it
+// reproduces the file exactly (lineage included).
+TEST_P(UpdateContractTest, UpdatedArtifactRoundTripsBitIdentically) {
+  graphs::TemporalGraph observed = Observed();
+  const int split = observed.num_timestamps() / 2;
+  auto gen = MakeFast(GetParam());
+  Rng rng(29);
+  gen->Fit(Half(observed, split, true), rng);
+  ASSERT_TRUE(gen->Update(Half(observed, split, false), rng).ok());
+
+  config::ParamMap params;
+  params.Override("preset", "fast");
+  eval::UpdateLineage lineage;
+  lineage.base_fit_seed = 29;
+  lineage.update_count = 1;
+  lineage.update_epochs = baselines::kUpdateWarmSnapshotLimit;
+
+  const std::string path = TempPath("update_rt_" + GetParam() + ".tgsim");
+  Status saved = eval::SaveArtifact(*gen, GetParam(), params, path, lineage);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+
+  Result<eval::LoadedArtifact> loaded = eval::LoadArtifact(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().lineage.base_fit_seed, 29u);
+  EXPECT_EQ(loaded.value().lineage.update_count, 1);
+  EXPECT_EQ(loaded.value().lineage.update_epochs,
+            baselines::kUpdateWarmSnapshotLimit);
+
+  Rng a(5), b(5);
+  EXPECT_EQ(EdgeBytes(loaded.value().generator->Generate(a)),
+            EdgeBytes(gen->Generate(b)))
+      << GetParam();
+
+  const std::string again = TempPath("update_rt2_" + GetParam() + ".tgsim");
+  Status resaved = eval::SaveArtifact(*loaded.value().generator, GetParam(),
+                                      params, again, lineage);
+  ASSERT_TRUE(resaved.ok()) << resaved.ToString();
+  EXPECT_EQ(FileBytes(path), FileBytes(again)) << GetParam();
+  std::filesystem::remove(path);
+  std::filesystem::remove(again);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UpdatableMethods, UpdateContractTest,
+    ::testing::ValuesIn(UpdatableMethods()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Registry flag and the default Update.
+// ---------------------------------------------------------------------------
+
+TEST(UpdateRegistryTest, EveryBuiltInMethodSupportsUpdate) {
+  for (const std::string& name : eval::AllMethodNames())
+    EXPECT_TRUE(eval::FindMethod(name)->supports_update) << name;
+}
+
+/// A generator that opts out of everything optional: Update must fall
+/// back to the base class's Unimplemented.
+class StubGenerator : public baselines::TemporalGraphGenerator {
+ public:
+  std::string name() const override { return "stub"; }
+  void Fit(const graphs::TemporalGraph&, Rng&) override {}
+  graphs::TemporalGraph Generate(Rng&) override {
+    return graphs::TemporalGraph::FromEdges(1, 1, {});
+  }
+};
+
+TEST(UpdateRegistryTest, DefaultUpdateIsUnimplemented) {
+  StubGenerator gen;
+  graphs::TemporalGraph delta =
+      graphs::TemporalGraph::FromEdges(2, 1, {{0, 1, 0}});
+  Rng rng(1);
+  Status s = gen.Update(delta, rng);
+  EXPECT_EQ(s.code(), StatusCode::kUnimplemented) << s.ToString();
+  EXPECT_NE(s.message().find("stub"), std::string::npos) << s.ToString();
+}
+
+}  // namespace
+}  // namespace tgsim

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "baselines/state_io.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "config/param_map.h"
@@ -39,6 +40,8 @@ constexpr char kUsage[] =
     "            artifact (fit once, then `generate --model` many times).\n"
     "  generate  Write a synthetic edge list, fitting on a dataset or\n"
     "            loading a trained artifact (--model).\n"
+    "  update    Absorb a delta edge list into a fitted artifact\n"
+    "            incrementally (no full refit) and save the result.\n"
     "  eval      Run a (methods x datasets) matrix and print paper-style "
     "tables.\n"
     "  stats     Print shape and Table III statistics of a dataset.\n"
@@ -77,6 +80,19 @@ constexpr char kFitUsage[] =
     "`tgsim generate --model MODEL.tgsim` then generates without the\n"
     "training data; with the same --seed it reproduces an in-process\n"
     "fit+generate run exactly.\n";
+
+constexpr char kUpdateUsage[] =
+    "usage: tgsim update --model IN.tgsim --input DELTA --output OUT.tgsim\n"
+    "         [--seed N]\n"
+    "Loads a `tgsim fit` artifact, absorbs the delta edge list (new\n"
+    "observations inside the fitted node/timestamp universe; growing\n"
+    "either axis requires a full refit) through the method's incremental\n"
+    "Update path, and saves the updated artifact. The statistical family\n"
+    "merges support structures and rebuilds its samplers; the NN family\n"
+    "takes a bounded warm start on recency-biased snapshots. An empty\n"
+    "delta is a no-op. The artifact records its update lineage (base fit\n"
+    "seed, update count); `tgsim generate --model OUT.tgsim` serves the\n"
+    "updated model as usual.\n";
 
 constexpr char kGenerateUsage[] =
     "usage: tgsim generate --method NAME --output PATH\n"
@@ -120,6 +136,8 @@ constexpr char kServeUsage[] =
     "         [--budget-mb N] [--workers N] [--max-pending N]\n"
     "   or: tgsim serve --socket PATH --call generate --name NAME\n"
     "         [--seed N] [--output PATH]\n"
+    "   or: tgsim serve --socket PATH --call update --name NAME\n"
+    "         --input DELTA [--seed N]\n"
     "   or: tgsim serve --socket PATH (--call stats|list|shutdown | "
     "--status)\n"
     "Daemon mode preloads every --model artifact (NAME=PATH, repeatable)\n"
@@ -127,7 +145,10 @@ constexpr char kServeUsage[] =
     "a Unix-domain socket until a shutdown request drains it. Client mode\n"
     "(--call/--status) sends one request to a running daemon; a generate\n"
     "reply's payload is the same edge list `tgsim generate --model` writes\n"
-    "for that seed, and --output saves it byte-for-byte.\n"
+    "for that seed, and --output saves it byte-for-byte. --call update\n"
+    "absorbs the delta at --input (a daemon-local path) into the served\n"
+    "model, rewrites its artifact, and swaps it in atomically — in-flight\n"
+    "generates finish on the old state.\n"
     "  --budget-mb N    Model-cache budget in MiB (default 1024); least-\n"
     "                   traffic models are evicted and reloaded on demand.\n"
     "  --workers N      Concurrent connection workers (default 4).\n"
@@ -340,7 +361,8 @@ int RunMethods(const ParsedArgs& args) {
   }
   for (const std::string& name : names) {
     const eval::MethodSpec* spec = eval::FindMethod(name);
-    std::printf("%-10s %s\n", spec->name.c_str(), spec->summary.c_str());
+    std::printf("%-10s %s%s\n", spec->name.c_str(), spec->summary.c_str(),
+                spec->supports_update ? " [updatable]" : "");
     if (!verbose) continue;
     if (spec->schema.empty()) {
       std::printf("  (no tunable parameters)\n");
@@ -350,6 +372,8 @@ int RunMethods(const ParsedArgs& args) {
         std::printf("  preset=fast applies: %s\n",
                     spec->fast_preset.ToString().c_str());
     }
+    std::printf("  incremental update (tgsim update): %s\n",
+                spec->supports_update ? "supported" : "not supported");
     std::printf("\n");
   }
   if (!verbose)
@@ -413,8 +437,10 @@ int RunFit(const ParsedArgs& args) {
   generator.value()->Fit(observed.value(), streams.fit);
   double fit_s = fit_watch.ElapsedSeconds();
 
+  eval::UpdateLineage lineage;
+  lineage.base_fit_seed = static_cast<uint64_t>(seed.value());
   Status save = eval::SaveArtifact(*generator.value(), *method,
-                                   params.value(), *output);
+                                   params.value(), *output, lineage);
   if (!save.ok()) {
     std::fprintf(stderr, "error: %s\n", save.ToString().c_str());
     return 1;
@@ -508,6 +534,68 @@ int RunGenerate(const ParsedArgs& args) {
     return 1;
   }
   std::printf("wrote %s\n", output->c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// tgsim update
+// ---------------------------------------------------------------------------
+
+int RunUpdate(const ParsedArgs& args) {
+  const std::string* model = FindFlag(args, "--model");
+  const std::string* input = FindFlag(args, "--input");
+  const std::string* output = FindFlag(args, "--output");
+  if (model == nullptr || input == nullptr || output == nullptr) {
+    std::fprintf(stderr, "%s", kUpdateUsage);
+    return 2;
+  }
+  Result<int64_t> seed = ParseIntFlag(args, "--seed", 7);
+  if (!seed.ok() || seed.value() < 0) {
+    std::fprintf(stderr, "error: --seed must be a non-negative integer\n");
+    return 1;
+  }
+
+  Result<eval::LoadedArtifact> loaded = eval::LoadArtifact(*model);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %s (method %s, %lld prior updates)\n", model->c_str(),
+              loaded.value().method.c_str(),
+              static_cast<long long>(loaded.value().lineage.update_count));
+
+  Result<graphs::TemporalGraph> delta = datasets::LoadEdgeList(*input);
+  if (!delta.ok()) {
+    std::fprintf(stderr, "error: %s\n", delta.status().ToString().c_str());
+    return 1;
+  }
+  PrintGraphShape("delta", delta.value());
+
+  // The fit stream backs the warm start, so a serve-side update with the
+  // same artifact, delta and seed lands on the identical model state.
+  Stopwatch update_watch;
+  Rng rng = eval::MakeSeedStreams(static_cast<uint64_t>(seed.value())).fit;
+  Status updated = loaded.value().generator->Update(delta.value(), rng);
+  if (!updated.ok()) {
+    std::fprintf(stderr, "error: %s\n", updated.ToString().c_str());
+    return 1;
+  }
+  double update_s = update_watch.ElapsedSeconds();
+
+  eval::UpdateLineage lineage = loaded.value().lineage;
+  lineage.update_count += 1;
+  lineage.update_epochs += baselines::kUpdateWarmSnapshotLimit;
+  Status save =
+      eval::SaveArtifact(*loaded.value().generator, loaded.value().method,
+                         loaded.value().params, *output, lineage);
+  if (!save.ok()) {
+    std::fprintf(stderr, "error: %s\n", save.ToString().c_str());
+    return 1;
+  }
+  std::printf("update %.2fs\n", update_s);
+  std::printf("wrote model artifact %s (method %s, update #%lld)\n",
+              output->c_str(), loaded.value().method.c_str(),
+              static_cast<long long>(lineage.update_count));
   return 0;
 }
 
@@ -753,7 +841,8 @@ int RunServeClient(const ParsedArgs& args, const std::string& socket) {
   bool known_op = false;
   for (serve::RequestOp op :
        {serve::RequestOp::kGenerate, serve::RequestOp::kStats,
-        serve::RequestOp::kList, serve::RequestOp::kShutdown}) {
+        serve::RequestOp::kList, serve::RequestOp::kShutdown,
+        serve::RequestOp::kUpdate}) {
     if (serve::RequestOpName(op) == op_name) {
       request.op = op;
       known_op = true;
@@ -762,17 +851,19 @@ int RunServeClient(const ParsedArgs& args, const std::string& socket) {
   }
   if (!known_op) {
     std::fprintf(stderr,
-                 "error: --call takes generate, stats, list or shutdown "
-                 "(got '%s')\n",
+                 "error: --call takes generate, update, stats, list or "
+                 "shutdown (got '%s')\n",
                  op_name.c_str());
     return 1;
   }
-  if (request.op == serve::RequestOp::kGenerate) {
+  if (request.op == serve::RequestOp::kGenerate ||
+      request.op == serve::RequestOp::kUpdate) {
     const std::string* name = FindFlag(args, "--name");
     if (name == nullptr || name->empty()) {
       std::fprintf(stderr,
-                   "error: --call generate needs --name MODEL (a name the "
-                   "daemon was started with)\n");
+                   "error: --call %s needs --name MODEL (a name the "
+                   "daemon was started with)\n",
+                   op_name.c_str());
       return 1;
     }
     request.model = *name;
@@ -782,6 +873,16 @@ int RunServeClient(const ParsedArgs& args, const std::string& socket) {
       return 1;
     }
     request.seed = static_cast<uint64_t>(seed.value());
+  }
+  if (request.op == serve::RequestOp::kUpdate) {
+    const std::string* input = FindFlag(args, "--input");
+    if (input == nullptr || input->empty()) {
+      std::fprintf(stderr,
+                   "error: --call update needs --input DELTA (an edge-list "
+                   "path readable by the daemon)\n");
+      return 1;
+    }
+    request.input = *input;
   }
 
   Result<serve::Json> reply = serve::Call(socket, request);
@@ -962,6 +1063,7 @@ int Run(const std::vector<std::string>& args) {
     if (command == "methods") std::printf("%s", kMethodsUsage);
     else if (command == "fit") std::printf("%s", kFitUsage);
     else if (command == "generate") std::printf("%s", kGenerateUsage);
+    else if (command == "update") std::printf("%s", kUpdateUsage);
     else if (command == "eval") std::printf("%s", kEvalUsage);
     else if (command == "stats") std::printf("%s", kStatsUsage);
     else if (command == "convert") std::printf("%s", kConvertUsage);
@@ -990,6 +1092,7 @@ int Run(const std::vector<std::string>& args) {
   if (command == "methods") return RunMethods(parsed.value());
   if (command == "fit") return RunFit(parsed.value());
   if (command == "generate") return RunGenerate(parsed.value());
+  if (command == "update") return RunUpdate(parsed.value());
   if (command == "eval") return RunEval(parsed.value());
   if (command == "stats") return RunStats(parsed.value());
   if (command == "convert") return RunConvert(parsed.value());
