@@ -21,6 +21,8 @@
 #include "metrics/graph_stats.h"
 #include "metrics/motifs.h"
 #include "nn/autograd.h"
+#include "nn/kernels.h"
+#include "nn/simd.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 
@@ -185,6 +187,119 @@ void BM_DecodeSparse(benchmark::State& state) {
 BENCHMARK(BM_DecodeSparse)->Args({2000, 64})->Args({4000, 64})
     ->Args({2000, 256});
 
+/// Dispatched vs scalar-reference row kernels. The dispatched variants
+/// are registered from main() only when a SIMD backend is active, so the
+/// BENCH gate ratios (dispatched / ScalarRef >= 1.5x) are only produced
+/// on hosts where the SIMD tables actually run.
+void BM_KernelRowMax(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  nn::Tensor x = nn::Tensor::Randn(rng, 1, n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(nn::kernels::RowMax(x.data(), n));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_KernelRowMaxScalarRef(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  nn::Tensor x = nn::Tensor::Randn(rng, 1, n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(nn::kernels::scalar::RowMax(x.data(), n));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelRowMaxScalarRef)->Arg(4096);
+
+void BM_KernelExpRowSum(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(12);
+  nn::Tensor x = nn::Tensor::Randn(rng, 1, n);
+  std::vector<nn::Scalar> dst(static_cast<size_t>(n));
+  const nn::Scalar m = nn::kernels::RowMax(x.data(), n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nn::kernels::ExpRowSum(x.data(), m, dst.data(), n));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_KernelExpRowSumScalarRef(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(12);
+  nn::Tensor x = nn::Tensor::Randn(rng, 1, n);
+  std::vector<nn::Scalar> dst(static_cast<size_t>(n));
+  const nn::Scalar m = nn::kernels::scalar::RowMax(x.data(), n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nn::kernels::scalar::ExpRowSum(x.data(), m, dst.data(), n));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelExpRowSumScalarRef)->Arg(4096);
+
+/// The untied-decoder full-row decode, before and after the transpose
+/// panel: 64 decoded rows against an n-node decoder. StridedRef is the
+/// old inner product walking w.at(k, v) down column v (stride-n loads);
+/// Panel is DenseLogitsRow's k-major 4-column DotPanel4 layout. The
+/// panel is built once outside the timing loop, matching DecodePanel's
+/// cache-across-rows behavior in generation.
+void BM_DecodeUntiedStridedRef(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int d = 32;
+  const int rows = 64;
+  Rng rng(13);
+  nn::Tensor w = nn::Tensor::Randn(rng, d, n);
+  nn::Tensor h = nn::Tensor::Randn(rng, rows, d);
+  nn::Tensor bias = nn::Tensor::Randn(rng, 1, n);
+  std::vector<nn::Scalar> out(static_cast<size_t>(n));
+  for (auto _ : state) {
+    for (int r = 0; r < rows; ++r) {
+      const nn::Scalar* hr = h.row(r);
+      for (int v = 0; v < n; ++v) {
+        nn::Scalar acc = 0.0;
+        for (int k = 0; k < d; ++k) acc += hr[k] * w.at(k, v);
+        out[static_cast<size_t>(v)] = acc + bias.at(0, v);
+      }
+      benchmark::DoNotOptimize(out.data());
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * rows * n);
+}
+BENCHMARK(BM_DecodeUntiedStridedRef)->Arg(2048)->Arg(8192);
+
+void BM_DecodeUntiedPanel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int d = 32;
+  const int rows = 64;
+  Rng rng(13);
+  nn::Tensor w = nn::Tensor::Randn(rng, d, n);
+  nn::Tensor h = nn::Tensor::Randn(rng, rows, d);
+  nn::Tensor bias = nn::Tensor::Randn(rng, 1, n);
+  const int blocks = (n + 3) / 4;
+  std::vector<nn::Scalar> panel(static_cast<size_t>(blocks) * d * 4, 0.0);
+  for (int k = 0; k < d; ++k)
+    for (int v = 0; v < n; ++v)
+      panel[static_cast<size_t>(v / 4) * d * 4 + static_cast<size_t>(k) * 4 +
+            (v % 4)] = w.at(k, v);
+  std::vector<nn::Scalar> out(static_cast<size_t>(blocks) * 4);
+  for (auto _ : state) {
+    for (int r = 0; r < rows; ++r) {
+      const nn::Scalar* hr = h.row(r);
+      for (int v = 0; v < n; v += 4)
+        nn::kernels::DotPanel4(
+            hr, panel.data() + static_cast<size_t>(v / 4) * d * 4, d,
+            out.data() + v);
+      nn::kernels::AddRow(out.data(), bias.row(0), n);
+      benchmark::DoNotOptimize(out.data());
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * rows * n);
+}
+
 void BM_SegmentSoftmax(benchmark::State& state) {
   const int edges = static_cast<int>(state.range(0));
   Rng rng(2);
@@ -316,6 +431,28 @@ void BM_ArtifactSaveLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_ArtifactSaveLoad)->Arg(3)->Arg(6);
 
+/// Registers the dispatched-kernel benches only when a SIMD table is
+/// active: under TGSIM_FORCE_SCALAR (build or env) the dispatched and
+/// ScalarRef variants are the same code, so emitting the pair would feed
+/// the >=1.5x CI ratio gates a guaranteed-failing ~1.0 ratio.
+void RegisterSimdKernelBenches() {
+  if (nn::kernels::ActiveBackend() == nn::kernels::Backend::kScalar) return;
+  benchmark::RegisterBenchmark("BM_KernelRowMax", BM_KernelRowMax)
+      ->Arg(4096);
+  benchmark::RegisterBenchmark("BM_KernelExpRowSum", BM_KernelExpRowSum)
+      ->Arg(4096);
+  benchmark::RegisterBenchmark("BM_DecodeUntiedPanel", BM_DecodeUntiedPanel)
+      ->Arg(2048)
+      ->Arg(8192);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  RegisterSimdKernelBenches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -29,7 +29,12 @@ BENCH_storage.json, BENCH_update.json). Two checks:
        (the PR-8 storage bar: sparse top-k rows vs the flat n^2 alias
        rebuild they replaced), and
      - BM_UpdateTigger >= 2x BM_FullRefitTiggerRef (the incremental-fit
-       bar: restore state + Update(delta) vs refitting the full stream).
+       bar: restore state + Update(delta) vs refitting the full stream),
+     - BM_KernelExpRowSum/4096 and BM_KernelRowMax/4096 >= 1.5x their
+       ScalarRef replicas (the explicit-SIMD kernel-layer bar; only
+       emitted when a SIMD backend is active), and
+     - BM_DecodeUntiedPanel/2048 >= 2x BM_DecodeUntiedStridedRef/2048
+       (the transpose-panel untied-decode bar).
 """
 
 import argparse
@@ -44,6 +49,13 @@ HARD_RATIO_GATES = [
     # delta batch must beat refitting on the full stream (measured 5x+ on
     # TIGGER; gated at 2x for cross-hardware headroom).
     ("BM_UpdateTigger", "BM_FullRefitTiggerRef", 2.0),
+    # SIMD kernel-layer bars: the dispatched AVX2/NEON variants vs the
+    # scalar reference loops. The dispatched benches only register when a
+    # SIMD backend is active, so forced-scalar runs skip these gates.
+    ("BM_KernelExpRowSum/4096", "BM_KernelExpRowSumScalarRef/4096", 1.5),
+    ("BM_KernelRowMax/4096", "BM_KernelRowMaxScalarRef/4096", 1.5),
+    # Transpose-panel untied decode vs the old stride-n column walk.
+    ("BM_DecodeUntiedPanel/2048", "BM_DecodeUntiedStridedRef/2048", 2.0),
 ]
 
 

@@ -6,6 +6,7 @@
 #include "baselines/score_sampling.h"
 #include "baselines/state_io.h"
 #include "nn/autograd.h"
+#include "nn/kernels.h"
 #include "nn/optim.h"
 
 namespace tgsim::baselines {
@@ -108,10 +109,12 @@ SnapshotScores SbmGnnGenerator::FitSnapshotScores(
   nn::Tensor logits = forward().value();
   SnapshotScores out;
   out.scores = nn::Tensor(na, na);
-  for (int i = 0; i < na; ++i)
-    for (int j = 0; j < na; ++j)
-      if (i != j)
-        out.scores.at(i, j) = 1.0 / (1.0 + std::exp(-logits.at(i, j)));
+  // Sigmoid whole rows through the dispatched kernel, then zero the
+  // diagonal the old element loop skipped (scores start at 0).
+  for (int i = 0; i < na; ++i) {
+    nn::kernels::SigmoidRow(logits.row(i), out.scores.row(i), na);
+    out.scores.at(i, i) = 0.0;
+  }
   out.active = std::move(active);
   return out;
 }

@@ -252,8 +252,8 @@ graphs::TemporalGraph TagGenGenerator::Generate(Rng& rng) {
         logits[c] = dot;
         max_logit = std::max(max_logit, dot);
       }
-      for (size_t c = 0; c < nbrs.size(); ++c)
-        weights[c] = std::exp(logits[c] - max_logit);
+      nn::kernels::ExpRow(logits.data(), max_logit, weights.data(),
+                          static_cast<int>(nbrs.size()));
       size_t pick = sampling::WeightedPick(weights, rng);
       cur = {nbrs[pick].node, nbrs[pick].t};
       walk.steps.push_back(cur);

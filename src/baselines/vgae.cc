@@ -6,17 +6,23 @@
 #include "baselines/score_sampling.h"
 #include "baselines/state_io.h"
 #include "nn/autograd.h"
+#include "nn/kernels.h"
 #include "nn/optim.h"
+#include "parallel/parallel_for.h"
 
 namespace tgsim::baselines {
 
 namespace {
 
-/// Elementwise sigmoid on a value tensor.
+/// Elementwise sigmoid on a value tensor, via the dispatched row kernel
+/// (same exp as the training-graph nn::Sigmoid).
 nn::Tensor SigmoidTensor(const nn::Tensor& x) {
-  nn::Tensor out = x;
-  for (int64_t i = 0; i < out.size(); ++i)
-    out.data()[i] = 1.0 / (1.0 + std::exp(-out.data()[i]));
+  nn::Tensor out(x.rows(), x.cols());
+  parallel::ParallelFor(0, x.size(), parallel::kElementwiseGrain,
+                        [&](int64_t b, int64_t e) {
+                          nn::kernels::SigmoidRow(x.data() + b, out.data() + b,
+                                                  static_cast<int>(e - b));
+                        });
   return out;
 }
 

@@ -299,29 +299,53 @@ nn::SparseRowTargets TgaeGenerator::TargetRows(
   return targets;
 }
 
+const std::vector<nn::Scalar>& TgaeGenerator::DecodePanel(int d) const {
+  const int n = shape_.num_nodes;
+  const int blocks = (n + 3) / 4;
+  if (decode_panel_valid_) return decode_panel_;
+  decode_panel_.assign(static_cast<size_t>(blocks) * d * 4, 0.0);
+  if (config_.tie_decoder) {
+    // Tied decoder: column v of W_dec is row v of the embedding table.
+    const nn::Tensor& table = node_emb_->table().value();
+    for (int v = 0; v < n; ++v) {
+      const nn::Scalar* col = table.row(v);
+      nn::Scalar* block = decode_panel_.data() +
+                          static_cast<size_t>(v / 4) * d * 4 + (v % 4);
+      for (int k = 0; k < d; ++k) block[4 * k] = col[k];
+    }
+  } else {
+    const nn::Tensor& w = w_dec_.value();
+    for (int k = 0; k < d; ++k) {
+      const nn::Scalar* wk = w.row(k);
+      for (int v = 0; v < n; ++v)
+        decode_panel_[static_cast<size_t>(v / 4) * d * 4 +
+                      static_cast<size_t>(k) * 4 + (v % 4)] = wk[v];
+    }
+  }
+  decode_panel_valid_ = true;
+  return decode_panel_;
+}
+
 std::vector<nn::Scalar> TgaeGenerator::DenseLogitsRow(const nn::Tensor& rows,
                                                       int r) const {
   const int n = shape_.num_nodes;
   const int d = rows.cols();
   const nn::Scalar* h = rows.row(r);
   const nn::Tensor& bias = b_dec_.value();
-  std::vector<nn::Scalar> out(static_cast<size_t>(n), 0.0);
-  if (config_.tie_decoder) {
-    // kernels::Dot keeps the ascending-k chain, so these logits stay
-    // bit-identical to the MatMul columns of the dense decode (the
-    // sparse-vs-dense generation pin depends on it).
-    const nn::Tensor& table = node_emb_->table().value();
-    for (int v = 0; v < n; ++v)
-      out[static_cast<size_t>(v)] =
-          nn::kernels::Dot(h, table.row(v), d) + bias.at(0, v);
-  } else {
-    const nn::Tensor& w = w_dec_.value();
-    for (int v = 0; v < n; ++v) {
-      nn::Scalar acc = 0.0;
-      for (int k = 0; k < d; ++k) acc += h[k] * w.at(k, v);
-      out[static_cast<size_t>(v)] = acc + bias.at(0, v);
-    }
-  }
+  // One DotPanel4 call scores four columns from a contiguous k-major
+  // panel block: each output keeps its own ascending-k chain, so the
+  // logits stay bit-identical to the strided per-column loop — and to the
+  // MatMul columns of the dense decode (the sparse-vs-dense generation
+  // pin depends on it) — while the loads run contiguous and four chains
+  // overlap instead of one.
+  const std::vector<nn::Scalar>& panel = DecodePanel(d);
+  std::vector<nn::Scalar> out(static_cast<size_t>(4 * ((n + 3) / 4)), 0.0);
+  for (int v = 0; v < n; v += 4)
+    nn::kernels::DotPanel4(h,
+                           panel.data() + static_cast<size_t>(v / 4) * d * 4,
+                           d, out.data() + v);
+  out.resize(static_cast<size_t>(n));  // drop the zero-padded tail columns
+  nn::kernels::AddRow(out.data(), bias.row(0), n);
   return out;
 }
 
@@ -439,6 +463,7 @@ void TgaeGenerator::TrainEpochs(int epochs,
     opt.Step();
     last_epoch_loss_ = loss.item();
   }
+  decode_panel_valid_ = false;  // decoder weights moved; repack lazily
 }
 
 Status TgaeGenerator::Update(const graphs::TemporalGraph& delta, Rng& rng) {
@@ -509,6 +534,7 @@ Status TgaeGenerator::LoadCheckpoint(const std::string& path) {
     return Status::InvalidArgument(
         "LoadCheckpoint requires a prior Fit() to build the parameter "
         "structures");
+  decode_panel_valid_ = false;
   return serialize::LoadParameters(params_, path);
 }
 
@@ -542,6 +568,7 @@ Status TgaeGenerator::LoadState(std::istream& in) {
   // Values come from the archive; the init rng only shapes the modules.
   Rng init(0);
   BuildModel(init);
+  decode_panel_valid_ = false;
   return serialize::ReadParamsInto(reader, "params", params_);
 }
 
@@ -647,11 +674,12 @@ graphs::TemporalGraph TgaeGenerator::Generate(Rng& rng) {
         auto support_weights = [&]() {
           std::vector<double> w(support.size());
           if (!support.empty()) {
-            nn::Scalar m =
-                *std::max_element(sup_logits.begin(), sup_logits.end());
+            const int count = static_cast<int>(support.size());
+            const nn::Scalar m = nn::kernels::RowMax(sup_logits.data(),
+                                                     count);
+            nn::kernels::ExpRow(sup_logits.data(), m, w.data(), count);
             for (size_t c = 0; c < support.size(); ++c)
-              w[c] = std::exp(sup_logits[c] - m) *
-                     (is_exact[c] ? 1.0 : config_.generation_ring_weight);
+              if (!is_exact[c]) w[c] *= config_.generation_ring_weight;
           }
           return w;
         };
@@ -660,19 +688,18 @@ graphs::TemporalGraph TgaeGenerator::Generate(Rng& rng) {
         // path reconstructs it on demand (O(n d) for the rare row instead
         // of every row).
         auto full_row_probs = [&]() {
+          std::span<const nn::Scalar> logit_row = logits.RowSpan(row);
           std::vector<nn::Scalar> p =
               config_.sparse_decoder
                   ? DenseLogitsRow(batch.rows.value(), row)
-                  : std::vector<nn::Scalar>(logits.row(row),
-                                            logits.row(row) + n);
-          const nn::Scalar m =
-              nn::kernels::RowMax(p.data(), static_cast<int>(p.size()));
-          nn::Scalar z = 0.0;
-          for (size_t v = 0; v < p.size(); ++v) {
-            p[v] = std::exp(p[v] - m);
-            z += p[v];
-          }
-          nn::kernels::DivRow(p.data(), z, static_cast<int>(p.size()));
+                  : std::vector<nn::Scalar>(logit_row.begin(),
+                                            logit_row.end());
+          const int count = static_cast<int>(p.size());
+          const nn::Scalar m = nn::kernels::RowMax(p.data(), count);
+          // ExpRowSum in place (x == dst is full-alias-safe).
+          const nn::Scalar z = nn::kernels::ExpRowSum(p.data(), m, p.data(),
+                                                      count);
+          nn::kernels::DivRow(p.data(), z, count);
           return p;
         };
 

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
+#include "nn/kernels.h"
 #include "parallel/parallel_for.h"
 
 namespace tgsim::nn {
@@ -220,25 +222,23 @@ Var MulColBroadcast(const Var& a, const Var& w) {
   Tensor out = a.value();
   parallel::ParallelFor(
       0, out.rows(), RowGrain(out.cols()), [&](int64_t r0, int64_t r1) {
-        for (int64_t r = r0; r < r1; ++r) {
-          Scalar s = w.value().at(static_cast<int>(r), 0);
-          for (int c = 0; c < out.cols(); ++c)
-            out.at(static_cast<int>(r), c) *= s;
-        }
+        for (int64_t r = r0; r < r1; ++r)
+          kernels::ScaleRow(out.row(static_cast<int>(r)),
+                            w.value().at(static_cast<int>(r), 0), out.cols());
       });
   return MakeOp(std::move(out), {a, w}, [](Node& self) {
     auto& pa = self.parents[0];
     auto& pw = self.parents[1];
-    const int64_t grain = RowGrain(self.grad.cols());
+    const int cols = self.grad.cols();
+    const int64_t grain = RowGrain(cols);
     if (NeedsGrad(pa)) {
       pa->EnsureGrad();
       parallel::ParallelFor(
           0, self.grad.rows(), grain, [&](int64_t r0, int64_t r1) {
             for (int64_t ri = r0; ri < r1; ++ri) {
               const int r = static_cast<int>(ri);
-              Scalar s = pw->value.at(r, 0);
-              for (int c = 0; c < self.grad.cols(); ++c)
-                pa->grad.at(r, c) += self.grad.at(r, c) * s;
+              kernels::AxpyRow(pw->value.at(r, 0), self.grad.row(r),
+                               pa->grad.row(r), cols);
             }
           });
     }
@@ -248,10 +248,8 @@ Var MulColBroadcast(const Var& a, const Var& w) {
           0, self.grad.rows(), grain, [&](int64_t r0, int64_t r1) {
             for (int64_t ri = r0; ri < r1; ++ri) {
               const int r = static_cast<int>(ri);
-              Scalar acc = 0.0;
-              for (int c = 0; c < self.grad.cols(); ++c)
-                acc += self.grad.at(r, c) * pa->value.at(r, c);
-              pw->grad.at(r, 0) += acc;
+              pw->grad.at(r, 0) +=
+                  kernels::Dot(self.grad.row(r), pa->value.row(r), cols);
             }
           });
     }
@@ -287,7 +285,37 @@ Var AddScalar(const Var& a, Scalar s) {
 
 namespace {
 
+/// Shared plumbing for activations backed by dispatched row kernels: fwd
+/// fills out from x chunk by chunk; bwd accumulates into the parent grad
+/// from (go, x, y) on the matching chunk. Both run on the flat
+/// kElementwiseGrain chunking, so results are thread-count-invariant like
+/// everything else on the tape.
+template <typename FwdFn, typename BwdFn>
+Var RowKernelOp(const Var& a, FwdFn fwd, BwdFn bwd) {
+  const Tensor& x = a.value();
+  Tensor out(x.rows(), x.cols());
+  parallel::ParallelFor(0, x.size(), kElementwiseGrain,
+                        [&](int64_t b, int64_t e) {
+                          fwd(x.data() + b, out.data() + b,
+                              static_cast<int>(e - b));
+                        });
+  return MakeOp(std::move(out), {a}, [bwd](Node& self) {
+    auto& pa = self.parents[0];
+    if (!NeedsGrad(pa)) return;
+    pa->EnsureGrad();
+    parallel::ParallelFor(
+        0, self.grad.size(), kElementwiseGrain, [&](int64_t b, int64_t e) {
+          bwd(self.grad.data() + b, pa->value.data() + b,
+              self.value.data() + b, pa->grad.data() + b,
+              static_cast<int>(e - b));
+        });
+  });
+}
+
 /// Shared plumbing for elementwise y=f(x) with dy/dx expressible from y / x.
+/// Kept for the activations whose f is a libm call the SIMD backends do not
+/// mirror (tanh, log) or that are cold (square); the hot activations go
+/// through RowKernelOp above.
 Var ElementwiseOp(const Var& a, const std::function<Scalar(Scalar)>& fwd,
                   std::function<Scalar(Scalar x, Scalar y)> dydx) {
   Tensor out = a.value();
@@ -316,9 +344,13 @@ Var ElementwiseOp(const Var& a, const std::function<Scalar(Scalar)>& fwd,
 }  // namespace
 
 Var Sigmoid(const Var& a) {
-  return ElementwiseOp(
-      a, [](Scalar x) { return 1.0 / (1.0 + std::exp(-x)); },
-      [](Scalar, Scalar y) { return y * (1.0 - y); });
+  return RowKernelOp(
+      a,
+      [](const Scalar* x, Scalar* dst, int n) {
+        kernels::SigmoidRow(x, dst, n);
+      },
+      [](const Scalar* go, const Scalar*, const Scalar* y, Scalar* gi,
+         int n) { kernels::SigmoidBwdRow(go, y, gi, n); });
 }
 
 Var Tanh(const Var& a) {
@@ -327,19 +359,31 @@ Var Tanh(const Var& a) {
 }
 
 Var Relu(const Var& a) {
-  return ElementwiseOp(a, [](Scalar x) { return x > 0.0 ? x : 0.0; },
-                       [](Scalar x, Scalar) { return x > 0.0 ? 1.0 : 0.0; });
+  return RowKernelOp(
+      a,
+      [](const Scalar* x, Scalar* dst, int n) { kernels::ReluRow(x, dst, n); },
+      [](const Scalar* go, const Scalar* x, const Scalar*, Scalar* gi,
+         int n) { kernels::ReluBwdRow(go, x, gi, n); });
 }
 
 Var LeakyRelu(const Var& a, Scalar slope) {
-  return ElementwiseOp(
-      a, [slope](Scalar x) { return x > 0.0 ? x : slope * x; },
-      [slope](Scalar x, Scalar) { return x > 0.0 ? 1.0 : slope; });
+  return RowKernelOp(
+      a,
+      [slope](const Scalar* x, Scalar* dst, int n) {
+        kernels::LeakyReluRow(x, slope, dst, n);
+      },
+      [slope](const Scalar* go, const Scalar* x, const Scalar*, Scalar* gi,
+              int n) { kernels::LeakyReluBwdRow(go, x, slope, gi, n); });
 }
 
 Var Exp(const Var& a) {
-  return ElementwiseOp(a, [](Scalar x) { return std::exp(x); },
-                       [](Scalar, Scalar y) { return y; });
+  return RowKernelOp(
+      a,
+      [](const Scalar* x, Scalar* dst, int n) {
+        kernels::ExpRow(x, 0.0, dst, n);  // x - 0.0 is an exact identity
+      },
+      [](const Scalar* go, const Scalar*, const Scalar* y, Scalar* gi,
+         int n) { kernels::MulAddRow(gi, go, y, n); });
 }
 
 Var Log(const Var& a, Scalar eps) {
@@ -363,18 +407,16 @@ Var SoftmaxRows(const Var& a) {
     auto& pa = self.parents[0];
     if (!NeedsGrad(pa)) return;
     pa->EnsureGrad();
-    // dL/dx = y * (g - <g, y>) per row.
+    // dL/dx = y * (g - <g, y>) per row; the dot keeps its serial chain.
+    const int cols = self.value.cols();
     parallel::ParallelFor(
-        0, self.value.rows(), RowGrain(self.value.cols()),
-        [&](int64_t r0, int64_t r1) {
+        0, self.value.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
           for (int64_t ri = r0; ri < r1; ++ri) {
             const int r = static_cast<int>(ri);
-            Scalar dot = 0.0;
-            for (int c = 0; c < self.value.cols(); ++c)
-              dot += self.grad.at(r, c) * self.value.at(r, c);
-            for (int c = 0; c < self.value.cols(); ++c)
-              pa->grad.at(r, c) +=
-                  self.value.at(r, c) * (self.grad.at(r, c) - dot);
+            const Scalar dot =
+                kernels::Dot(self.grad.row(r), self.value.row(r), cols);
+            kernels::SoftmaxBwdRow(self.grad.row(r), self.value.row(r), dot,
+                                   pa->grad.row(r), cols);
           }
         });
   });
@@ -383,36 +425,37 @@ Var SoftmaxRows(const Var& a) {
 Var LogSoftmaxRows(const Var& a) {
   const Tensor& x = a.value();
   Tensor out(x.rows(), x.cols());
+  const int cols = x.cols();
   parallel::ParallelFor(
-      0, x.rows(), RowGrain(x.cols()), [&](int64_t r0, int64_t r1) {
+      0, x.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+        std::vector<Scalar> scratch(static_cast<size_t>(cols));
         for (int64_t ri = r0; ri < r1; ++ri) {
           const int r = static_cast<int>(ri);
-          Scalar m = x.at(r, 0);
-          for (int c = 1; c < x.cols(); ++c) m = std::max(m, x.at(r, c));
-          Scalar z = 0.0;
-          for (int c = 0; c < x.cols(); ++c) z += std::exp(x.at(r, c) - m);
-          Scalar log_z = m + std::log(z);
-          for (int c = 0; c < x.cols(); ++c)
-            out.at(r, c) = x.at(r, c) - log_z;
+          const Scalar m = kernels::RowMax(x.row(r), cols);
+          const Scalar z = kernels::ExpRowSum(x.row(r), m, scratch.data(),
+                                              cols);
+          const Scalar log_z = m + std::log(z);
+          kernels::ShiftRow(x.row(r), log_z, out.row(r), cols);
         }
       });
   return MakeOp(std::move(out), {a}, [](Node& self) {
     auto& pa = self.parents[0];
     if (!NeedsGrad(pa)) return;
     pa->EnsureGrad();
-    // dL/dx = g - softmax(x) * sum(g) per row.
+    // dL/dx = g - softmax(x) * sum(g) per row. The gsum chain stays a
+    // plain ascending loop; softmax(x) = exp(value) is per-element.
+    const int cols = self.value.cols();
     parallel::ParallelFor(
-        0, self.value.rows(), RowGrain(self.value.cols()),
-        [&](int64_t r0, int64_t r1) {
+        0, self.value.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+          std::vector<Scalar> p(static_cast<size_t>(cols));
           for (int64_t ri = r0; ri < r1; ++ri) {
             const int r = static_cast<int>(ri);
+            const Scalar* go = self.grad.row(r);
             Scalar gsum = 0.0;
-            for (int c = 0; c < self.value.cols(); ++c)
-              gsum += self.grad.at(r, c);
-            for (int c = 0; c < self.value.cols(); ++c) {
-              Scalar p = std::exp(self.value.at(r, c));
-              pa->grad.at(r, c) += self.grad.at(r, c) - p * gsum;
-            }
+            for (int c = 0; c < cols; ++c) gsum += go[c];
+            kernels::ExpRow(self.value.row(r), 0.0, p.data(), cols);
+            kernels::LogSoftmaxBwdRow(go, p.data(), gsum, pa->grad.row(r),
+                                      cols);
           }
         });
   });
@@ -619,19 +662,23 @@ Var SegmentSoftmax(const Var& scores, std::vector<int> seg,
   Tensor out(n, 1);
   parallel::ParallelFor(
       0, num_segments, kSegmentGrain, [&](int64_t s0, int64_t s1) {
+        // Gather each segment's entries into a contiguous scratch row so
+        // the shared SoftmaxRow kernel (and its SIMD variants) can run on
+        // it, then scatter the probabilities back. Member order is
+        // ascending entry index, same as the old in-place sweep.
+        std::vector<Scalar> vals, probs;
         for (int64_t s = s0; s < s1; ++s) {
           const int si = static_cast<int>(s);
-          Scalar m = -1e300;
-          for (const int* it = index->begin(si); it != index->end(si); ++it)
-            m = std::max(m, x.at(*it, 0));
-          Scalar z = 0.0;
-          for (const int* it = index->begin(si); it != index->end(si);
-               ++it) {
-            out.at(*it, 0) = std::exp(x.at(*it, 0) - m);
-            z += out.at(*it, 0);
-          }
-          for (const int* it = index->begin(si); it != index->end(si); ++it)
-            out.at(*it, 0) /= z;
+          const int* members = index->begin(si);
+          const int count = static_cast<int>(index->end(si) - members);
+          if (count == 0) continue;  // RowMax needs n >= 1
+          vals.resize(static_cast<size_t>(count));
+          probs.resize(static_cast<size_t>(count));
+          for (int i = 0; i < count; ++i)
+            vals[static_cast<size_t>(i)] = x.at(members[i], 0);
+          kernels::SoftmaxRow(vals.data(), probs.data(), count);
+          for (int i = 0; i < count; ++i)
+            out.at(members[i], 0) = probs[static_cast<size_t>(i)];
         }
       });
   return MakeOp(
@@ -640,20 +687,33 @@ Var SegmentSoftmax(const Var& scores, std::vector<int> seg,
         auto& pa = self.parents[0];
         if (!NeedsGrad(pa)) return;
         pa->EnsureGrad();
-        // Per segment: dx_i = y_i * (g_i - sum_j g_j y_j).
+        // Per segment: dx_i = y_i * (g_i - sum_j g_j y_j). Gather the
+        // segment's go/y/gi into scratch rows, run the shared Dot +
+        // SoftmaxBwdRow kernels, scatter the updated gi back.
         parallel::ParallelFor(
             0, index->num_segments(), kSegmentGrain,
             [&](int64_t s0, int64_t s1) {
+              std::vector<Scalar> go_s, y_s, gi_s;
               for (int64_t s = s0; s < s1; ++s) {
                 const int si = static_cast<int>(s);
-                Scalar dot = 0.0;
-                for (const int* it = index->begin(si); it != index->end(si);
-                     ++it)
-                  dot += self.grad.at(*it, 0) * self.value.at(*it, 0);
-                for (const int* it = index->begin(si); it != index->end(si);
-                     ++it)
-                  pa->grad.at(*it, 0) +=
-                      self.value.at(*it, 0) * (self.grad.at(*it, 0) - dot);
+                const int* members = index->begin(si);
+                const int count =
+                    static_cast<int>(index->end(si) - members);
+                if (count == 0) continue;
+                go_s.resize(static_cast<size_t>(count));
+                y_s.resize(static_cast<size_t>(count));
+                gi_s.resize(static_cast<size_t>(count));
+                for (int i = 0; i < count; ++i) {
+                  go_s[static_cast<size_t>(i)] = self.grad.at(members[i], 0);
+                  y_s[static_cast<size_t>(i)] = self.value.at(members[i], 0);
+                  gi_s[static_cast<size_t>(i)] = pa->grad.at(members[i], 0);
+                }
+                const Scalar dot =
+                    kernels::Dot(go_s.data(), y_s.data(), count);
+                kernels::SoftmaxBwdRow(go_s.data(), y_s.data(), dot,
+                                       gi_s.data(), count);
+                for (int i = 0; i < count; ++i)
+                  pa->grad.at(members[i], 0) = gi_s[static_cast<size_t>(i)];
               }
             });
       });
@@ -697,15 +757,15 @@ Var SampledSoftmaxCrossEntropy(const Var& logits,
   std::vector<Scalar> row_loss(static_cast<size_t>(rows), 0.0);
   parallel::ParallelFor(
       0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+        std::vector<Scalar> scratch(static_cast<size_t>(cols));
         for (int64_t ri = r0; ri < r1; ++ri) {
           const int r = static_cast<int>(ri);
           const int begin = targets.offsets[static_cast<size_t>(r)];
           const int end = targets.offsets[static_cast<size_t>(r) + 1];
           if (begin == end) continue;
-          Scalar m = x.at(r, 0);
-          for (int c = 1; c < cols; ++c) m = std::max(m, x.at(r, c));
-          Scalar z = 0.0;
-          for (int c = 0; c < cols; ++c) z += std::exp(x.at(r, c) - m);
+          const Scalar m = kernels::RowMax(x.row(r), cols);
+          const Scalar z = kernels::ExpRowSum(x.row(r), m, scratch.data(),
+                                              cols);
           Scalar log_z = m + std::log(z);
           Scalar loss = 0.0;
           for (int e = begin; e < end; ++e)
@@ -733,6 +793,7 @@ Var SampledSoftmaxCrossEntropy(const Var& logits,
         parallel::ParallelFor(
             0, static_cast<int64_t>(rows), RowGrain(cols),
             [&](int64_t r0, int64_t r1) {
+              std::vector<Scalar> scratch(static_cast<size_t>(cols));
               for (int64_t ri = r0; ri < r1; ++ri) {
                 const int r = static_cast<int>(ri);
                 const int begin = t.offsets[static_cast<size_t>(r)];
@@ -741,15 +802,15 @@ Var SampledSoftmaxCrossEntropy(const Var& logits,
                 Scalar mass = 0.0;
                 for (int e = begin; e < end; ++e)
                   mass += t.weights[static_cast<size_t>(e)];
-                Scalar m = pa->value.at(r, 0);
-                for (int c = 1; c < cols; ++c)
-                  m = std::max(m, pa->value.at(r, c));
-                Scalar z = 0.0;
-                for (int c = 0; c < cols; ++c)
-                  z += std::exp(pa->value.at(r, c) - m);
-                for (int c = 0; c < cols; ++c)
-                  pa->grad.at(r, c) +=
-                      g * mass * std::exp(pa->value.at(r, c) - m) / z;
+                const Scalar* xr = pa->value.row(r);
+                const Scalar m = kernels::RowMax(xr, cols);
+                const Scalar z =
+                    kernels::ExpRowSum(xr, m, scratch.data(), cols);
+                // grad += ((g*mass) * exp(x-m)) / z, with the g*mass
+                // product hoisted exactly as the old inline expression
+                // associated it.
+                kernels::AxpyDivRow(g * mass, scratch.data(), z,
+                                    pa->grad.row(r), cols);
                 for (int e = begin; e < end; ++e)
                   pa->grad.at(r, t.cols[static_cast<size_t>(e)]) -=
                       g * t.weights[static_cast<size_t>(e)];

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
+#include "parallel/parallel_for.h"
+
 namespace tgsim::nn {
 
 void Optimizer::ZeroGrad() {
@@ -39,9 +42,19 @@ void Sgd::Step() {
     Var& p = params_[i];
     if (!p.grad().SameShape(p.value())) continue;  // Never touched.
     if (momentum_ != 0.0) {
-      velocity_[i].ScaleInPlace(momentum_);
-      velocity_[i].Axpy(1.0, p.grad());
-      p.mutable_value().Axpy(-lr_, velocity_[i]);
+      // v = momentum*v + 1.0*g in one pass: 1.0*g is exact and
+      // momentum*v rounds identically whether or not the intermediate is
+      // stored, so this matches the old ScaleInPlace-then-Axpy sequence
+      // bit for bit while halving the velocity traffic.
+      Tensor& vel = velocity_[i];
+      const Tensor& g = p.grad();
+      parallel::ParallelFor(
+          0, vel.size(), parallel::kElementwiseGrain,
+          [&](int64_t b, int64_t e) {
+            kernels::ScaleAddRow(vel.data() + b, momentum_, g.data() + b,
+                                 1.0, static_cast<int>(e - b));
+          });
+      p.mutable_value().Axpy(-lr_, vel);
     } else {
       p.mutable_value().Axpy(-lr_, p.grad());
     }
@@ -74,14 +87,14 @@ void Adam::Step() {
     Tensor& m = m_[i];
     Tensor& v = v_[i];
     Tensor& x = p.mutable_value();
-    for (int64_t j = 0; j < g.size(); ++j) {
-      Scalar gj = g.data()[j];
-      m.data()[j] = beta1_ * m.data()[j] + (1.0 - beta1_) * gj;
-      v.data()[j] = beta2_ * v.data()[j] + (1.0 - beta2_) * gj * gj;
-      Scalar m_hat = m.data()[j] / bias1;
-      Scalar v_hat = v.data()[j] / bias2;
-      x.data()[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-    }
+    parallel::ParallelFor(
+        0, g.size(), parallel::kElementwiseGrain,
+        [&](int64_t b, int64_t e) {
+          kernels::AdamRow(x.data() + b, m.data() + b, v.data() + b,
+                           g.data() + b, beta1_, 1.0 - beta1_, beta2_,
+                           1.0 - beta2_, bias1, bias2, lr_, eps_,
+                           static_cast<int>(e - b));
+        });
   }
 }
 

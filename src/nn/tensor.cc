@@ -135,8 +135,8 @@ void Tensor::AddInPlace(const Tensor& other) {
   TGSIM_CHECK(SameShape(other));
   parallel::ParallelFor(0, size(), kElementwiseGrain,
                         [&](int64_t b, int64_t e) {
-                          for (int64_t i = b; i < e; ++i)
-                            data_[i] += other.data_[i];
+                          kernels::AddRow(data_ + b, other.data_ + b,
+                                          static_cast<int>(e - b));
                         });
 }
 
@@ -144,15 +144,16 @@ void Tensor::Axpy(Scalar alpha, const Tensor& other) {
   TGSIM_CHECK(SameShape(other));
   parallel::ParallelFor(0, size(), kElementwiseGrain,
                         [&](int64_t b, int64_t e) {
-                          for (int64_t i = b; i < e; ++i)
-                            data_[i] += alpha * other.data_[i];
+                          kernels::AxpyRow(alpha, other.data_ + b, data_ + b,
+                                           static_cast<int>(e - b));
                         });
 }
 
 void Tensor::ScaleInPlace(Scalar alpha) {
   parallel::ParallelFor(0, size(), kElementwiseGrain,
                         [&](int64_t b, int64_t e) {
-                          for (int64_t i = b; i < e; ++i) data_[i] *= alpha;
+                          kernels::ScaleRow(data_ + b, alpha,
+                                            static_cast<int>(e - b));
                         });
 }
 
@@ -161,10 +162,8 @@ void Tensor::AddRowVectorInPlace(const Tensor& vec) {
   TGSIM_CHECK_EQ(vec.cols(), cols_);
   const int64_t row_grain = RowGrain(cols_);
   parallel::ParallelFor(0, rows_, row_grain, [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      Scalar* dst = row(static_cast<int>(r));
-      for (int c = 0; c < cols_; ++c) dst[c] += vec.data_[c];
-    }
+    for (int64_t r = r0; r < r1; ++r)
+      kernels::AddRow(row(static_cast<int>(r)), vec.data_, cols_);
   });
 }
 
@@ -190,8 +189,8 @@ Tensor Tensor::CwiseMul(const Tensor& other) const {
   Tensor out(*this);
   parallel::ParallelFor(0, size(), kElementwiseGrain,
                         [&](int64_t b, int64_t e) {
-                          for (int64_t i = b; i < e; ++i)
-                            out.data_[i] *= other.data_[i];
+                          kernels::MulRow(out.data_ + b, other.data_ + b,
+                                          static_cast<int>(e - b));
                         });
   return out;
 }
